@@ -1,0 +1,86 @@
+// kd-tree tuning ablation — the paper's future work: "Future research will
+// be conducted to improve search efficiency of kd-tree which has an
+// important impact on the performance of our algorithm."
+//
+// Measures the two easily-tunable axes on the full pipeline:
+//   * leaf size (bucket threshold): small leaves -> deeper descent (more
+//     node visits), large leaves -> more distance evaluations per leaf;
+//   * index structure: kd-tree vs naive scan in the executor kernel, at the
+//     paper's d=10 (build cost vs query savings, Section V.B).
+#include "bench_common.hpp"
+
+#include "core/local_dbscan.hpp"
+#include "spatial/brute_force.hpp"
+
+using namespace sdb;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  bench::add_common_flags(flags);
+  flags.add_string("dataset", "r100k", "Table I preset");
+  flags.add_i64("partitions", 8, "partitions for the kernel runs");
+  flags.parse(argc, argv);
+  const u64 seed = static_cast<u64>(flags.i64_flag("seed"));
+  const auto partitions = static_cast<u32>(flags.i64_flag("partitions"));
+  const auto spec = *synth::find_preset(flags.string("dataset"));
+  const double scale = bench::resolve_scale(flags, spec.name);
+  const PointSet points = synth::generate(spec, seed, scale);
+  const dbscan::DbscanParams params{spec.eps, spec.minpts};
+  const minispark::CostModel cost;
+  const auto partitioning = dbscan::make_partitioning(
+      dbscan::PartitionerKind::kBlock, points, partitions, seed);
+
+  // Run the executor kernel over every partition with a given index and
+  // report the summed simulated work plus the build cost.
+  auto kernel_work = [&](const SpatialIndex& index) {
+    dbscan::LocalDbscanConfig cfg;
+    cfg.params = params;
+    WorkCounters wc;
+    {
+      ScopedCounters scope(&wc);
+      for (u32 p = 0; p < partitions; ++p) {
+        dbscan::local_dbscan(points, index, partitioning,
+                             static_cast<PartitionId>(p), cfg);
+      }
+    }
+    return wc;
+  };
+
+  {
+    TablePrinter table({"leaf size", "build wall (ms)", "tree nodes",
+                        "distance evals", "kernel (s)"});
+    for (const int leaf : {2, 8, 16, 64, 256}) {
+      Stopwatch build_wall;
+      const KdTree tree(points, leaf);
+      const double build_ms = build_wall.millis();
+      const WorkCounters wc = kernel_work(tree);
+      table.add_row({TablePrinter::cell(static_cast<i64>(leaf)),
+                     TablePrinter::cell(build_ms, 1),
+                     TablePrinter::cell(wc.tree_nodes),
+                     TablePrinter::cell(wc.distance_evals),
+                     TablePrinter::cell(cost.compute_seconds(wc), 3)});
+    }
+    bench::emit(table,
+                "kd-tree leaf-size ablation (" + spec.name + ", " +
+                    std::to_string(points.size()) + " points, d=10)",
+                flags.boolean("csv"));
+  }
+
+  {
+    TablePrinter table({"index", "distance evals", "kernel (s)"});
+    const KdTree tree(points, 16);
+    const BruteForceIndex brute(points);
+    for (const SpatialIndex* index :
+         {static_cast<const SpatialIndex*>(&tree),
+          static_cast<const SpatialIndex*>(&brute)}) {
+      const WorkCounters wc = kernel_work(*index);
+      table.add_row({index->name(), TablePrinter::cell(wc.distance_evals),
+                     TablePrinter::cell(cost.compute_seconds(wc), 3)});
+    }
+    bench::emit(table,
+                "index ablation on the executor kernel (Section V.B's "
+                "O(n^2) -> O(n log n) claim, measured end to end)",
+                flags.boolean("csv"));
+  }
+  return 0;
+}

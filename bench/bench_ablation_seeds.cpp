@@ -1,0 +1,144 @@
+// Ablation bench — the design choices DESIGN.md calls out:
+//   1. SEED strategy: paper's one-per-partition vs complete all-foreign
+//      (seed volume, accumulator bytes, merge time, result fidelity).
+//   2. Merge strategy: Algorithm 4 single pass vs union-find
+//      (cluster-count deviation from sequential).
+//   3. Partitioner: block (paper) vs random vs grid vs kd-split — the
+//      paper's stated future work ("partition the input data points based
+//      on the neighborhood relationship") — measuring partial-cluster
+//      fragmentation and executor balance.
+//   4. Pruning budget + small-cluster filter (the r1m approximations):
+//      time saved vs Rand-index cost.
+#include "bench_common.hpp"
+
+#include "core/quality.hpp"
+
+using namespace sdb;
+
+namespace {
+
+dbscan::SparkDbscanReport run_once(const PointSet& points,
+                                   const synth::DatasetSpec& spec, u32 cores,
+                                   u64 seed, dbscan::SeedStrategy seeds,
+                                   dbscan::MergeStrategy merge,
+                                   dbscan::PartitionerKind partitioner,
+                                   const QueryBudget& budget = {},
+                                   u64 min_pc = 0) {
+  minispark::SparkContext ctx(bench::cluster_config(cores, seed));
+  dbscan::SparkDbscanConfig cfg;
+  cfg.params = {spec.eps, spec.minpts};
+  cfg.partitions = cores;
+  cfg.seed = seed;
+  cfg.seed_strategy = seeds;
+  cfg.merge_strategy = merge;
+  cfg.partitioner = partitioner;
+  cfg.budget = budget;
+  cfg.min_partial_cluster_size = min_pc;
+  dbscan::SparkDbscan dbscan(ctx, cfg);
+  return dbscan.run(points);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  bench::add_common_flags(flags);
+  flags.add_string("dataset", "c100k", "Table I preset to ablate on");
+  flags.add_i64("cores", 16, "cores / partitions");
+  flags.parse(argc, argv);
+  const u64 seed = static_cast<u64>(flags.i64_flag("seed"));
+  const auto cores = static_cast<u32>(flags.i64_flag("cores"));
+  const auto spec = *synth::find_preset(flags.string("dataset"));
+  const double scale = bench::resolve_scale(flags, spec.name);
+  const PointSet points = synth::generate(spec, seed, scale);
+  const dbscan::DbscanParams params{spec.eps, spec.minpts};
+  const bool csv = flags.boolean("csv");
+
+  const minispark::CostModel cost;
+  const auto baseline = bench::sequential_baseline(points, params, cost);
+
+  // --- 1+2: seed strategy x merge strategy ---
+  {
+    TablePrinter table({"seeds", "merge", "clusters", "acc bytes",
+                        "merge (s)", "total (s)", "Rand vs seq"});
+    for (const auto seeds : {dbscan::SeedStrategy::kOnePerPartition,
+                             dbscan::SeedStrategy::kAllForeign}) {
+      for (const auto merge : {dbscan::MergeStrategy::kPaperSinglePass,
+                               dbscan::MergeStrategy::kUnionFind}) {
+        const auto report = run_once(points, spec, cores, seed, seeds, merge,
+                                     dbscan::PartitionerKind::kBlock);
+        table.add_row(
+            {dbscan::seed_strategy_name(seeds),
+             dbscan::merge_strategy_name(merge),
+             TablePrinter::cell(report.clustering.num_clusters),
+             TablePrinter::cell(report.accumulator_bytes),
+             TablePrinter::cell(report.sim_merge_s, 4),
+             TablePrinter::cell(report.sim_total_s(), 3),
+             TablePrinter::cell(
+                 dbscan::rand_index(baseline.clustering, report.clustering),
+                 5)});
+      }
+    }
+    bench::emit(table,
+                "Ablation 1/2: SEED strategy x merge strategy (" + spec.name +
+                    ", " + std::to_string(cores) + " cores; sequential finds " +
+                    std::to_string(baseline.clustering.num_clusters) +
+                    " clusters)",
+                csv);
+  }
+
+  // --- 3: partitioner (the paper's future work) ---
+  {
+    TablePrinter table({"partitioner", "partial clusters", "seeds placed",
+                        "exec (s)", "driver (s)", "total (s)"});
+    for (const auto partitioner :
+         {dbscan::PartitionerKind::kBlock, dbscan::PartitionerKind::kRandom,
+          dbscan::PartitionerKind::kGrid, dbscan::PartitionerKind::kKdSplit}) {
+      const auto report =
+          run_once(points, spec, cores, seed, dbscan::SeedStrategy::kAllForeign,
+                   dbscan::MergeStrategy::kUnionFind, partitioner);
+      table.add_row({dbscan::partitioner_name(partitioner),
+                     TablePrinter::cell(report.partial_clusters),
+                     TablePrinter::cell(report.merge_stats.seeds_examined),
+                     TablePrinter::cell(report.sim_executor_s, 3),
+                     TablePrinter::cell(report.sim_driver_s(), 3),
+                     TablePrinter::cell(report.sim_total_s(), 3)});
+    }
+    bench::emit(table,
+                "Ablation 3: partitioner (paper future work; spatial "
+                "partitioners cut fragmentation and seed volume)",
+                csv);
+  }
+
+  // --- 4: pruning budget + small-cluster filter (r1m approximations) ---
+  {
+    TablePrinter table({"max neighbors", "min pc size", "clusters",
+                        "exec (s)", "total (s)", "Rand vs seq"});
+    struct Case {
+      u64 max_neighbors;
+      u64 min_pc;
+    };
+    for (const auto& c :
+         {Case{0, 0}, Case{128, 0}, Case{64, 0}, Case{64, 4}, Case{16, 4}}) {
+      QueryBudget budget;
+      budget.max_neighbors = c.max_neighbors;
+      const auto report =
+          run_once(points, spec, cores, seed, dbscan::SeedStrategy::kAllForeign,
+                   dbscan::MergeStrategy::kUnionFind,
+                   dbscan::PartitionerKind::kBlock, budget, c.min_pc);
+      table.add_row(
+          {TablePrinter::cell(c.max_neighbors),
+           TablePrinter::cell(c.min_pc),
+           TablePrinter::cell(report.clustering.num_clusters),
+           TablePrinter::cell(report.sim_executor_s, 3),
+           TablePrinter::cell(report.sim_total_s(), 3),
+           TablePrinter::cell(
+               dbscan::rand_index(baseline.clustering, report.clustering), 5)});
+    }
+    bench::emit(table,
+                "Ablation 4: pruning budget + small-cluster filter (the r1m "
+                "approximations; time saved vs accuracy cost)",
+                csv);
+  }
+  return 0;
+}

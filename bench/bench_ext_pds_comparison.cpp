@@ -1,0 +1,84 @@
+// Extension — head-to-head with the paper's accuracy comparator:
+// PDSDBSCAN-style disjoint-set parallel DBSCAN (Patwary et al., SC'12)
+// vs the paper's SEED/merge design, on identical data and partitions.
+//
+// The paper only uses [15] to validate accuracy ("our results match them").
+// This bench also compares the *designs*: communication volume (cross-
+// partition union pairs vs SEED counts + partial-cluster bytes), driver/
+// merge work, and executor-phase makespan on the simulated clock.
+#include "bench_common.hpp"
+
+#include "core/pds_dbscan.hpp"
+#include "core/quality.hpp"
+
+using namespace sdb;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  bench::add_common_flags(flags);
+  flags.add_string("dataset", "r100k", "Table I preset");
+  flags.parse(argc, argv);
+  const u64 seed = static_cast<u64>(flags.i64_flag("seed"));
+  const auto spec = *synth::find_preset(flags.string("dataset"));
+  const double scale = bench::resolve_scale(flags, spec.name);
+  const PointSet points = synth::generate(spec, seed, scale);
+  const dbscan::DbscanParams params{spec.eps, spec.minpts};
+  const minispark::CostModel cost;
+  const KdTree tree(points);
+
+  TablePrinter table({"cores", "algo", "exec (s)", "merge (s)",
+                      "comm (units)", "clusters", "Rand agreement"});
+  dbscan::Clustering reference;  // SEED result at the smallest core count
+  for (const u32 cores : {4u, 16u, 64u}) {
+    // --- the paper's SEED design ---
+    minispark::SparkContext ctx(bench::cluster_config(cores, seed));
+    dbscan::SparkDbscanConfig scfg;
+    scfg.params = params;
+    scfg.partitions = cores;
+    scfg.seed = seed;
+    dbscan::SparkDbscan spark(ctx, scfg);
+    const auto seed_report = spark.run(points);
+    if (reference.labels.empty()) reference = seed_report.clustering;
+
+    // --- PDSDBSCAN ---
+    dbscan::PdsDbscanConfig pcfg;
+    pcfg.params = params;
+    pcfg.partitions = cores;
+    pcfg.seed = seed;
+    const auto pds = dbscan::pds_dbscan(points, tree, pcfg);
+    std::vector<double> durations;
+    durations.reserve(pds.local_phase.size());
+    for (const auto& wc : pds.local_phase) {
+      durations.push_back(cost.compute_seconds(wc));
+    }
+    const double pds_exec =
+        minispark::list_schedule_makespan(durations, cores);
+    const double pds_merge = cost.compute_seconds(pds.merge_phase);
+
+    table.add_row(
+        {TablePrinter::cell(static_cast<u64>(cores)), "seed-merge (paper)",
+         TablePrinter::cell(seed_report.sim_executor_s, 3),
+         TablePrinter::cell(seed_report.sim_merge_s, 4),
+         TablePrinter::cell(seed_report.merge_stats.seeds_examined),
+         TablePrinter::cell(seed_report.clustering.num_clusters),
+         TablePrinter::cell(
+             dbscan::rand_index(reference, seed_report.clustering), 5)});
+    table.add_row(
+        {TablePrinter::cell(static_cast<u64>(cores)), "disjoint-set (PDS)",
+         TablePrinter::cell(pds_exec, 3), TablePrinter::cell(pds_merge, 4),
+         TablePrinter::cell(pds.cross_unions),
+         TablePrinter::cell(pds.clustering.num_clusters),
+         TablePrinter::cell(dbscan::rand_index(reference, pds.clustering),
+                            5)});
+  }
+  bench::emit(table,
+              "Extension: SEED/merge (paper) vs disjoint-set (PDSDBSCAN) on " +
+                  spec.name + " (" + std::to_string(points.size()) +
+                  " points); comm units = seeds examined vs cross unions",
+              flags.boolean("csv"));
+  std::printf("Paper's accuracy claim: both algorithms agree with each other "
+              "(Rand ~1). Design trade: PDS defers fewer, cheaper pairs; the "
+              "SEED design ships whole partial clusters but needs no "
+              "executor-side union structure.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 8 — speedup of DBSCAN-with-Spark. Left column: executor-only
+// speedup; right column: executor + driver ("total") speedup.
+//
+// Paper results being reproduced in shape:
+//   10k  (a/b): 1.9 / 3.6 / 6.2 at 2/4/8 cores; total curve flatter.
+//   100k (c/d): 3.3 / 6.0 / 8.8 / 10.2 at 4/8/16/32; TOTAL drops to 5.6 at
+//               32 cores because 9279 partial clusters land in the driver.
+//   1m   (e/f): 58 / 83 / 110 / 137 at 64/128/256/512 (pruning + filter);
+//               total close to executor-only because of the small-cluster
+//               filter.
+// Speedup baseline: the 1-core sequential algorithm on the same simulated
+// clock (executor-only: clustering work; total: read + tree + clustering).
+#include "bench_common.hpp"
+
+using namespace sdb;
+
+namespace {
+
+struct Sweep {
+  const char* dataset;
+  std::vector<u32> cores;
+  bool pruning;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  bench::add_common_flags(flags);
+  flags.parse(argc, argv);
+  const u64 seed = static_cast<u64>(flags.i64_flag("seed"));
+
+  const std::vector<Sweep> sweeps = {
+      {"c10k", {2, 4, 8}, false},
+      {"r10k", {2, 4, 8}, false},
+      {"c100k", {4, 8, 16, 32}, false},
+      {"r100k", {4, 8, 16, 32}, false},
+      {"r1m", {64, 128, 256, 512}, true},
+  };
+
+  for (const auto& sweep : sweeps) {
+    const auto spec = *synth::find_preset(sweep.dataset);
+    const double scale = bench::resolve_scale(flags, spec.name);
+    const PointSet points = synth::generate(spec, seed, scale);
+    const dbscan::DbscanParams params{spec.eps, spec.minpts};
+
+    QueryBudget budget;
+    u64 min_pc = 0;
+    if (sweep.pruning) {
+      budget.max_neighbors = 64;
+      min_pc = 4;
+    }
+
+    const minispark::CostModel cost;  // same pricing for serial and parallel
+    const auto baseline =
+        bench::sequential_baseline(points, params, cost, budget);
+
+    TablePrinter table({"cores", "partial clusters", "exec speedup",
+                        "total speedup", "exec (s)", "total (s)"});
+    for (const u32 cores : sweep.cores) {
+      minispark::SparkContext ctx(bench::cluster_config(cores, seed));
+      dbscan::SparkDbscanConfig cfg;
+      cfg.params = params;
+      cfg.partitions = cores;
+      cfg.seed = seed;
+      bench::apply_paper_strategies(cfg);
+      cfg.budget = budget;
+      cfg.min_partial_cluster_size = min_pc;
+      dbscan::SparkDbscan dbscan(ctx, cfg);
+      const auto report = dbscan.run(points);
+
+      const double exec_speedup =
+          baseline.sim_cluster_s / report.sim_executor_s;
+      const double total_speedup =
+          baseline.sim_total_s() / report.sim_total_s();
+      table.add_row({TablePrinter::cell(static_cast<u64>(cores)),
+                     TablePrinter::cell(report.partial_clusters),
+                     TablePrinter::cell(exec_speedup, 1),
+                     TablePrinter::cell(total_speedup, 1),
+                     TablePrinter::cell(report.sim_executor_s, 3),
+                     TablePrinter::cell(report.sim_total_s(), 3)});
+    }
+    bench::emit(table,
+                "Figure 8 (" + std::string(sweep.dataset) + ", " +
+                    std::to_string(points.size()) +
+                    " points): speedup vs 1-core sequential" +
+                    (sweep.pruning ? " [pruning + small-cluster filter]" : ""),
+                flags.boolean("csv"));
+  }
+  std::printf(
+      "Paper shape: executor-only speedup near-linear; total speedup flatter, "
+      "dipping where many partial clusters reach the driver (100k @ 32 "
+      "cores).\n");
+  return 0;
+}

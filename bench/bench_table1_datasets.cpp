@@ -1,0 +1,72 @@
+// Table I — properties of the test data.
+//
+// Regenerates all five datasets and prints the paper's table (name, points,
+// d, eps, minpts) extended with measured density statistics that justify the
+// synthetic substitution: mean eps-neighborhood size and the core/noise
+// split under (eps=25, minpts=5).
+#include "bench_common.hpp"
+
+#include "core/quality.hpp"
+#include "util/rng.hpp"
+
+using namespace sdb;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  bench::add_common_flags(flags);
+  flags.add_i64("density_sample", 2000,
+                "points sampled per dataset for the density statistics");
+  flags.parse(argc, argv);
+  const u64 seed = static_cast<u64>(flags.i64_flag("seed"));
+
+  TablePrinter table({"name", "points", "generated", "d", "eps", "minpts",
+                      "mean |N_eps|", "core %", "noise %", "clusters"});
+
+  for (const auto& spec : synth::table1_presets()) {
+    const double scale = bench::resolve_scale(flags, spec.name);
+    const PointSet points = synth::generate(spec, seed, scale);
+    const KdTree tree(points);
+    const dbscan::DbscanParams params{spec.eps, spec.minpts};
+
+    // Density statistics over a sample.
+    Rng rng(derive_seed(seed, "density-" + spec.name));
+    const u64 sample = std::min<u64>(
+        static_cast<u64>(flags.i64_flag("density_sample")), points.size());
+    u64 neighbor_total = 0;
+    u64 core = 0;
+    std::vector<PointId> neighbors;
+    for (u64 s = 0; s < sample; ++s) {
+      const auto q = static_cast<PointId>(rng.uniform_index(points.size()));
+      neighbors.clear();
+      tree.range_query(points[q], params.eps, neighbors);
+      neighbor_total += neighbors.size();
+      core += static_cast<i64>(neighbors.size()) >= params.minpts ? 1 : 0;
+    }
+
+    const auto seq = dbscan::dbscan_sequential(points, tree, params);
+    const auto stats = dbscan::summarize(seq.clustering);
+
+    table.add_row(
+        {spec.name, TablePrinter::cell(static_cast<i64>(spec.points)),
+         TablePrinter::cell(static_cast<u64>(points.size())),
+         TablePrinter::cell(static_cast<i64>(spec.dim)),
+         TablePrinter::cell(spec.eps, 1),
+         TablePrinter::cell(spec.minpts),
+         TablePrinter::cell(static_cast<double>(neighbor_total) /
+                                static_cast<double>(sample),
+                            1),
+         TablePrinter::cell(100.0 * static_cast<double>(core) /
+                                static_cast<double>(sample),
+                            1),
+         TablePrinter::cell(100.0 * static_cast<double>(stats.noise) /
+                                static_cast<double>(points.size()),
+                            1),
+         TablePrinter::cell(stats.clusters)});
+  }
+
+  bench::emit(table,
+              "Table I: properties of test data "
+              "(generated = points at the current --scale)",
+              flags.boolean("csv"));
+  return 0;
+}

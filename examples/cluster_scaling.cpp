@@ -1,0 +1,91 @@
+// Cluster scaling walk-through: how a run divides its time as the simulated
+// cluster grows — the paper's Figures 6 and 8 condensed into one command.
+//
+//   ./cluster_scaling [--dataset r100k] [--scale 0.1] [--max_cores 64]
+//
+// For each power-of-two core count the same dataset is clustered and the
+// phase breakdown (read / tree / broadcast / executors / collect / merge),
+// the partial-cluster count, and the speedup vs the 1-core sequential run
+// are printed. Useful for choosing a partition count before a real run.
+#include <cstdio>
+
+#include "core/dbscan_seq.hpp"
+#include "core/spark_dbscan.hpp"
+#include "spatial/kd_tree.hpp"
+#include "synth/presets.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace sdb;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.add_string("dataset", "r100k", "Table I preset");
+  flags.add_f64("scale", 0.1, "dataset scale in (0,1]");
+  flags.add_i64("max_cores", 64, "largest core count (swept in powers of 2)");
+  flags.add_i64("seed", 17, "experiment seed");
+  flags.add_i64("gantt_cores", 8,
+                "also draw the executor-phase Gantt chart at this core "
+                "count (0 = off)");
+  flags.parse(argc, argv);
+
+  const auto spec = synth::find_preset(flags.string("dataset"));
+  SDB_CHECK(spec.has_value(), "unknown preset: " + flags.string("dataset"));
+  const u64 seed = static_cast<u64>(flags.i64_flag("seed"));
+  const PointSet points = synth::generate(*spec, seed, flags.f64("scale"));
+  const dbscan::DbscanParams params{spec->eps, spec->minpts};
+  std::printf("%s @ scale %.2f -> %zu points, d=%d, eps=%.0f, minpts=%lld\n\n",
+              spec->name.c_str(), flags.f64("scale"), points.size(),
+              points.dim(), params.eps,
+              static_cast<long long>(params.minpts));
+
+  // Sequential baseline on the same simulated clock.
+  const minispark::CostModel cost;
+  WorkCounters tree_wc;
+  const KdTree tree(points);
+  auto seq = dbscan::dbscan_sequential(points, tree, params);
+  const double seq_s = cost.compute_seconds(seq.counters);
+  std::printf("sequential clustering: %.3fs simulated, %llu clusters, "
+              "%llu noise\n\n",
+              seq_s,
+              static_cast<unsigned long long>(seq.clustering.num_clusters),
+              static_cast<unsigned long long>(seq.clustering.noise_count()));
+
+  TablePrinter table({"cores", "m (partial)", "read", "tree", "bcast",
+                      "exec", "collect", "merge", "speedup"});
+  for (u32 cores = 1; cores <= static_cast<u32>(flags.i64_flag("max_cores"));
+       cores *= 2) {
+    minispark::ClusterConfig cluster;
+    cluster.executors = cores;
+    cluster.seed = seed;
+    minispark::SparkContext ctx(cluster);
+    dbscan::SparkDbscanConfig config;
+    config.params = params;
+    config.partitions = cores;
+    config.seed = seed;
+    dbscan::SparkDbscan dbscan(ctx, config);
+    const auto r = dbscan.run(points);
+    if (cores == static_cast<u32>(flags.i64_flag("gantt_cores"))) {
+      std::vector<double> durations;
+      for (const auto& t : ctx.last_job().tasks) durations.push_back(t.sim_s);
+      std::printf("executor-phase schedule at %u cores (digits = task %% 10; "
+                  "'.' = idle):\n%s\n",
+                  cores,
+                  minispark::render_gantt(
+                      minispark::list_schedule(durations, cores), cores)
+                      .c_str());
+    }
+    table.add_row({TablePrinter::cell(static_cast<u64>(cores)),
+                   TablePrinter::cell(r.partial_clusters),
+                   TablePrinter::cell(r.sim_read_s, 4),
+                   TablePrinter::cell(r.sim_tree_s, 4),
+                   TablePrinter::cell(r.sim_broadcast_s, 4),
+                   TablePrinter::cell(r.sim_executor_s, 4),
+                   TablePrinter::cell(r.sim_collect_s, 4),
+                   TablePrinter::cell(r.sim_merge_s, 4),
+                   TablePrinter::cell(seq_s / r.sim_executor_s, 1)});
+  }
+  table.print("phase breakdown by simulated core count (seconds)");
+  std::printf("\nspeedup = sequential clustering time / executor makespan\n");
+  return 0;
+}

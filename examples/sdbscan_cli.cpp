@@ -1,0 +1,135 @@
+// sdbscan — command-line DBSCAN over a points file.
+//
+// The downstream-user entry point: feed it a whitespace-separated text file
+// (one point per line, any dimensionality), get one cluster label per line
+// on stdout (-1 = noise) plus a summary on stderr.
+//
+//   ./sdbscan_cli data.txt --eps 0.5 --minpts 5 --partitions 8
+//   ./sdbscan_cli data.txt --estimate_eps            # 4-dist heuristic
+//   ./sdbscan_cli data.txt --engine seq|spark|mr
+//   ./sdbscan_cli --demo                             # no file needed
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/dbscan_seq.hpp"
+#include "core/mr_dbscan.hpp"
+#include "core/quality.hpp"
+#include "core/spark_dbscan.hpp"
+#include "geom/distance.hpp"
+#include "spatial/kd_tree.hpp"
+#include "synth/generators.hpp"
+#include "synth/io.hpp"
+#include "util/flags.hpp"
+
+using namespace sdb;
+
+namespace {
+
+double estimate_eps(const PointSet& points, size_t k) {
+  const KdTree tree(points);
+  std::vector<double> kdist;
+  kdist.reserve(points.size());
+  for (PointId i = 0; i < static_cast<PointId>(points.size()); ++i) {
+    const auto nn = tree.knn(points[i], k + 1);
+    kdist.push_back(sdb::distance(points[i], points[nn.back()]));
+  }
+  std::sort(kdist.begin(), kdist.end());
+  return kdist[kdist.size() * 9 / 10];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.add_f64("eps", 0.5, "DBSCAN eps (ignored with --estimate_eps)");
+  flags.add_bool("estimate_eps", false, "pick eps via the 4-dist heuristic");
+  flags.add_i64("minpts", 5, "DBSCAN minpts");
+  flags.add_i64("partitions", 8, "partitions/executors (spark/mr engines)");
+  flags.add_string("engine", "spark", "seq | spark | mr");
+  flags.add_bool("demo", false, "cluster a built-in demo dataset");
+  flags.add_bool("quiet", false, "suppress the stderr summary");
+  flags.parse(argc, argv);
+
+  // --- load points ---
+  PointSet points;
+  if (flags.boolean("demo")) {
+    Rng rng(7);
+    points = synth::two_moons(500, 0.05, rng);
+  } else {
+    if (flags.positional().empty()) {
+      std::fprintf(stderr, "usage: sdbscan_cli <points.txt> [flags] "
+                           "(or --demo; --help for flags)\n");
+      return 2;
+    }
+    const std::string& path = flags.positional().front();
+    std::ifstream in(path);
+    if (!in.good()) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    points = synth::from_text(buffer.str());
+  }
+  if (points.empty()) {
+    std::fprintf(stderr, "no points parsed\n");
+    return 2;
+  }
+
+  const double eps = flags.boolean("estimate_eps")
+                         ? estimate_eps(points, 4)
+                         : flags.f64("eps");
+  const dbscan::DbscanParams params{eps, flags.i64_flag("minpts")};
+  const auto partitions = static_cast<u32>(flags.i64_flag("partitions"));
+
+  // --- cluster with the chosen engine ---
+  dbscan::Clustering clustering;
+  const std::string& engine = flags.string("engine");
+  if (engine == "seq") {
+    const KdTree tree(points);
+    clustering = dbscan::dbscan_sequential(points, tree, params).clustering;
+  } else if (engine == "spark") {
+    minispark::ClusterConfig cluster;
+    cluster.executors = partitions;
+    minispark::SparkContext ctx(cluster);
+    dbscan::SparkDbscanConfig cfg;
+    cfg.params = params;
+    cfg.partitions = partitions;
+    dbscan::SparkDbscan dbscan(ctx, cfg);
+    clustering = dbscan.run(points).clustering;
+  } else if (engine == "mr") {
+    dbscan::MRDbscanConfig cfg;
+    cfg.params = params;
+    cfg.partitions = partitions;
+    cfg.mr.work_dir =
+        (std::filesystem::temp_directory_path() / "sdbscan_cli_mr").string();
+    clustering = dbscan::mr_dbscan(points, cfg).clustering;
+    std::filesystem::remove_all(cfg.mr.work_dir);
+  } else {
+    std::fprintf(stderr, "unknown --engine '%s' (seq | spark | mr)\n",
+                 engine.c_str());
+    return 2;
+  }
+
+  // --- output: one label per input line ---
+  for (const ClusterId label : clustering.labels) {
+    std::printf("%lld\n", static_cast<long long>(label));
+  }
+  if (!flags.boolean("quiet")) {
+    const auto stats = dbscan::summarize(clustering);
+    std::fprintf(stderr,
+                 "sdbscan: %zu points (d=%d), eps=%.6g, minpts=%lld, "
+                 "engine=%s -> %llu clusters (largest %llu, mean %.1f), "
+                 "%llu noise\n",
+                 points.size(), points.dim(), eps,
+                 static_cast<long long>(params.minpts), engine.c_str(),
+                 static_cast<unsigned long long>(stats.clusters),
+                 static_cast<unsigned long long>(stats.largest),
+                 stats.mean_size,
+                 static_cast<unsigned long long>(stats.noise));
+  }
+  return 0;
+}

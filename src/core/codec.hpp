@@ -1,0 +1,34 @@
+// Wire codecs for LocalClusterResult — the payload executors ship to the
+// driver through the accumulator (and MapReduce spills to disk).
+//
+// The paper (Section IV.B) notes that with large broadcasts/collections,
+// "choosing an appropriate data serialization format that is both fast and
+// compact" is essential. Two formats are provided and ablated by
+// bench_ablation_serialization:
+//   kRaw     — fixed-width (8-byte ids), the straightforward format;
+//   kCompact — point-id lists sorted, delta-encoded, varint-coded. Ids
+//              within a partial cluster are dense per partition, so deltas
+//              fit in 1-2 bytes: typically 4-6x smaller than kRaw.
+// Encoding/decoding CPU is charged per byte (CostModel::ns_codec_byte), so
+// the compact codec trades CPU for network honestly on the simulated clock.
+#pragma once
+
+#include <string>
+
+#include "core/partial_cluster.hpp"
+
+namespace sdb::dbscan {
+
+enum class Codec { kRaw, kCompact };
+
+const char* codec_name(Codec codec);
+
+/// Serialize with the chosen codec. Byte volume is charged to
+/// counters::codec_bytes (CPU) — network/disk charges are the caller's.
+std::string encode(const LocalClusterResult& result, Codec codec);
+
+/// Inverse of encode. NOTE (kCompact): id lists are restored in ascending
+/// order — set semantics, which is all the merge consumes.
+LocalClusterResult decode(const std::string& bytes, Codec codec);
+
+}  // namespace sdb::dbscan

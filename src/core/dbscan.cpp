@@ -1,0 +1,20 @@
+#include "core/dbscan.hpp"
+
+#include <unordered_map>
+
+namespace sdb::dbscan {
+
+void Clustering::normalize() {
+  std::unordered_map<ClusterId, ClusterId> remap;
+  remap.reserve(num_clusters);
+  ClusterId next = 0;
+  for (ClusterId& l : labels) {
+    if (l < 0) continue;
+    const auto [it, inserted] = remap.try_emplace(l, next);
+    if (inserted) ++next;
+    l = it->second;
+  }
+  num_clusters = static_cast<u64>(next);
+}
+
+}  // namespace sdb::dbscan

@@ -1,0 +1,46 @@
+// Common DBSCAN types shared by the sequential, Spark, and MapReduce
+// implementations.
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace sdb::dbscan {
+
+/// The two DBSCAN parameters (Ester et al. 1996). The paper uses eps=25,
+/// minpts=5 for all Table I datasets.
+struct DbscanParams {
+  double eps = 25.0;
+  i64 minpts = 5;
+};
+
+/// A complete clustering of n points: labels[i] is the cluster of point i,
+/// kNoise for noise. Cluster ids are dense in [0, num_clusters).
+struct Clustering {
+  std::vector<ClusterId> labels;
+  u64 num_clusters = 0;
+
+  [[nodiscard]] u64 size() const { return labels.size(); }
+
+  [[nodiscard]] u64 noise_count() const {
+    u64 c = 0;
+    for (const ClusterId l : labels) c += (l == kNoise) ? 1 : 0;
+    return c;
+  }
+
+  /// Cluster sizes indexed by cluster id.
+  [[nodiscard]] std::vector<u64> cluster_sizes() const {
+    std::vector<u64> sizes(num_clusters, 0);
+    for (const ClusterId l : labels) {
+      if (l >= 0) ++sizes[static_cast<size_t>(l)];
+    }
+    return sizes;
+  }
+
+  /// Renumber labels to be dense in first-appearance order; normalizes two
+  /// clusterings for comparison.
+  void normalize();
+};
+
+}  // namespace sdb::dbscan

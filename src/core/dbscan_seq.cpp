@@ -1,0 +1,86 @@
+#include "core/dbscan_seq.hpp"
+
+#include <deque>
+
+#include "util/flat_hash.hpp"
+
+namespace sdb::dbscan {
+
+SeqResult dbscan_sequential(const PointSet& points, const SpatialIndex& index,
+                            const DbscanParams& params,
+                            const QueryBudget& budget) {
+  const auto n = static_cast<PointId>(points.size());
+  SeqResult result;
+  {
+    ScopedCounters scope(&result.counters);
+
+    auto& labels = result.clustering.labels;
+    labels.assign(static_cast<size_t>(n), kUnlabeled);
+    std::vector<char> visited(static_cast<size_t>(n), 0);
+
+    std::vector<PointId> neighbors;
+    std::deque<PointId> frontier;  // the paper's Queue (LinkedList)
+    ClusterId next_cluster = 0;
+
+    // Note on hash_ops: the visited/label structures here are flat arrays
+    // (ids are dense), but the counted cost mirrors the hashtable discipline
+    // of the executor kernel (the paper's serial Java code uses the same
+    // Hashtable in both modes) so serial and parallel work are priced
+    // identically by the simulated clock.
+    for (PointId p = 0; p < n; ++p) {
+      counters::hash_ops(1);
+      if (visited[static_cast<size_t>(p)]) continue;  // line 2: unvisited only
+      visited[static_cast<size_t>(p)] = 1;            // line 3
+      counters::hash_ops(1);
+      counters::points_processed(1);
+
+      neighbors.clear();
+      index.range_query_budgeted(points[p], params.eps, budget, neighbors);
+
+      if (static_cast<i64>(neighbors.size()) < params.minpts) {
+        labels[static_cast<size_t>(p)] = kNoise;      // line 6
+        continue;
+      }
+
+      // Line 8: new cluster seeded at the core point p.
+      const ClusterId c = next_cluster++;
+      labels[static_cast<size_t>(p)] = c;
+      result.core_points.push_back(p);
+
+      frontier.assign(neighbors.begin(), neighbors.end());
+      counters::queue_ops(neighbors.size());
+
+      while (!frontier.empty()) {                     // lines 9-20
+        const PointId q = frontier.front();
+        frontier.pop_front();
+        counters::queue_ops(1);
+
+        counters::hash_ops(1);
+        if (!visited[static_cast<size_t>(q)]) {       // line 10
+          visited[static_cast<size_t>(q)] = 1;        // line 11
+          counters::hash_ops(1);
+          counters::points_processed(1);
+          neighbors.clear();
+          index.range_query_budgeted(points[q], params.eps, budget, neighbors);
+          if (static_cast<i64>(neighbors.size()) >= params.minpts) {
+            // line 14: q is core; its neighborhood extends the cluster.
+            result.core_points.push_back(q);
+            for (const PointId r : neighbors) frontier.push_back(r);
+            counters::queue_ops(neighbors.size());
+          }
+        }
+        // Line 17: claim q if unclaimed (noise -> border promotion).
+        counters::hash_ops(1);
+        ClusterId& lq = labels[static_cast<size_t>(q)];
+        if (lq == kUnlabeled || lq == kNoise) {
+          lq = c;
+          counters::hash_ops(1);
+        }
+      }
+    }
+    result.clustering.num_clusters = static_cast<u64>(next_cluster);
+  }
+  return result;
+}
+
+}  // namespace sdb::dbscan

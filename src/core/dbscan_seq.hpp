@@ -1,0 +1,26 @@
+// Sequential DBSCAN — Algorithm 1 of the paper (Ester et al. 1996, BFS
+// formulation). The speedup denominator for every scaling figure, and the
+// ground truth the partitioned implementations are tested against.
+#pragma once
+
+#include "core/dbscan.hpp"
+#include "geom/point_set.hpp"
+#include "spatial/spatial_index.hpp"
+#include "util/counters.hpp"
+
+namespace sdb::dbscan {
+
+struct SeqResult {
+  Clustering clustering;
+  std::vector<PointId> core_points;  ///< every point with >= minpts neighbors
+  WorkCounters counters;             ///< all work performed, for sim pricing
+};
+
+/// Run DBSCAN over all points using `index` for eps-neighborhood queries.
+/// `budget` enables the paper's approximate "pruning branches" mode
+/// (QueryBudget{} = exact).
+SeqResult dbscan_sequential(const PointSet& points, const SpatialIndex& index,
+                            const DbscanParams& params,
+                            const QueryBudget& budget = {});
+
+}  // namespace sdb::dbscan

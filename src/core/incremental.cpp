@@ -1,0 +1,281 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "geom/distance.hpp"
+
+namespace sdb::dbscan {
+
+IncrementalDbscan::IncrementalDbscan(Config config, int dim)
+    : config_(std::move(config)), points_(dim) {
+  SDB_CHECK(config_.params.minpts >= 1, "minpts must be >= 1");
+}
+
+void IncrementalDbscan::neighbors_of(std::span<const double> q,
+                                     std::vector<PointId>& out) const {
+  if (tree_ != nullptr) {
+    tree_->range_query(q, config_.params.eps, out);
+  }
+  // Overflow buffer: brute-force scan of the points added since the last
+  // rebuild.
+  const double eps2 = config_.params.eps * config_.params.eps;
+  for (PointId i = static_cast<PointId>(tree_size_);
+       i < static_cast<PointId>(points_.size()); ++i) {
+    if (squared_distance(q, points_[i]) <= eps2) out.push_back(i);
+  }
+  // Filter tombstones (the tree still indexes them).
+  std::erase_if(out, [this](PointId id) {
+    return removed_[static_cast<size_t>(id)] != 0;
+  });
+}
+
+size_t IncrementalDbscan::find_slot(size_t slot) const {
+  while (slot_parent_[slot] != slot) {
+    slot_parent_[slot] = slot_parent_[slot_parent_[slot]];
+    slot = slot_parent_[slot];
+  }
+  return slot;
+}
+
+void IncrementalDbscan::unite_slots(size_t a, size_t b) {
+  a = find_slot(a);
+  b = find_slot(b);
+  if (a == b) return;
+  slot_parent_[b] = a;
+  ++merges_;
+}
+
+size_t IncrementalDbscan::new_slot() {
+  slot_parent_.push_back(slot_parent_.size());
+  return slot_parent_.size() - 1;
+}
+
+PointId IncrementalDbscan::insert(std::span<const double> coords) {
+  const PointId p = points_.add(coords);
+  core_.push_back(0);
+  slot_of_.push_back(kNone);
+  count_.push_back(0);
+  removed_.push_back(0);
+
+  // Neighbors of p among all previous points plus p itself.
+  std::vector<PointId> neighbors;
+  neighbors_of(coords, neighbors);
+  // points_ already contains p, and p is in the overflow range, so the scan
+  // included it; count_ is self-inclusive by construction.
+  count_[static_cast<size_t>(p)] = neighbors.size();
+
+  // Every neighbor's count grows by one; collect the points that just
+  // crossed the core threshold.
+  std::vector<PointId> new_cores;
+  for (const PointId q : neighbors) {
+    if (q == p) continue;
+    ++count_[static_cast<size_t>(q)];
+    if (!core_[static_cast<size_t>(q)] &&
+        count_[static_cast<size_t>(q)] >=
+            static_cast<u64>(config_.params.minpts)) {
+      core_[static_cast<size_t>(q)] = 1;
+      new_cores.push_back(q);
+    }
+  }
+  if (count_[static_cast<size_t>(p)] >=
+      static_cast<u64>(config_.params.minpts)) {
+    core_[static_cast<size_t>(p)] = 1;
+    new_cores.push_back(p);
+  }
+
+  if (new_cores.empty()) {
+    // p itself may still be a border point of an adjacent core's cluster.
+    for (const PointId q : neighbors) {
+      if (q != p && core_[static_cast<size_t>(q)]) {
+        slot_of_[static_cast<size_t>(p)] =
+            static_cast<i64>(find_slot(static_cast<size_t>(
+                slot_of_[static_cast<size_t>(q)])));
+        break;
+      }
+    }
+    return p;
+  }
+
+  // Each new core anchors its own cluster slot; clusters merge ONLY through
+  // core-core adjacency. (Two new cores linked only via the non-core point
+  // p must NOT fuse — non-core points never chain clusters in DBSCAN.)
+  for (const PointId q : new_cores) {
+    if (slot_of_[static_cast<size_t>(q)] == kNone) {
+      slot_of_[static_cast<size_t>(q)] = static_cast<i64>(new_slot());
+    }
+  }
+
+  std::vector<PointId> q_neighbors;
+  for (const PointId q : new_cores) {
+    const auto q_slot = static_cast<size_t>(slot_of_[static_cast<size_t>(q)]);
+    // Everything in q's eps-neighborhood is now directly density-reachable
+    // from q: core neighbors pull their clusters into q's; noise neighbors
+    // become border points of q's cluster.
+    q_neighbors.clear();
+    neighbors_of(points_[q], q_neighbors);
+    for (const PointId r : q_neighbors) {
+      if (r == q) continue;
+      if (core_[static_cast<size_t>(r)]) {
+        // Every core has a slot by now (old cores got theirs when they
+        // became core; this batch was pre-assigned above).
+        unite_slots(q_slot,
+                    static_cast<size_t>(slot_of_[static_cast<size_t>(r)]));
+      } else if (slot_of_[static_cast<size_t>(r)] == kNone) {
+        slot_of_[static_cast<size_t>(r)] =
+            static_cast<i64>(find_slot(q_slot));  // noise -> border
+      }
+    }
+  }
+
+  // p itself: border of an adjacent core if it is not core.
+  if (!core_[static_cast<size_t>(p)] &&
+      slot_of_[static_cast<size_t>(p)] == kNone) {
+    for (const PointId q : neighbors) {
+      if (q != p && core_[static_cast<size_t>(q)]) {
+        slot_of_[static_cast<size_t>(p)] =
+            slot_of_[static_cast<size_t>(q)];
+        break;
+      }
+    }
+  }
+
+  // Amortized index maintenance.
+  if (config_.rebuild_threshold > 0 &&
+      points_.size() - tree_size_ >= config_.rebuild_threshold) {
+    tree_ = std::make_unique<KdTree>(points_);
+    tree_size_ = points_.size();
+    ++rebuilds_;
+  }
+  return p;
+}
+
+void IncrementalDbscan::remove(PointId id) {
+  SDB_CHECK(id >= 0 && static_cast<size_t>(id) < points_.size(),
+            "remove: invalid point id");
+  SDB_CHECK(!removed_[static_cast<size_t>(id)], "remove: already removed");
+
+  // Neighbors BEFORE tombstoning (the set whose counts shrink).
+  std::vector<PointId> neighbors;
+  neighbors_of(points_[id], neighbors);
+
+  removed_[static_cast<size_t>(id)] = 1;
+  ++removed_count_;
+
+  // Shrink neighbor counts; collect cores demoted by the loss.
+  std::vector<PointId> demoted;
+  for (const PointId q : neighbors) {
+    if (q == id) continue;
+    --count_[static_cast<size_t>(q)];
+    if (core_[static_cast<size_t>(q)] &&
+        count_[static_cast<size_t>(q)] <
+            static_cast<u64>(config_.params.minpts)) {
+      core_[static_cast<size_t>(q)] = 0;
+      demoted.push_back(q);
+    }
+  }
+
+  // Affected clusters: the removed point's own and every demoted core's.
+  // Their union is re-clustered from surviving cores — removal can split a
+  // cluster, which no local patch rule handles soundly.
+  std::vector<size_t> affected;
+  auto note_slot = [&](PointId q) {
+    const i64 slot = slot_of_[static_cast<size_t>(q)];
+    if (slot == kNone) return;
+    const size_t root = find_slot(static_cast<size_t>(slot));
+    if (std::find(affected.begin(), affected.end(), root) == affected.end()) {
+      affected.push_back(root);
+    }
+  };
+  note_slot(id);
+  for (const PointId d : demoted) note_slot(d);
+  slot_of_[static_cast<size_t>(id)] = kNone;
+  core_[static_cast<size_t>(id)] = 0;
+  if (affected.empty()) return;
+  ++reclusterings_;
+
+  // Gather the affected clusters' surviving members and clear them.
+  std::vector<PointId> region;
+  for (PointId q = 0; q < static_cast<PointId>(points_.size()); ++q) {
+    if (removed_[static_cast<size_t>(q)]) continue;
+    const i64 slot = slot_of_[static_cast<size_t>(q)];
+    if (slot == kNone) continue;
+    const size_t root = find_slot(static_cast<size_t>(slot));
+    if (std::find(affected.begin(), affected.end(), root) != affected.end()) {
+      region.push_back(q);
+      slot_of_[static_cast<size_t>(q)] = kNone;
+    }
+  }
+
+  // Re-cluster the region: BFS over its core graph (fresh slot per
+  // connected component), then border attachment. The BFS is closed within
+  // the region: a core adjacent to a region core shared its cluster before
+  // the removal, so that cluster is affected and the core is in the region.
+  std::vector<PointId> frontier;
+  std::vector<PointId> q_neighbors;
+  for (const PointId c : region) {
+    if (!core_[static_cast<size_t>(c)] ||
+        slot_of_[static_cast<size_t>(c)] != kNone) {
+      continue;
+    }
+    const auto slot = static_cast<i64>(new_slot());
+    slot_of_[static_cast<size_t>(c)] = slot;
+    frontier.assign(1, c);
+    while (!frontier.empty()) {
+      const PointId x = frontier.back();
+      frontier.pop_back();
+      q_neighbors.clear();
+      neighbors_of(points_[x], q_neighbors);
+      for (const PointId r : q_neighbors) {
+        if (core_[static_cast<size_t>(r)] &&
+            slot_of_[static_cast<size_t>(r)] == kNone) {
+          slot_of_[static_cast<size_t>(r)] = slot;
+          frontier.push_back(r);
+        }
+      }
+    }
+  }
+  // Border attachment for the region's non-core points.
+  for (const PointId b : region) {
+    if (core_[static_cast<size_t>(b)] ||
+        slot_of_[static_cast<size_t>(b)] != kNone) {
+      continue;
+    }
+    q_neighbors.clear();
+    neighbors_of(points_[b], q_neighbors);
+    for (const PointId r : q_neighbors) {
+      if (core_[static_cast<size_t>(r)]) {
+        slot_of_[static_cast<size_t>(b)] = slot_of_[static_cast<size_t>(r)];
+        break;
+      }
+    }
+  }
+}
+
+ClusterId IncrementalDbscan::label_of(PointId id) const {
+  const i64 slot = slot_of_[static_cast<size_t>(id)];
+  if (slot == kNone) return kNoise;
+  return static_cast<ClusterId>(find_slot(static_cast<size_t>(slot)));
+}
+
+Clustering IncrementalDbscan::clustering() const {
+  Clustering c;
+  c.labels.reserve(points_.size());
+  std::unordered_map<size_t, ClusterId> remap;
+  ClusterId next = 0;
+  for (PointId i = 0; i < static_cast<PointId>(points_.size()); ++i) {
+    const i64 slot = slot_of_[static_cast<size_t>(i)];
+    if (slot == kNone) {
+      c.labels.push_back(kNoise);
+      continue;
+    }
+    const size_t root = find_slot(static_cast<size_t>(slot));
+    const auto [it, inserted] = remap.try_emplace(root, next);
+    if (inserted) ++next;
+    c.labels.push_back(it->second);
+  }
+  c.num_clusters = static_cast<u64>(next);
+  return c;
+}
+
+}  // namespace sdb::dbscan

@@ -1,0 +1,116 @@
+// Incremental DBSCAN — point insertion (Ester et al. 1998), the capability
+// behind the MR-IDBSCAN line of work the paper cites ([14]).
+//
+// Maintains a clustering under point insertions with exactly-DBSCAN
+// semantics:
+//   * neighbor counts are exact, so the core set always equals the batch
+//     algorithm's core set;
+//   * when an insertion turns points into cores, the clusters reachable
+//     through those new cores are merged (union-find over cluster slots, so
+//     merging is O(alpha) instead of relabeling);
+//   * noise points adjacent to a new core are promoted to border points.
+// Border-point assignment carries DBSCAN's usual ambiguity; everything else
+// is tested structurally equivalent to rerunning batch DBSCAN from scratch
+// after every insertion (tests/test_incremental.cpp).
+//
+// Deletions are supported via tombstones + affected-region re-clustering:
+// removing a point can demote cores and SPLIT clusters, so the union of the
+// affected clusters is re-clustered from its surviving cores (a bounded
+// local recomputation; the membership scan is O(n), documented trade-off).
+// Tombstoned storage is not reclaimed.
+//
+// Index: a kd-tree over the points present at the last rebuild plus a
+// brute-force overflow buffer for newer points; the tree is rebuilt when the
+// buffer exceeds `rebuild_threshold` (amortized O(log n) queries).
+// Tombstones are filtered from every query.
+#pragma once
+
+#include <memory>
+
+#include "core/dbscan.hpp"
+#include "geom/point_set.hpp"
+#include "spatial/kd_tree.hpp"
+#include "util/counters.hpp"
+
+namespace sdb::dbscan {
+
+class IncrementalDbscan {
+ public:
+  struct Config {
+    DbscanParams params;
+    /// Rebuild the kd-tree when this many points sit in the overflow
+    /// buffer (0 = never rebuild; queries degrade toward O(n)).
+    size_t rebuild_threshold = 256;
+  };
+
+  explicit IncrementalDbscan(Config config, int dim);
+
+  /// Insert one point; returns its id. The clustering is updated to be
+  /// exactly what batch DBSCAN would produce over the points so far (up to
+  /// border-point assignment).
+  PointId insert(std::span<const double> coords);
+
+  /// Remove a point. Aborts on an invalid or already-removed id. The
+  /// clustering is updated to what batch DBSCAN would produce over the
+  /// surviving points (up to border-point assignment).
+  void remove(PointId id);
+
+  [[nodiscard]] bool is_removed(PointId id) const {
+    return removed_[static_cast<size_t>(id)] != 0;
+  }
+
+  /// Points currently present (inserted minus removed).
+  [[nodiscard]] size_t active_size() const { return points_.size() - removed_count_; }
+
+  /// Current clustering snapshot (labels dense-renumbered; removed points
+  /// are reported as noise).
+  [[nodiscard]] Clustering clustering() const;
+
+  /// Current cluster label of one point (kNoise for noise), without the
+  /// snapshot cost.
+  [[nodiscard]] ClusterId label_of(PointId id) const;
+
+  [[nodiscard]] bool is_core(PointId id) const {
+    return core_[static_cast<size_t>(id)] != 0;
+  }
+
+  [[nodiscard]] size_t size() const { return points_.size(); }
+  [[nodiscard]] const PointSet& points() const { return points_; }
+
+  /// Number of cluster-merge events triggered by insertions (metrics).
+  [[nodiscard]] u64 merges() const { return merges_; }
+  /// Number of kd-tree rebuilds performed.
+  [[nodiscard]] u64 rebuilds() const { return rebuilds_; }
+
+ private:
+  /// All points within eps of q (tree + overflow buffer).
+  void neighbors_of(std::span<const double> q, std::vector<PointId>& out) const;
+
+  /// Union-find over cluster slots, growable.
+  size_t find_slot(size_t slot) const;
+  void unite_slots(size_t a, size_t b);
+  size_t new_slot();
+
+  /// Assign point to a cluster slot (kNone if noise).
+  static constexpr i64 kNone = -1;
+
+  Config config_;
+  PointSet points_;
+  std::unique_ptr<KdTree> tree_;     // over points [0, tree_size_)
+  size_t tree_size_ = 0;             // points covered by tree_
+  std::vector<char> core_;
+  std::vector<u64> count_;           // self-inclusive eps-neighbor counts
+  std::vector<i64> slot_of_;         // point -> cluster slot (kNone = noise)
+  mutable std::vector<size_t> slot_parent_;  // union-find forest
+  std::vector<char> removed_;        // tombstones
+  size_t removed_count_ = 0;
+  u64 merges_ = 0;
+  u64 rebuilds_ = 0;
+  u64 reclusterings_ = 0;
+
+ public:
+  /// Number of affected-region re-clusterings triggered by removals.
+  [[nodiscard]] u64 reclusterings() const { return reclusterings_; }
+};
+
+}  // namespace sdb::dbscan

@@ -1,0 +1,138 @@
+#include "core/local_dbscan.hpp"
+
+#include <deque>
+
+#include "util/counters.hpp"
+#include "util/flat_hash.hpp"
+
+namespace sdb::dbscan {
+
+const char* seed_strategy_name(SeedStrategy s) {
+  switch (s) {
+    case SeedStrategy::kOnePerPartition: return "one-per-partition";
+    case SeedStrategy::kAllForeign: return "all-foreign";
+  }
+  return "?";
+}
+
+LocalClusterResult local_dbscan(const PointSet& points,
+                                const SpatialIndex& index,
+                                const Partitioning& partitioning,
+                                PartitionId partition,
+                                const LocalDbscanConfig& config) {
+  SDB_CHECK(partition >= 0 &&
+                static_cast<u32>(partition) < partitioning.num_partitions,
+            "partition id out of range");
+  const auto& my_points = partitioning.parts[static_cast<size_t>(partition)];
+  const auto& owner = partitioning.owner;
+
+  LocalClusterResult result;
+  result.partition = partition;
+
+  // The paper's Hashtable: visited marks + cluster membership of local
+  // points. Algorithm 2 line 5 / line 11 / line 13 operate on it.
+  FlatIdMap<ClusterId> membership(my_points.size() * 2 + 16);
+  FlatIdSet visited(my_points.size() * 2 + 16);
+
+  std::vector<PointId> neighbors;
+  std::deque<PointId> frontier;  // the paper's Queue (LinkedList)
+
+  for (const PointId p : my_points) {
+    counters::hash_ops(1);
+    if (visited.contains(p)) continue;  // line 5: already processed
+    visited.insert(p);
+    counters::hash_ops(1);
+    counters::points_processed(1);
+
+    neighbors.clear();
+    index.range_query_budgeted(points[p], config.params.eps, config.budget,
+                               neighbors);  // line 6: via broadcast kd-tree
+
+    if (static_cast<i64>(neighbors.size()) < config.params.minpts) {
+      result.noise.push_back(p);  // line 9 of Algorithm 2: mark as noise
+      continue;
+    }
+
+    // New partial cluster seeded at local core point p.
+    result.core_points.push_back(p);
+    PartialCluster pc;
+    pc.partition = partition;
+    pc.uid = PartialCluster::make_uid(partition,
+                                      static_cast<u32>(result.clusters.size()));
+    pc.members.push_back(p);
+    membership.put(p, static_cast<ClusterId>(pc.uid));
+    counters::hash_ops(1);
+
+    // Algorithm 3 state: the per-foreign-partition place flags (line 2) and
+    // a dedup set so kAllForeign records each foreign point once.
+    std::vector<char> seed_placed(partitioning.num_partitions, 0);
+    FlatIdSet seeds_seen;
+
+    frontier.assign(neighbors.begin(), neighbors.end());
+    counters::queue_ops(neighbors.size());
+
+    while (!frontier.empty()) {
+      const PointId q = frontier.front();
+      frontier.pop_front();
+      counters::queue_ops(1);
+
+      const PartitionId q_owner = owner[static_cast<size_t>(q)];
+      if (q_owner != partition) {
+        // Foreign point -> SEED placement (Algorithm 3 lines 6-26).
+        counters::seed_ops(1);
+        switch (config.seed_strategy) {
+          case SeedStrategy::kOnePerPartition:
+            if (!seed_placed[static_cast<size_t>(q_owner)]) {
+              seed_placed[static_cast<size_t>(q_owner)] = 1;  // place_flg
+              pc.seeds.push_back(q);
+            }
+            break;
+          case SeedStrategy::kAllForeign:
+            counters::hash_ops(1);
+            if (seeds_seen.insert(q)) pc.seeds.push_back(q);
+            break;
+        }
+        continue;  // never expand foreign points: no peer communication
+      }
+
+      counters::hash_ops(1);
+      if (!visited.contains(q)) {  // line 13: q unvisited
+        visited.insert(q);
+        counters::hash_ops(1);
+        counters::points_processed(1);
+        neighbors.clear();
+        index.range_query_budgeted(points[q], config.params.eps, config.budget,
+                                   neighbors);  // line 15
+        if (static_cast<i64>(neighbors.size()) >= config.params.minpts) {
+          // line 16-17: q is core, its neighborhood extends the frontier.
+          result.core_points.push_back(q);
+          for (const PointId r : neighbors) frontier.push_back(r);
+          counters::queue_ops(neighbors.size());
+        }
+      }
+
+      // line 20-22: claim q for this cluster if unclaimed.
+      counters::hash_ops(1);
+      if (membership.find(q) == nullptr) {
+        membership.put(q, static_cast<ClusterId>(pc.uid));
+        counters::hash_ops(1);
+        pc.members.push_back(q);
+      }
+    }
+    result.clusters.push_back(std::move(pc));
+  }
+
+  // A locally-noise point may have been claimed later as a border point of a
+  // local cluster (noise -> border promotion); drop those from the noise
+  // list so the driver sees consistent facts.
+  std::vector<PointId> true_noise;
+  true_noise.reserve(result.noise.size());
+  for (const PointId p : result.noise) {
+    counters::hash_ops(1);
+    if (membership.find(p) == nullptr) true_noise.push_back(p);
+  }
+  result.noise = std::move(true_noise);
+  return result;
+}
+
+}  // namespace sdb::dbscan

@@ -1,0 +1,81 @@
+#include "core/mr_dbscan.hpp"
+
+#include "spatial/kd_tree.hpp"
+#include "util/stopwatch.hpp"
+
+namespace sdb::dbscan {
+
+MRDbscanReport mr_dbscan(const PointSet& points, const MRDbscanConfig& config) {
+  Stopwatch wall;
+  MRDbscanReport report;
+
+  // Shared read-only state: in Hadoop this ships via the distributed cache
+  // and every task re-reads it from local disk; that read is charged inside
+  // the mapper below.
+  const KdTree tree(points);
+  const Partitioning partitioning = make_partitioning(
+      config.partitioner, points, config.partitions, config.seed);
+  LocalDbscanConfig local_config;
+  local_config.params = config.params;
+  local_config.seed_strategy = config.seed_strategy;
+  const u64 cache_bytes = tree.byte_size() + partitioning.byte_size();
+
+  std::vector<LocalClusterResult> locals(config.partitions);
+
+  mapreduce::MRJob::Mapper mapper =
+      [&](u32 task, const std::string& split, const mapreduce::MRJob::Emit& emit) {
+        // Distributed-cache load: dataset + kd-tree from local disk.
+        counters::bytes_read(cache_bytes);
+        const auto partition = static_cast<PartitionId>(std::stol(split));
+        LocalClusterResult local =
+            local_dbscan(points, tree, partitioning, partition, local_config);
+        locals[task] = local;  // kept for reporting only
+        emit("partial", encode(local, config.codec));
+      };
+
+  MergeOptions merge_options;
+  merge_options.strategy = config.merge_strategy;
+  MergeResult merged;
+  mapreduce::MRJob::Reducer reducer =
+      [&](const std::string& key, std::vector<std::string>& values,
+          const mapreduce::MRJob::Emit& emit) {
+        SDB_CHECK(key == "partial", "unexpected reduce key: " + key);
+        std::vector<LocalClusterResult> collected;
+        collected.reserve(values.size());
+        for (const std::string& blob : values) {
+          collected.push_back(decode(blob, config.codec));
+        }
+        merged = merge_partial_clusters(collected, points.size(), merge_options);
+        // Emit one record per cluster (member lists), the job's output.
+        BinaryWriter w;
+        w.write_i64_vec(merged.clustering.labels);
+        const auto& buf = w.buffer();
+        emit("labels", std::string(buf.data(), buf.size()));
+      };
+
+  mapreduce::MRConfig mr_config = config.mr;
+  mr_config.reduce_tasks = 1;  // the merge is global, like the Spark driver
+  mapreduce::MRJob job(mr_config, "mr-dbscan", std::move(mapper),
+                       std::move(reducer));
+
+  std::vector<std::string> splits;
+  splits.reserve(config.partitions);
+  for (u32 p = 0; p < config.partitions; ++p) {
+    splits.push_back(std::to_string(p));
+  }
+  const std::vector<mapreduce::KV> output = job.run(splits);
+  SDB_CHECK(output.size() == 1 && output[0].key == "labels",
+            "mr-dbscan job produced unexpected output");
+
+  report.clustering = std::move(merged.clustering);
+  report.merge_stats = merged.stats;
+  report.job = job.metrics();
+  for (const auto& local : locals) {
+    report.partial_clusters += local.clusters.size();
+  }
+  report.sim_total_s = report.job.sim_total_s;
+  report.wall_s = wall.seconds();
+  return report;
+}
+
+}  // namespace sdb::dbscan

@@ -1,0 +1,54 @@
+#include "core/partial_cluster.hpp"
+
+namespace sdb::dbscan {
+
+void serialize(const PartialCluster& pc, BinaryWriter& w) {
+  w.write_u64(pc.uid);
+  w.write_i64(pc.partition);
+  w.write_i64_vec(pc.members);
+  w.write_i64_vec(pc.seeds);
+}
+
+PartialCluster deserialize_partial_cluster(BinaryReader& r) {
+  PartialCluster pc;
+  pc.uid = r.read_u64();
+  pc.partition = static_cast<PartitionId>(r.read_i64());
+  pc.members = r.read_i64_vec();
+  pc.seeds = r.read_i64_vec();
+  return pc;
+}
+
+void serialize(const LocalClusterResult& result, BinaryWriter& w) {
+  w.write_i64(result.partition);
+  w.write_u64(result.clusters.size());
+  for (const auto& c : result.clusters) serialize(c, w);
+  w.write_i64_vec(result.core_points);
+  w.write_i64_vec(result.noise);
+}
+
+LocalClusterResult deserialize_local_result(BinaryReader& r) {
+  LocalClusterResult result;
+  result.partition = static_cast<PartitionId>(r.read_i64());
+  const u64 n = r.read_u64();
+  result.clusters.reserve(n);
+  for (u64 i = 0; i < n; ++i) {
+    result.clusters.push_back(deserialize_partial_cluster(r));
+  }
+  result.core_points = r.read_i64_vec();
+  result.noise = r.read_i64_vec();
+  return result;
+}
+
+std::string to_bytes(const LocalClusterResult& result) {
+  BinaryWriter w;
+  serialize(result, w);
+  const auto& buf = w.buffer();
+  return std::string(buf.data(), buf.size());
+}
+
+LocalClusterResult local_result_from_bytes(const std::string& bytes) {
+  BinaryReader r(bytes.data(), bytes.size());
+  return deserialize_local_result(r);
+}
+
+}  // namespace sdb::dbscan

@@ -1,0 +1,57 @@
+// Point-to-executor partitioners.
+//
+// The paper block-partitions points by global index ("if the current point's
+// index is beyond the range of current partition it is taken as a SEED") and
+// names data-aware partitioning as future work ("we did not partition data
+// points based on the neighborhood relationship ... that might cause
+// workload to be unbalanced"). We implement the paper's block partitioner
+// plus that future work, so the ablation bench can measure what spatial
+// partitioning buys:
+//   * kBlock   — contiguous index ranges, the paper's scheme;
+//   * kRandom  — random assignment (worst-case fragmentation control);
+//   * kGrid    — coarse spatial grid cells round-robined to partitions;
+//   * kKdSplit — recursive median splits (kd-tree style) into equal-count
+//                spatially-coherent partitions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/point_set.hpp"
+#include "util/common.hpp"
+
+namespace sdb::dbscan {
+
+enum class PartitionerKind { kBlock, kRandom, kGrid, kKdSplit };
+
+const char* partitioner_name(PartitionerKind kind);
+
+/// Assignment of every point to exactly one partition.
+struct Partitioning {
+  u32 num_partitions = 0;
+  /// owner[i] = partition of point i.
+  std::vector<PartitionId> owner;
+  /// parts[p] = ids of the points in partition p (ascending).
+  std::vector<std::vector<PointId>> parts;
+  /// For the block partitioner: [lo, hi) index range per partition, the
+  /// form the paper's SEED test uses. Empty for non-contiguous schemes.
+  std::vector<std::pair<PointId, PointId>> ranges;
+
+  [[nodiscard]] bool contiguous() const { return !ranges.empty(); }
+
+  /// Serialized size of the partition map shipped via broadcast.
+  [[nodiscard]] u64 byte_size() const {
+    return owner.size() * sizeof(PartitionId) + ranges.size() * sizeof(ranges[0]);
+  }
+
+  /// Largest / smallest partition sizes (workload-balance metrics).
+  [[nodiscard]] u64 max_part_size() const;
+  [[nodiscard]] u64 min_part_size() const;
+};
+
+/// Build a partitioning of `points` into `num_partitions` parts.
+/// `seed` feeds the random partitioner (ignored by deterministic schemes).
+Partitioning make_partitioning(PartitionerKind kind, const PointSet& points,
+                               u32 num_partitions, u64 seed = 42);
+
+}  // namespace sdb::dbscan

@@ -1,0 +1,95 @@
+#include "core/pds_dbscan.hpp"
+
+#include "spatial/union_find.hpp"
+
+namespace sdb::dbscan {
+
+PdsDbscanResult pds_dbscan(const PointSet& points, const SpatialIndex& index,
+                           const PdsDbscanConfig& config) {
+  const size_t n = points.size();
+  PdsDbscanResult result;
+  const Partitioning partitioning = make_partitioning(
+      config.partitioner, points, config.partitions, config.seed);
+  result.local_phase.resize(config.partitions);
+
+  std::vector<char> is_core(n, 0);
+  // Neighbor lists are cached between the core pass and the union pass so
+  // each point is queried exactly once (PDSDBSCAN's single-query property).
+  std::vector<std::vector<PointId>> neighbors(n);
+
+  // --- Local phase part 1: neighborhoods + core flags, per partition. ---
+  for (u32 p = 0; p < config.partitions; ++p) {
+    ScopedCounters scope(&result.local_phase[p]);
+    for (const PointId id : partitioning.parts[p]) {
+      counters::points_processed(1);
+      index.range_query(points[id], config.params.eps,
+                        neighbors[static_cast<size_t>(id)]);
+      if (static_cast<i64>(neighbors[static_cast<size_t>(id)].size()) >=
+          config.params.minpts) {
+        is_core[static_cast<size_t>(id)] = 1;
+        result.core_points.push_back(id);
+      }
+    }
+  }
+
+  // --- Local phase part 2: local unions; remember cross-partition pairs. ---
+  UnionFind uf(n);
+  std::vector<std::pair<PointId, PointId>> cross;
+  for (u32 p = 0; p < config.partitions; ++p) {
+    ScopedCounters scope(&result.local_phase[p]);
+    for (const PointId id : partitioning.parts[p]) {
+      if (!is_core[static_cast<size_t>(id)]) continue;
+      for (const PointId q : neighbors[static_cast<size_t>(id)]) {
+        counters::hash_ops(1);  // the core-flag lookup
+        if (!is_core[static_cast<size_t>(q)] || q == id) continue;
+        if (partitioning.owner[static_cast<size_t>(q)] ==
+            static_cast<PartitionId>(p)) {
+          uf.unite(static_cast<size_t>(id), static_cast<size_t>(q));
+        } else if (id < q) {
+          // Deferred to the merge phase; `id < q` dedups the symmetric pair
+          // (the other side sees it too).
+          cross.emplace_back(id, q);
+          counters::queue_ops(1);
+        }
+      }
+    }
+  }
+  result.cross_unions = cross.size();
+
+  // --- Merge phase: apply cross-partition unions (driver-side here). ---
+  {
+    ScopedCounters scope(&result.merge_phase);
+    for (const auto& [a, b] : cross) {
+      uf.unite(static_cast<size_t>(a), static_cast<size_t>(b));
+    }
+  }
+
+  // --- Labeling: roots -> dense ids; borders attach to a core neighbor. ---
+  {
+    ScopedCounters scope(&result.merge_phase);
+    result.clustering.labels.assign(n, kNoise);
+    std::vector<ClusterId> root_label(n, kUnlabeled);
+    ClusterId next = 0;
+    for (const PointId c : result.core_points) {
+      const size_t root = uf.find(static_cast<size_t>(c));
+      if (root_label[root] == kUnlabeled) root_label[root] = next++;
+      result.clustering.labels[static_cast<size_t>(c)] = root_label[root];
+      counters::merge_ops(1);
+    }
+    for (size_t id = 0; id < n; ++id) {
+      if (is_core[id]) continue;
+      for (const PointId q : neighbors[id]) {
+        if (is_core[static_cast<size_t>(q)]) {
+          result.clustering.labels[id] =
+              root_label[uf.find(static_cast<size_t>(q))];
+          counters::merge_ops(1);
+          break;
+        }
+      }
+    }
+    result.clustering.num_clusters = static_cast<u64>(next);
+  }
+  return result;
+}
+
+}  // namespace sdb::dbscan

@@ -1,0 +1,52 @@
+// PDSDBSCAN-style parallel DBSCAN — the comparator the paper checks its
+// accuracy against (Patwary et al., SC'12: "A new scalable parallel DBSCAN
+// algorithm using the disjoint-set data structure").
+//
+// Where the paper's algorithm builds per-partition partial clusters and
+// defers linking to a driver-side SEED merge, the disjoint-set formulation
+// expresses DBSCAN directly as union operations:
+//   local phase  — each worker processes its partition's points: a core
+//                  point unites with the core neighbors inside its
+//                  partition and REMEMBERS cross-partition core pairs;
+//   merge phase  — the remembered cross pairs are applied to the global
+//                  union-find (what PDSDBSCAN does with message passing /
+//                  locks, here a driver pass priced like its sequential
+//                  merge);
+//   labeling     — roots become cluster ids; border points attach to any
+//                  adjacent core's cluster; the rest is noise.
+//
+// Semantics match DBSCAN exactly (tested structurally equivalent to the
+// sequential algorithm), making this both a correctness cross-check and a
+// baseline for bench comparisons against the SEED design.
+#pragma once
+
+#include "core/dbscan.hpp"
+#include "core/partitioners.hpp"
+#include "geom/point_set.hpp"
+#include "spatial/spatial_index.hpp"
+#include "util/counters.hpp"
+
+namespace sdb::dbscan {
+
+struct PdsDbscanConfig {
+  DbscanParams params;
+  u32 partitions = 4;
+  PartitionerKind partitioner = PartitionerKind::kBlock;
+  u64 seed = 42;
+};
+
+struct PdsDbscanResult {
+  Clustering clustering;
+  std::vector<PointId> core_points;
+  /// Cross-partition core-core union pairs deferred to the merge phase
+  /// (PDSDBSCAN's communication volume).
+  u64 cross_unions = 0;
+  /// Work counters per phase, for simulated-clock pricing.
+  std::vector<WorkCounters> local_phase;  ///< one per partition
+  WorkCounters merge_phase;
+};
+
+PdsDbscanResult pds_dbscan(const PointSet& points, const SpatialIndex& index,
+                           const PdsDbscanConfig& config);
+
+}  // namespace sdb::dbscan

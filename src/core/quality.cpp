@@ -1,0 +1,154 @@
+#include "core/quality.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace sdb::dbscan {
+
+EquivalenceReport check_equivalence(const PointSet& points,
+                                    const SpatialIndex& index,
+                                    const DbscanParams& params,
+                                    const std::vector<PointId>& core_points,
+                                    const Clustering& a, const Clustering& b) {
+  EquivalenceReport report;
+  SDB_CHECK(a.labels.size() == b.labels.size() &&
+                a.labels.size() == points.size(),
+            "clustering size mismatch");
+  std::ostringstream detail;
+
+  std::vector<char> is_core(points.size(), 0);
+  for (const PointId p : core_points) is_core[static_cast<size_t>(p)] = 1;
+
+  // Core partition equality: the label mapping restricted to core points
+  // must be a bijection (and no core may be noise).
+  std::unordered_map<ClusterId, ClusterId> a_to_b;
+  std::unordered_map<ClusterId, ClusterId> b_to_a;
+  for (const PointId p : core_points) {
+    const ClusterId la = a.labels[static_cast<size_t>(p)];
+    const ClusterId lb = b.labels[static_cast<size_t>(p)];
+    if (la < 0 || lb < 0) {
+      ++report.core_mismatches;
+      if (report.core_mismatches <= 3) {
+        detail << "core point " << p << " labeled noise (" << la << "/" << lb
+               << "); ";
+      }
+      continue;
+    }
+    const auto [ita, ia] = a_to_b.try_emplace(la, lb);
+    const auto [itb, ib] = b_to_a.try_emplace(lb, la);
+    if ((!ia && ita->second != lb) || (!ib && itb->second != la)) {
+      ++report.core_mismatches;
+      if (report.core_mismatches <= 3) {
+        detail << "core point " << p << " breaks bijection (" << la << "->"
+               << lb << "); ";
+      }
+    }
+  }
+
+  // Noise set equality.
+  for (size_t i = 0; i < a.labels.size(); ++i) {
+    const bool na = a.labels[i] == kNoise;
+    const bool nb = b.labels[i] == kNoise;
+    if (na != nb) {
+      ++report.noise_mismatches;
+      if (report.noise_mismatches <= 3) {
+        detail << "point " << i << " noise in one only; ";
+      }
+    }
+  }
+
+  // Border adjacency: every non-core clustered point of b must be within
+  // eps of a core point of the same b-cluster (same check for a).
+  auto check_borders = [&](const Clustering& c) {
+    u64 violations = 0;
+    std::vector<PointId> neighbors;
+    for (size_t i = 0; i < c.labels.size(); ++i) {
+      if (is_core[i] || c.labels[i] == kNoise) continue;
+      neighbors.clear();
+      index.range_query(points[static_cast<PointId>(i)], params.eps, neighbors);
+      bool ok = false;
+      for (const PointId q : neighbors) {
+        if (is_core[static_cast<size_t>(q)] &&
+            c.labels[static_cast<size_t>(q)] == c.labels[i]) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) ++violations;
+    }
+    return violations;
+  };
+  report.border_violations = check_borders(a) + check_borders(b);
+
+  report.equivalent = report.core_mismatches == 0 &&
+                      report.noise_mismatches == 0 &&
+                      report.border_violations == 0;
+  report.detail = detail.str();
+  return report;
+}
+
+double rand_index(const Clustering& a, const Clustering& b) {
+  SDB_CHECK(a.labels.size() == b.labels.size(), "clustering size mismatch");
+  const size_t n = a.labels.size();
+  if (n < 2) return 1.0;
+
+  // Noise points become unique singleton labels so they never pair.
+  auto effective = [n](const Clustering& c, size_t i) -> i64 {
+    const ClusterId l = c.labels[i];
+    return l >= 0 ? l : static_cast<i64>(n + i);
+  };
+
+  // Contingency counts keyed by (la, lb); marginals keyed by la / lb.
+  std::unordered_map<u64, u64> cell;
+  std::unordered_map<i64, u64> row;
+  std::unordered_map<i64, u64> col;
+  for (size_t i = 0; i < n; ++i) {
+    const i64 la = effective(a, i);
+    const i64 lb = effective(b, i);
+    // Exact pair key (labels stay well under 2^32 here).
+    ++cell[(static_cast<u64>(static_cast<u32>(la)) << 32) |
+           static_cast<u64>(static_cast<u32>(lb))];
+    ++row[la];
+    ++col[lb];
+  }
+  auto choose2 = [](u64 k) { return static_cast<double>(k) * (k - 1) / 2.0; };
+  double sum_cells = 0.0;
+  for (const auto& [k, v] : cell) {
+    (void)k;
+    sum_cells += choose2(v);
+  }
+  double sum_rows = 0.0;
+  for (const auto& [k, v] : row) {
+    (void)k;
+    sum_rows += choose2(v);
+  }
+  double sum_cols = 0.0;
+  for (const auto& [k, v] : col) {
+    (void)k;
+    sum_cols += choose2(v);
+  }
+  const double total = choose2(n);
+  // Rand = (agreements) / total pairs
+  //      = (TP + TN) / total, TP = sum_cells,
+  //        TN = total - sum_rows - sum_cols + sum_cells.
+  const double agreements = total - sum_rows - sum_cols + 2.0 * sum_cells;
+  return agreements / total;
+}
+
+ClusteringStats summarize(const Clustering& c) {
+  ClusteringStats stats;
+  stats.clusters = c.num_clusters;
+  stats.noise = c.noise_count();
+  const auto sizes = c.cluster_sizes();
+  u64 total = 0;
+  for (const u64 s : sizes) {
+    stats.largest = std::max(stats.largest, s);
+    stats.smallest = stats.smallest == 0 ? s : std::min(stats.smallest, s);
+    total += s;
+  }
+  stats.mean_size =
+      sizes.empty() ? 0.0 : static_cast<double>(total) / static_cast<double>(sizes.size());
+  return stats;
+}
+
+}  // namespace sdb::dbscan

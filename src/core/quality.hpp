@@ -1,0 +1,51 @@
+// Clustering quality / equivalence metrics.
+//
+// The paper states "all parallel executions generate the same result as the
+// serial execution". DBSCAN's only legitimate nondeterminism is border-point
+// assignment (a border point within eps of cores from two clusters may join
+// either), so "same result" is checked structurally:
+//   * the partition induced on CORE points must be identical;
+//   * the noise sets must be identical;
+//   * every border point must be assigned to a cluster that contains at
+//     least one core point within eps of it.
+#pragma once
+
+#include "core/dbscan.hpp"
+#include "geom/point_set.hpp"
+#include "spatial/spatial_index.hpp"
+
+namespace sdb::dbscan {
+
+struct EquivalenceReport {
+  bool equivalent = false;
+  u64 core_mismatches = 0;    ///< core pairs split/joined differently
+  u64 noise_mismatches = 0;   ///< points noise in one, clustered in the other
+  u64 border_violations = 0;  ///< border points assigned to a non-adjacent cluster
+  std::string detail;         ///< first few offending points, for test output
+};
+
+/// Structural equivalence of two clusterings of the same dataset under the
+/// same (eps, minpts). `core_points` is the core set (identical for both by
+/// definition of DBSCAN; pass the sequential result's).
+EquivalenceReport check_equivalence(const PointSet& points,
+                                    const SpatialIndex& index,
+                                    const DbscanParams& params,
+                                    const std::vector<PointId>& core_points,
+                                    const Clustering& a, const Clustering& b);
+
+/// Rand index between two clusterings (noise treated as singleton clusters).
+/// 1.0 = identical pair structure. Computed pairwise-exactly via label
+/// contingency, O(n + #distinct label pairs).
+double rand_index(const Clustering& a, const Clustering& b);
+
+/// Summary statistics used by bench output.
+struct ClusteringStats {
+  u64 clusters = 0;
+  u64 noise = 0;
+  u64 largest = 0;
+  u64 smallest = 0;
+  double mean_size = 0.0;
+};
+ClusteringStats summarize(const Clustering& c);
+
+}  // namespace sdb::dbscan

@@ -1,0 +1,193 @@
+#include "dfs/mini_dfs.hpp"
+
+#include <filesystem>
+
+#include "util/serialize.hpp"
+
+namespace sdb::dfs {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+u64 fnv1a(const char* data, size_t size) {
+  u64 h = 1469598103934665603ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+MiniDfs::MiniDfs(std::string root, u64 block_size, u32 datanodes,
+                 u32 replication)
+    : root_(std::move(root)),
+      block_size_(block_size),
+      datanodes_(datanodes),
+      replication_(std::min(replication, datanodes)),
+      dead_(datanodes, false) {
+  SDB_CHECK(block_size_ > 0, "block size must be positive");
+  SDB_CHECK(datanodes_ > 0, "need at least one datanode");
+  fs::create_directories(fs::path(root_) / "blocks");
+}
+
+void MiniDfs::fail_datanode(u32 node) {
+  SDB_CHECK(node < datanodes_, "no such datanode");
+  dead_[node] = true;
+}
+
+void MiniDfs::recover_datanode(u32 node) {
+  SDB_CHECK(node < datanodes_, "no such datanode");
+  dead_[node] = false;
+}
+
+bool MiniDfs::datanode_alive(u32 node) const {
+  SDB_CHECK(node < datanodes_, "no such datanode");
+  return !dead_[node];
+}
+
+void MiniDfs::check_replicas(const BlockInfo& block) const {
+  bool first = true;
+  for (const u32 replica : block.replicas) {
+    if (!dead_[replica]) {
+      if (!first) ++failovers_;  // the primary was dead; a later replica served
+      return;
+    }
+    first = false;
+  }
+  SDB_CHECK(false, "block " + std::to_string(block.id) +
+                       " unavailable: all replicas on dead datanodes");
+}
+
+std::string MiniDfs::block_path(u64 block_id) const {
+  return (fs::path(root_) / "blocks" / ("blk_" + std::to_string(block_id)))
+      .string();
+}
+
+const FileInfo& MiniDfs::write(const std::string& path,
+                               const std::string& contents) {
+  if (exists(path)) remove(path);
+  FileInfo info;
+  info.path = path;
+  info.size = contents.size();
+  for (u64 offset = 0; offset < contents.size(); offset += block_size_) {
+    BlockInfo block;
+    block.id = next_block_id_++;
+    block.size = std::min<u64>(block_size_, contents.size() - offset);
+    block.checksum = fnv1a(contents.data() + offset, block.size);
+    for (u32 r = 0; r < replication_; ++r) {
+      block.replicas.push_back((next_replica_ + r) % datanodes_);
+    }
+    next_replica_ = (next_replica_ + 1) % datanodes_;
+    const std::vector<char> data(contents.begin() + static_cast<long>(offset),
+                                 contents.begin() +
+                                     static_cast<long>(offset + block.size));
+    write_file(block_path(block.id), data);
+    info.blocks.push_back(std::move(block));
+  }
+  // Zero-byte files still need a catalog entry.
+  auto [it, inserted] = catalog_.insert_or_assign(path, std::move(info));
+  (void)inserted;
+  return it->second;
+}
+
+bool MiniDfs::exists(const std::string& path) const {
+  return catalog_.contains(path);
+}
+
+const FileInfo& MiniDfs::stat(const std::string& path) const {
+  const auto it = catalog_.find(path);
+  SDB_CHECK(it != catalog_.end(), "no such DFS file: " + path);
+  return it->second;
+}
+
+std::string MiniDfs::read(const std::string& path) const {
+  const FileInfo& info = stat(path);
+  std::string out;
+  out.reserve(info.size);
+  for (const BlockInfo& block : info.blocks) {
+    check_replicas(block);
+    const std::vector<char> data = read_file(block_path(block.id));
+    out.append(data.data(), data.size());
+  }
+  return out;
+}
+
+std::string MiniDfs::read_block(const std::string& path,
+                                size_t block_index) const {
+  const FileInfo& info = stat(path);
+  SDB_CHECK(block_index < info.blocks.size(), "block index out of range");
+  check_replicas(info.blocks[block_index]);
+  const std::vector<char> data =
+      read_file(block_path(info.blocks[block_index].id));
+  return std::string(data.data(), data.size());
+}
+
+std::string MiniDfs::read_text_split(const std::string& path,
+                                     size_t block_index) const {
+  const FileInfo& info = stat(path);
+  SDB_CHECK(block_index < info.blocks.size(), "block index out of range");
+
+  std::string data = read_block(path, block_index);
+
+  // Ownership rule: a record belongs to the block containing its FIRST byte.
+  // If the previous block did not end in a newline, this block opens with
+  // the tail of a record owned by the previous reader — skip through the
+  // first newline (LineRecordReader semantics). If it did end in a newline,
+  // this block starts a fresh record and nothing is skipped.
+  size_t begin = 0;
+  if (block_index > 0) {
+    const std::string prev = read_block(path, block_index - 1);
+    if (prev.empty() || prev.back() != '\n') {
+      const size_t nl = data.find('\n');
+      if (nl == std::string::npos) {
+        // The entire block is the middle of a record started earlier; the
+        // previous reader consumed it all.
+        return {};
+      }
+      begin = nl + 1;
+    }
+  }
+
+  // If the block does not end with a newline, keep reading into following
+  // blocks to complete the final record.
+  if (data.empty() || data.back() != '\n') {
+    for (size_t b = block_index + 1; b < info.blocks.size(); ++b) {
+      const std::string next = read_block(path, b);
+      const size_t nl = next.find('\n');
+      if (nl == std::string::npos) {
+        data += next;
+        continue;
+      }
+      data += next.substr(0, nl + 1);
+      break;
+    }
+  }
+  return data.substr(begin);
+}
+
+std::vector<size_t> MiniDfs::verify(const std::string& path) const {
+  const FileInfo& info = stat(path);
+  std::vector<size_t> corrupt;
+  for (size_t b = 0; b < info.blocks.size(); ++b) {
+    const std::vector<char> data = read_file(block_path(info.blocks[b].id));
+    if (data.size() != info.blocks[b].size ||
+        fnv1a(data.data(), data.size()) != info.blocks[b].checksum) {
+      corrupt.push_back(b);
+    }
+  }
+  return corrupt;
+}
+
+void MiniDfs::remove(const std::string& path) {
+  const auto it = catalog_.find(path);
+  SDB_CHECK(it != catalog_.end(), "no such DFS file: " + path);
+  for (const BlockInfo& block : it->second.blocks) {
+    fs::remove(block_path(block.id));
+  }
+  catalog_.erase(it);
+}
+
+}  // namespace sdb::dfs

@@ -1,0 +1,109 @@
+// MiniDfs — the HDFS stand-in.
+//
+// The paper's pipeline starts with "read an input file from HDFS and
+// generate RDDs". MiniDfs reproduces the pieces that matter to that
+// pipeline:
+//   * files are split into fixed-size blocks stored as real files on local
+//     disk (so byte volumes and read costs are physical, not modeled);
+//   * a namenode-style catalog maps path -> ordered block list, and each
+//     block carries simulated datanode replica locations (round-robin,
+//     configurable replication factor) used by the scheduler's locality
+//     accounting;
+//   * TextInputFormat semantics: reading block k of a text file yields only
+//     complete records — the reader skips the partial first line (unless
+//     k == 0) and reads past the block boundary to finish its last line,
+//     exactly as Hadoop's LineRecordReader does. One block == one input
+//     partition in minispark's textFile.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace sdb::dfs {
+
+struct BlockInfo {
+  u64 id = 0;
+  u64 size = 0;                       ///< bytes in this block
+  u64 checksum = 0;                   ///< FNV-1a over the block contents
+  std::vector<u32> replicas;          ///< simulated datanode ids
+};
+
+struct FileInfo {
+  std::string path;                   ///< logical DFS path
+  u64 size = 0;                       ///< total bytes
+  std::vector<BlockInfo> blocks;
+};
+
+class MiniDfs {
+ public:
+  /// `root` is a real directory used for block storage (created if absent).
+  /// `block_size` is the HDFS block size (default 1 MiB — scaled down from
+  /// HDFS's 128 MiB in proportion to our scaled-down datasets).
+  /// `datanodes`/`replication` drive the simulated replica placement.
+  explicit MiniDfs(std::string root, u64 block_size = 1u << 20,
+                   u32 datanodes = 8, u32 replication = 3);
+
+  /// Create (or overwrite) a logical file with the given contents.
+  const FileInfo& write(const std::string& path, const std::string& contents);
+
+  /// True if the logical file exists.
+  [[nodiscard]] bool exists(const std::string& path) const;
+
+  /// Metadata for a file. Aborts if missing.
+  [[nodiscard]] const FileInfo& stat(const std::string& path) const;
+
+  /// Read the whole file back.
+  [[nodiscard]] std::string read(const std::string& path) const;
+
+  /// Read one raw block.
+  [[nodiscard]] std::string read_block(const std::string& path,
+                                       size_t block_index) const;
+
+  /// TextInputFormat read: the complete text records "owned" by block
+  /// `block_index` (see class comment). Concatenating the results for all
+  /// blocks reproduces the file's records exactly once, in order.
+  [[nodiscard]] std::string read_text_split(const std::string& path,
+                                            size_t block_index) const;
+
+  /// Remove a file and its blocks.
+  void remove(const std::string& path);
+
+  /// --- datanode failure simulation (HDFS's replication story) ---
+  /// Mark a simulated datanode dead: reads served by its replicas fail over
+  /// to surviving replicas; a block with no live replica is unreadable
+  /// (abort), exactly HDFS's behaviour below the replication factor.
+  void fail_datanode(u32 node);
+  void recover_datanode(u32 node);
+  [[nodiscard]] bool datanode_alive(u32 node) const;
+  /// Number of reads that had to skip a dead primary replica.
+  [[nodiscard]] u64 failovers() const { return failovers_; }
+
+  /// Verify every block of `path` against its stored checksum (HDFS's
+  /// data-integrity scan). Returns the indices of corrupt blocks.
+  [[nodiscard]] std::vector<size_t> verify(const std::string& path) const;
+
+  [[nodiscard]] u64 block_size() const { return block_size_; }
+  [[nodiscard]] u32 datanodes() const { return datanodes_; }
+  [[nodiscard]] const std::string& root() const { return root_; }
+
+ private:
+  [[nodiscard]] std::string block_path(u64 block_id) const;
+  /// Enforce replica availability for a block read (counts failovers,
+  /// aborts when every replica's datanode is dead).
+  void check_replicas(const BlockInfo& block) const;
+
+  std::string root_;
+  u64 block_size_;
+  u32 datanodes_;
+  u32 replication_;
+  u64 next_block_id_ = 0;
+  u32 next_replica_ = 0;
+  std::map<std::string, FileInfo> catalog_;
+  std::vector<bool> dead_;            ///< per-datanode failure flags
+  mutable u64 failovers_ = 0;
+};
+
+}  // namespace sdb::dfs

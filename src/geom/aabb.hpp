@@ -1,0 +1,74 @@
+// Axis-aligned bounding boxes, used by the kd-tree for branch pruning and by
+// the spatial-grid partitioner.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace sdb {
+
+class Aabb {
+ public:
+  Aabb() = default;
+
+  /// Empty (inverted) box of the given dimension; grows via extend().
+  explicit Aabb(int dim)
+      : lo_(static_cast<size_t>(dim), std::numeric_limits<double>::infinity()),
+        hi_(static_cast<size_t>(dim),
+            -std::numeric_limits<double>::infinity()) {}
+
+  Aabb(std::vector<double> lo, std::vector<double> hi)
+      : lo_(std::move(lo)), hi_(std::move(hi)) {
+    SDB_CHECK(lo_.size() == hi_.size(), "AABB corner dimension mismatch");
+  }
+
+  void extend(std::span<const double> p) {
+    SDB_DCHECK(p.size() == lo_.size(), "AABB/point dimension mismatch");
+    for (size_t i = 0; i < p.size(); ++i) {
+      if (p[i] < lo_[i]) lo_[i] = p[i];
+      if (p[i] > hi_[i]) hi_[i] = p[i];
+    }
+  }
+
+  [[nodiscard]] int dim() const { return static_cast<int>(lo_.size()); }
+  [[nodiscard]] const std::vector<double>& lo() const { return lo_; }
+  [[nodiscard]] const std::vector<double>& hi() const { return hi_; }
+
+  [[nodiscard]] bool is_empty() const {
+    return lo_.empty() || lo_[0] > hi_[0];
+  }
+
+  [[nodiscard]] bool contains(std::span<const double> p) const {
+    for (size_t i = 0; i < lo_.size(); ++i) {
+      if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+    }
+    return true;
+  }
+
+  /// Squared distance from `p` to the closest point of the box (0 inside).
+  [[nodiscard]] double squared_distance_to(std::span<const double> p) const {
+    double s = 0.0;
+    for (size_t i = 0; i < lo_.size(); ++i) {
+      double d = 0.0;
+      if (p[i] < lo_[i]) d = lo_[i] - p[i];
+      else if (p[i] > hi_[i]) d = p[i] - hi_[i];
+      s += d * d;
+    }
+    return s;
+  }
+
+  /// True iff a ball of radius `eps` centered at `p` intersects the box.
+  [[nodiscard]] bool intersects_ball(std::span<const double> p,
+                                     double eps) const {
+    return squared_distance_to(p) <= eps * eps;
+  }
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+}  // namespace sdb

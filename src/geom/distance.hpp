@@ -1,0 +1,36 @@
+// Distance kernels. Every full distance evaluation is counted so the
+// simulated cluster clock can price executor work exactly.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "util/counters.hpp"
+
+namespace sdb {
+
+/// Squared Euclidean distance between two points of equal dimension.
+/// Counted as one distance evaluation.
+inline double squared_distance(std::span<const double> a,
+                               std::span<const double> b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  counters::distance_evals(1);
+  return s;
+}
+
+/// Euclidean distance.
+inline double distance(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+/// True iff the two points are within `eps` of each other.
+inline bool within_eps(std::span<const double> a, std::span<const double> b,
+                       double eps) {
+  return squared_distance(a, b) <= eps * eps;
+}
+
+}  // namespace sdb

@@ -1,0 +1,193 @@
+#include "mapreduce/mr_engine.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "minispark/metrics.hpp"
+#include "util/serialize.hpp"
+#include "util/stopwatch.hpp"
+
+namespace sdb::mapreduce {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+u64 key_hash(const std::string& key) {
+  u64 h = 1469598103934665603ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void write_kv_run(const std::string& path, const std::vector<KV>& run) {
+  BinaryWriter w;
+  w.write_u64(run.size());
+  for (const KV& kv : run) {
+    w.write_string(kv.key);
+    w.write_string(kv.value);
+  }
+  write_file(path, w.buffer());
+}
+
+std::vector<KV> read_kv_run(const std::string& path) {
+  const std::vector<char> data = read_file(path);
+  BinaryReader r(data);
+  const u64 n = r.read_u64();
+  std::vector<KV> run;
+  run.reserve(n);
+  for (u64 i = 0; i < n; ++i) {
+    KV kv;
+    kv.key = r.read_string();
+    kv.value = r.read_string();
+    run.push_back(std::move(kv));
+  }
+  return run;
+}
+
+}  // namespace
+
+MRJob::MRJob(MRConfig config, std::string name, Mapper mapper, Reducer reducer)
+    : config_(std::move(config)),
+      name_(std::move(name)),
+      mapper_(std::move(mapper)),
+      reducer_(std::move(reducer)) {
+  SDB_CHECK(config_.reduce_tasks > 0, "need at least one reduce task");
+  SDB_CHECK(config_.cores > 0, "need at least one core");
+  fs::create_directories(config_.work_dir);
+}
+
+std::string MRJob::spill_path(u32 map_task, u32 reduce_task) const {
+  return (fs::path(config_.work_dir) /
+          (name_ + "_m" + std::to_string(map_task) + "_r" +
+           std::to_string(reduce_task) + ".spill"))
+      .string();
+}
+
+std::vector<KV> MRJob::run(const std::vector<std::string>& input_splits) {
+  Stopwatch wall;
+  metrics_ = MRJobMetrics{};
+  metrics_.name = name_;
+
+  const u32 map_tasks = static_cast<u32>(input_splits.size());
+  const u32 reduce_tasks = config_.reduce_tasks;
+
+  // ---- Map phase: run mapper, partition by key hash, sort, spill to disk.
+  std::vector<double> map_durations;
+  map_durations.reserve(map_tasks);
+  for (u32 m = 0; m < map_tasks; ++m) {
+    WorkCounters wc;
+    {
+      ScopedCounters scope(&wc);
+      std::vector<std::vector<KV>> buckets(reduce_tasks);
+      const MRJob::Emit emit = [&](std::string key, std::string value) {
+        const u32 r = static_cast<u32>(key_hash(key) % reduce_tasks);
+        buckets[r].push_back(KV{std::move(key), std::move(value)});
+      };
+      mapper_(m, input_splits[m], emit);
+      for (u32 r = 0; r < reduce_tasks; ++r) {
+        std::sort(buckets[r].begin(), buckets[r].end(),
+                  [](const KV& a, const KV& b) { return a.key < b.key; });
+        if (combiner_) {
+          // Map-side combine on the sorted bucket: group adjacent keys and
+          // replace each group with the combiner's output.
+          std::vector<KV> combined;
+          const MRJob::Emit emit = [&](std::string key, std::string value) {
+            combined.push_back(KV{std::move(key), std::move(value)});
+          };
+          size_t i = 0;
+          while (i < buckets[r].size()) {
+            size_t j = i;
+            std::vector<std::string> values;
+            while (j < buckets[r].size() &&
+                   buckets[r][j].key == buckets[r][i].key) {
+              values.push_back(std::move(buckets[r][j].value));
+              ++j;
+            }
+            combiner_(buckets[r][i].key, values, emit);
+            i = j;
+          }
+          buckets[r] = std::move(combined);
+        }
+        write_kv_run(spill_path(m, r), buckets[r]);
+      }
+    }
+    metrics_.spill_bytes += wc.bytes_written;
+    map_durations.push_back(config_.task_overhead_s +
+                            config_.cost.compute_seconds(wc));
+  }
+  metrics_.map.tasks = map_tasks;
+  for (const double d : map_durations) metrics_.map.sim_total_s += d;
+  metrics_.map.sim_makespan_s =
+      minispark::list_schedule_makespan(map_durations, config_.cores);
+
+  // ---- Shuffle + sort + reduce phase.
+  std::vector<KV> output;
+  std::vector<double> reduce_durations;
+  reduce_durations.reserve(reduce_tasks);
+  double shuffle_s = 0.0;
+  for (u32 r = 0; r < reduce_tasks; ++r) {
+    WorkCounters wc;
+    std::vector<KV> records;
+    {
+      ScopedCounters scope(&wc);
+      // Remote read of every map task's spill for this partition. The disk
+      // read is physical; the network hop is priced via net_bytes.
+      for (u32 m = 0; m < map_tasks; ++m) {
+        const std::string path = spill_path(m, r);
+        std::vector<KV> run = read_kv_run(path);
+        fs::remove(path);
+        for (auto& kv : run) records.push_back(std::move(kv));
+      }
+      u64 bytes = 0;
+      for (const KV& kv : records) bytes += kv.key.size() + kv.value.size();
+      counters::net_bytes(bytes);
+      metrics_.shuffle_bytes += bytes;
+
+      // Merge-sort so all occurrences of a key are adjacent.
+      std::stable_sort(records.begin(), records.end(),
+                       [](const KV& a, const KV& b) { return a.key < b.key; });
+    }
+    shuffle_s += config_.cost.compute_seconds(wc);
+
+    WorkCounters rc;
+    {
+      ScopedCounters scope(&rc);
+      const MRJob::Emit emit = [&](std::string key, std::string value) {
+        output.push_back(KV{std::move(key), std::move(value)});
+      };
+      size_t i = 0;
+      while (i < records.size()) {
+        size_t j = i;
+        std::vector<std::string> values;
+        while (j < records.size() && records[j].key == records[i].key) {
+          values.push_back(std::move(records[j].value));
+          ++j;
+        }
+        reducer_(records[i].key, values, emit);
+        i = j;
+      }
+    }
+    reduce_durations.push_back(config_.task_overhead_s +
+                               config_.cost.compute_seconds(rc));
+  }
+  metrics_.reduce.tasks = reduce_tasks;
+  for (const double d : reduce_durations) {
+    metrics_.reduce.sim_total_s += d;
+  }
+  metrics_.reduce.sim_makespan_s =
+      minispark::list_schedule_makespan(reduce_durations, config_.cores);
+  metrics_.shuffle_s = shuffle_s;
+
+  std::sort(output.begin(), output.end(),
+            [](const KV& a, const KV& b) { return a.key < b.key; });
+
+  metrics_.wall_s = wall.seconds();
+  metrics_.sim_total_s = config_.job_startup_s + metrics_.map.sim_makespan_s +
+                         metrics_.shuffle_s + metrics_.reduce.sim_makespan_s;
+  return output;
+}
+
+}  // namespace sdb::mapreduce

@@ -1,0 +1,43 @@
+// Simulated cluster topology + execution knobs for a SparkContext.
+#pragma once
+
+#include <string>
+
+#include "minispark/cost_model.hpp"
+#include "util/common.hpp"
+
+namespace sdb::minispark {
+
+struct ClusterConfig {
+  /// Number of executor processes in the simulated cluster.
+  u32 executors = 4;
+  /// Simulated cores per executor (total cores = executors * cores).
+  u32 cores_per_executor = 1;
+  /// Real worker threads used to run tasks on the host (independent of the
+  /// simulated core count; correctness never depends on it).
+  u32 host_threads = 1;
+  /// Default partition count for parallelize() when unspecified (Spark's
+  /// defaultParallelism). 0 = total simulated cores.
+  u32 default_parallelism = 0;
+
+  CostModel cost;
+  StragglerModel straggler;
+
+  /// Fraction of task *attempts* that are injected to fail (fault-tolerance
+  /// exercises). Failed tasks are recomputed from lineage up to
+  /// `max_task_attempts` times.
+  double fault_injection_rate = 0.0;
+  u32 max_task_attempts = 4;
+
+  /// Seed for straggler sampling and fault injection.
+  u64 seed = 42;
+
+  /// Application name, used in logs/metrics.
+  std::string app_name = "sparkdbscan";
+
+  [[nodiscard]] u32 total_cores() const {
+    return executors * cores_per_executor;
+  }
+};
+
+}  // namespace sdb::minispark

@@ -1,0 +1,177 @@
+// Additional narrow RDD transformations: flat_map, union, zip_with_index,
+// sample, glom. All are shuffle-free (narrow), preserving the library's
+// invariant that only the MapReduce substrate materializes wide
+// dependencies.
+#pragma once
+
+#include "minispark/rdd.hpp"
+#include "util/rng.hpp"
+
+namespace sdb::minispark {
+
+template <typename T, typename U, typename F>
+class FlatMapRdd final : public Rdd<U> {
+ public:
+  FlatMapRdd(std::shared_ptr<const Rdd<T>> parent, F fn, std::string name)
+      : Rdd<U>(std::move(name), parent->num_partitions(), {parent}),
+        parent_(std::move(parent)),
+        fn_(std::move(fn)) {}
+
+  [[nodiscard]] std::vector<U> compute(u32 p) const override {
+    std::vector<T> in = parent_->materialize(p);
+    std::vector<U> out;
+    for (auto& x : in) {
+      auto produced = fn_(x);
+      out.insert(out.end(), std::make_move_iterator(produced.begin()),
+                 std::make_move_iterator(produced.end()));
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<const Rdd<T>> parent_;
+  F fn_;
+};
+
+/// Union of two RDDs: partitions of `left` followed by partitions of
+/// `right` (Spark's union does exactly this — no dedup).
+template <typename T>
+class UnionRdd final : public Rdd<T> {
+ public:
+  UnionRdd(std::shared_ptr<const Rdd<T>> left,
+           std::shared_ptr<const Rdd<T>> right)
+      : Rdd<T>("union", left->num_partitions() + right->num_partitions(),
+               {left, right}),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  [[nodiscard]] std::vector<T> compute(u32 p) const override {
+    if (p < left_->num_partitions()) return left_->materialize(p);
+    return right_->materialize(p - left_->num_partitions());
+  }
+
+  [[nodiscard]] std::vector<u32> preferred_locations(u32 p) const override {
+    if (p < left_->num_partitions()) return left_->preferred_locations(p);
+    return right_->preferred_locations(p - left_->num_partitions());
+  }
+
+ private:
+  std::shared_ptr<const Rdd<T>> left_;
+  std::shared_ptr<const Rdd<T>> right_;
+};
+
+/// Pair each element with its global index. Requires parent partition sizes,
+/// which Spark obtains with a lightweight count job; here the sizes are
+/// computed lazily and memoized (deterministic, so lineage-safe).
+template <typename T>
+class ZipWithIndexRdd final : public Rdd<std::pair<T, u64>> {
+ public:
+  explicit ZipWithIndexRdd(std::shared_ptr<const Rdd<T>> parent)
+      : Rdd<std::pair<T, u64>>("zipWithIndex", parent->num_partitions(),
+                               {parent}),
+        parent_(std::move(parent)) {}
+
+  [[nodiscard]] std::vector<std::pair<T, u64>> compute(u32 p) const override {
+    u64 offset = 0;
+    for (u32 q = 0; q < p; ++q) offset += partition_size(q);
+    std::vector<T> in = parent_->materialize(p);
+    std::vector<std::pair<T, u64>> out;
+    out.reserve(in.size());
+    for (auto& x : in) out.emplace_back(std::move(x), offset++);
+    return out;
+  }
+
+ private:
+  [[nodiscard]] u64 partition_size(u32 q) const {
+    const std::scoped_lock lock(mutex_);
+    if (sizes_.size() <= q) sizes_.resize(parent_->num_partitions(), ~0ull);
+    if (sizes_[q] == ~0ull) sizes_[q] = parent_->materialize(q).size();
+    return sizes_[q];
+  }
+
+  std::shared_ptr<const Rdd<T>> parent_;
+  mutable std::mutex mutex_;
+  mutable std::vector<u64> sizes_;
+};
+
+/// Bernoulli sample without replacement: each element kept independently
+/// with probability `fraction`, deterministic per (seed, partition).
+template <typename T>
+class SampleRdd final : public Rdd<T> {
+ public:
+  SampleRdd(std::shared_ptr<const Rdd<T>> parent, double fraction, u64 seed)
+      : Rdd<T>("sample", parent->num_partitions(), {parent}),
+        parent_(std::move(parent)),
+        fraction_(fraction),
+        seed_(seed) {}
+
+  [[nodiscard]] std::vector<T> compute(u32 p) const override {
+    Rng rng(derive_seed(seed_, "sample-" + std::to_string(p)));
+    std::vector<T> in = parent_->materialize(p);
+    std::vector<T> out;
+    for (auto& x : in) {
+      if (rng.chance(fraction_)) out.push_back(std::move(x));
+    }
+    return out;
+  }
+
+ private:
+  std::shared_ptr<const Rdd<T>> parent_;
+  double fraction_;
+  u64 seed_;
+};
+
+/// Collapse each partition into a single vector element (Spark's glom).
+template <typename T>
+class GlomRdd final : public Rdd<std::vector<T>> {
+ public:
+  explicit GlomRdd(std::shared_ptr<const Rdd<T>> parent)
+      : Rdd<std::vector<T>>("glom", parent->num_partitions(), {parent}),
+        parent_(std::move(parent)) {}
+
+  [[nodiscard]] std::vector<std::vector<T>> compute(u32 p) const override {
+    std::vector<std::vector<T>> out;
+    out.push_back(parent_->materialize(p));
+    return out;
+  }
+
+ private:
+  std::shared_ptr<const Rdd<T>> parent_;
+};
+
+// --- factory helpers (free functions; keep Rdd<T> itself lean) ---
+
+template <typename T, typename F>
+auto flat_map(std::shared_ptr<const Rdd<T>> rdd, F fn,
+              std::string name = "flatMap") {
+  using Produced = std::invoke_result_t<F, T&>;
+  using U = typename Produced::value_type;
+  return std::static_pointer_cast<Rdd<U>>(
+      std::make_shared<FlatMapRdd<T, U, F>>(std::move(rdd), std::move(fn),
+                                            std::move(name)));
+}
+
+template <typename T>
+std::shared_ptr<Rdd<T>> union_rdds(std::shared_ptr<const Rdd<T>> left,
+                                   std::shared_ptr<const Rdd<T>> right) {
+  return std::make_shared<UnionRdd<T>>(std::move(left), std::move(right));
+}
+
+template <typename T>
+std::shared_ptr<Rdd<std::pair<T, u64>>> zip_with_index(
+    std::shared_ptr<const Rdd<T>> rdd) {
+  return std::make_shared<ZipWithIndexRdd<T>>(std::move(rdd));
+}
+
+template <typename T>
+std::shared_ptr<Rdd<T>> sample(std::shared_ptr<const Rdd<T>> rdd,
+                               double fraction, u64 seed) {
+  return std::make_shared<SampleRdd<T>>(std::move(rdd), fraction, seed);
+}
+
+template <typename T>
+std::shared_ptr<Rdd<std::vector<T>>> glom(std::shared_ptr<const Rdd<T>> rdd) {
+  return std::make_shared<GlomRdd<T>>(std::move(rdd));
+}
+
+}  // namespace sdb::minispark

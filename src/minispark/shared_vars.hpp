@@ -1,0 +1,88 @@
+// Spark's two shared-variable kinds, as used by the paper (Section IV.B):
+//
+//   * Broadcast<T> — read-only, shipped once per executor, not per task.
+//     The paper broadcasts eps, minpts, the partition map, and — crucially —
+//     the kd-tree over the whole dataset, which is what lets executors
+//     compute globally-exact neighborhoods with no peer communication.
+//   * Accumulator<T> — write-only from executors, merged associatively in
+//     the driver. The paper uses one to bring every executor's partial
+//     clusters back to the driver at the end of the foreach.
+//
+// In-process, values are shared by pointer (zero-copy); the *declared* byte
+// size feeds the network cost model so the simulated clock prices the
+// shipment the way a real cluster would.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "util/common.hpp"
+#include "util/counters.hpp"
+
+namespace sdb::minispark {
+
+template <typename T>
+class Broadcast {
+ public:
+  Broadcast() = default;
+  Broadcast(std::shared_ptr<const T> value, u64 bytes)
+      : value_(std::move(value)), bytes_(bytes) {}
+
+  [[nodiscard]] const T& value() const {
+    SDB_CHECK(value_ != nullptr, "empty Broadcast dereferenced");
+    return *value_;
+  }
+  [[nodiscard]] u64 bytes() const { return bytes_; }
+  [[nodiscard]] bool valid() const { return value_ != nullptr; }
+
+ private:
+  std::shared_ptr<const T> value_;
+  u64 bytes_ = 0;
+};
+
+/// Accumulator with a user merge operation. add() may be called from any
+/// task thread; value() must only be read in the driver after the job
+/// completes (Spark's contract — enforced here only by convention, verified
+/// by the scheduler which snapshots after the barrier).
+template <typename T>
+class Accumulator {
+ public:
+  using Merge = std::function<void(T& into, T&& delta)>;
+
+  Accumulator(T zero, Merge merge)
+      : value_(std::move(zero)), merge_(std::move(merge)) {}
+
+  /// Fold `delta` into the accumulator. `bytes` is the serialized size of
+  /// the delta, charged to the calling task's network counter (accumulator
+  /// updates ride the task-completion message in Spark).
+  void add(T delta, u64 bytes) {
+    counters::net_bytes(bytes);
+    const std::scoped_lock lock(mutex_);
+    merge_(value_, std::move(delta));
+    total_bytes_ += bytes;
+    ++updates_;
+  }
+
+  /// Driver-side read.
+  [[nodiscard]] const T& value() const { return value_; }
+  [[nodiscard]] T& mutable_value() { return value_; }
+  [[nodiscard]] u64 total_bytes() const { return total_bytes_; }
+  [[nodiscard]] u64 updates() const { return updates_; }
+
+ private:
+  T value_;
+  Merge merge_;
+  std::mutex mutex_;
+  u64 total_bytes_ = 0;
+  u64 updates_ = 0;
+};
+
+/// Convenience numeric sum accumulator.
+template <typename T>
+std::shared_ptr<Accumulator<T>> make_sum_accumulator(T zero = T{}) {
+  return std::make_shared<Accumulator<T>>(
+      std::move(zero), [](T& into, T&& delta) { into += delta; });
+}
+
+}  // namespace sdb::minispark

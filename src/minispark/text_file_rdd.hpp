@@ -1,0 +1,48 @@
+// textFile source RDD: one partition per MiniDfs block, TextInputFormat
+// record splitting, HDFS-style preferred locations from block replicas.
+#pragma once
+
+#include <string>
+
+#include "dfs/mini_dfs.hpp"
+#include "minispark/rdd.hpp"
+
+namespace sdb::minispark {
+
+class TextFileRdd final : public Rdd<std::string> {
+ public:
+  /// The RDD keeps a reference to `dfs`; the caller must keep it alive for
+  /// the lifetime of all jobs over this RDD.
+  TextFileRdd(const dfs::MiniDfs& dfs, std::string path)
+      : Rdd<std::string>("textFile(" + path + ")",
+                         std::max<size_t>(1, dfs.stat(path).blocks.size()),
+                         {}),
+        dfs_(dfs),
+        path_(std::move(path)) {}
+
+  [[nodiscard]] std::vector<std::string> compute(u32 p) const override {
+    std::vector<std::string> lines;
+    if (p >= dfs_.stat(path_).blocks.size()) return lines;  // empty file edge
+    const std::string split = dfs_.read_text_split(path_, p);
+    size_t pos = 0;
+    while (pos < split.size()) {
+      size_t eol = split.find('\n', pos);
+      if (eol == std::string::npos) eol = split.size();
+      lines.emplace_back(split, pos, eol - pos);
+      pos = eol + 1;
+    }
+    return lines;
+  }
+
+  [[nodiscard]] std::vector<u32> preferred_locations(u32 partition) const override {
+    const auto& blocks = dfs_.stat(path_).blocks;
+    if (partition >= blocks.size()) return {};
+    return blocks[partition].replicas;
+  }
+
+ private:
+  const dfs::MiniDfs& dfs_;
+  std::string path_;
+};
+
+}  // namespace sdb::minispark

@@ -1,0 +1,28 @@
+#include "spatial/brute_force.hpp"
+
+#include "geom/distance.hpp"
+
+namespace sdb {
+
+void BruteForceIndex::range_query(std::span<const double> q, double eps,
+                                  std::vector<PointId>& out) const {
+  range_query_budgeted(q, eps, QueryBudget{}, out);
+}
+
+void BruteForceIndex::range_query_budgeted(std::span<const double> q,
+                                           double eps,
+                                           const QueryBudget& budget,
+                                           std::vector<PointId>& out) const {
+  const double eps2 = eps * eps;
+  u64 found = 0;
+  const auto n = static_cast<PointId>(points_.size());
+  for (PointId i = 0; i < n; ++i) {
+    if (squared_distance(q, points_[i]) <= eps2) {
+      out.push_back(i);
+      ++found;
+      if (budget.max_neighbors != 0 && found >= budget.max_neighbors) return;
+    }
+  }
+}
+
+}  // namespace sdb

@@ -1,0 +1,29 @@
+// Naive O(n) per query index — the paper's "O(n^2) linear search" baseline.
+#pragma once
+
+#include "spatial/spatial_index.hpp"
+
+namespace sdb {
+
+class BruteForceIndex final : public SpatialIndex {
+ public:
+  /// The index keeps a reference to `points`; the caller must keep the
+  /// PointSet alive for the index's lifetime.
+  explicit BruteForceIndex(const PointSet& points) : points_(points) {}
+
+  void range_query(std::span<const double> q, double eps,
+                   std::vector<PointId>& out) const override;
+
+  void range_query_budgeted(std::span<const double> q, double eps,
+                            const QueryBudget& budget,
+                            std::vector<PointId>& out) const override;
+
+  [[nodiscard]] size_t size() const override { return points_.size(); }
+  [[nodiscard]] u64 byte_size() const override { return points_.byte_size(); }
+  [[nodiscard]] const char* name() const override { return "brute-force"; }
+
+ private:
+  const PointSet& points_;
+};
+
+}  // namespace sdb

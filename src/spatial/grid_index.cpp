@@ -1,0 +1,101 @@
+#include "spatial/grid_index.hpp"
+
+#include <cmath>
+
+#include "geom/distance.hpp"
+
+namespace sdb {
+
+GridIndex::GridIndex(const PointSet& points, double cell)
+    : points_(points), cell_(cell) {
+  SDB_CHECK(cell > 0.0, "grid cell size must be positive");
+  std::vector<i64> coords(static_cast<size_t>(points_.dim()));
+  for (PointId i = 0; i < static_cast<PointId>(points_.size()); ++i) {
+    cell_coords(points_[i], coords);
+    cells_[coords_key(coords)].push_back(i);
+  }
+}
+
+void GridIndex::cell_coords(std::span<const double> p,
+                            std::vector<i64>& coords) const {
+  for (size_t d = 0; d < p.size(); ++d) {
+    coords[d] = static_cast<i64>(std::floor(p[d] / cell_));
+  }
+}
+
+u64 GridIndex::coords_key(const std::vector<i64>& coords) const {
+  // Mix the per-dimension cell indices into one 64-bit key.
+  u64 h = 1469598103934665603ull;
+  for (const i64 c : coords) {
+    h ^= static_cast<u64>(c) + 0x9e3779b97f4a7c15ull;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+u64 GridIndex::cell_key(std::span<const double> p) const {
+  std::vector<i64> coords(p.size());
+  cell_coords(p, coords);
+  return coords_key(coords);
+}
+
+void GridIndex::range_query(std::span<const double> q, double eps,
+                            std::vector<PointId>& out) const {
+  range_query_budgeted(q, eps, QueryBudget{}, out);
+}
+
+void GridIndex::range_query_budgeted(std::span<const double> q, double eps,
+                                     const QueryBudget& budget,
+                                     std::vector<PointId>& out) const {
+  const int dim = points_.dim();
+  // The query radius may exceed the cell edge; compute the cell reach.
+  const i64 reach = static_cast<i64>(std::ceil(eps / cell_));
+  std::vector<i64> base(static_cast<size_t>(dim));
+  cell_coords(q, base);
+
+  const double eps2 = eps * eps;
+  u64 found = 0;
+  u64 visited_cells = 0;
+  bool stopped = false;
+
+  // Enumerate the (2*reach+1)^dim neighbor cells by odometer.
+  std::vector<i64> offset(static_cast<size_t>(dim), -reach);
+  std::vector<i64> coords(static_cast<size_t>(dim));
+  for (;;) {
+    for (int d = 0; d < dim; ++d) coords[d] = base[d] + offset[d];
+    ++visited_cells;
+    counters::tree_nodes(1);
+    if (budget.max_nodes != 0 && visited_cells > budget.max_nodes) break;
+    if (auto it = cells_.find(coords_key(coords)); it != cells_.end()) {
+      for (const PointId id : it->second) {
+        if (squared_distance(q, points_[id]) <= eps2) {
+          out.push_back(id);
+          ++found;
+          if (budget.max_neighbors != 0 && found >= budget.max_neighbors) {
+            stopped = true;
+            break;
+          }
+        }
+      }
+    }
+    if (stopped) break;
+    // Advance the odometer.
+    int d = 0;
+    for (; d < dim; ++d) {
+      if (++offset[d] <= reach) break;
+      offset[d] = -reach;
+    }
+    if (d == dim) break;
+  }
+}
+
+u64 GridIndex::byte_size() const {
+  u64 bytes = points_.byte_size();
+  for (const auto& [key, ids] : cells_) {
+    (void)key;
+    bytes += sizeof(u64) + ids.size() * sizeof(PointId);
+  }
+  return bytes;
+}
+
+}  // namespace sdb

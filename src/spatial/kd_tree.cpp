@@ -1,0 +1,193 @@
+#include "spatial/kd_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "geom/distance.hpp"
+
+namespace sdb {
+
+KdTree::KdTree(const PointSet& points, int leaf_size)
+    : points_(points), leaf_size_(std::max(1, leaf_size)) {
+  ids_.resize(points_.size());
+  std::iota(ids_.begin(), ids_.end(), PointId{0});
+  if (!ids_.empty()) {
+    nodes_.reserve(2 * ids_.size() / static_cast<size_t>(leaf_size_) + 4);
+    root_ = build(0, static_cast<u32>(ids_.size()), 0);
+  }
+}
+
+i32 KdTree::build(u32 begin, u32 end, int depth) {
+  depth_ = std::max(depth_, depth);
+  const int dim = points_.dim();
+
+  // Tight bounding box over [begin, end).
+  const u32 box_offset = static_cast<u32>(boxes_.size());
+  boxes_.resize(boxes_.size() + 2 * static_cast<size_t>(dim));
+  double* lo = boxes_.data() + box_offset;
+  double* hi = lo + dim;
+  std::fill(lo, lo + dim, std::numeric_limits<double>::infinity());
+  std::fill(hi, hi + dim, -std::numeric_limits<double>::infinity());
+  for (u32 i = begin; i < end; ++i) {
+    const auto p = points_[ids_[i]];
+    for (int d = 0; d < dim; ++d) {
+      lo[d] = std::min(lo[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
+
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  node.box = box_offset;
+
+  if (end - begin <= static_cast<u32>(leaf_size_)) {
+    const i32 id = static_cast<i32>(nodes_.size());
+    nodes_.push_back(node);
+    return id;
+  }
+
+  // Split on the dimension of largest spread at the median.
+  int best_dim = 0;
+  double best_spread = -1.0;
+  for (int d = 0; d < dim; ++d) {
+    const double spread = hi[d] - lo[d];
+    if (spread > best_spread) {
+      best_spread = spread;
+      best_dim = d;
+    }
+  }
+  const u32 mid = begin + (end - begin) / 2;
+  std::nth_element(ids_.begin() + begin, ids_.begin() + mid,
+                   ids_.begin() + end, [&](PointId a, PointId b) {
+                     return points_[a][best_dim] < points_[b][best_dim];
+                   });
+  node.split_dim = best_dim;
+  node.split_value = points_[ids_[mid]][best_dim];
+
+  // Degenerate spread (all coordinates equal): keep as leaf to guarantee
+  // termination.
+  if (best_spread <= 0.0) {
+    const i32 id = static_cast<i32>(nodes_.size());
+    nodes_.push_back(node);
+    return id;
+  }
+
+  const i32 id = static_cast<i32>(nodes_.size());
+  nodes_.push_back(node);  // reserve the slot; children reference is patched
+  const i32 left = build(begin, mid, depth + 1);
+  const i32 right = build(mid, end, depth + 1);
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+double KdTree::box_distance2(const Node& node,
+                             std::span<const double> q) const {
+  const int dim = points_.dim();
+  const double* lo = boxes_.data() + node.box;
+  const double* hi = lo + dim;
+  double s = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    double diff = 0.0;
+    if (q[d] < lo[d]) diff = lo[d] - q[d];
+    else if (q[d] > hi[d]) diff = q[d] - hi[d];
+    s += diff * diff;
+  }
+  return s;
+}
+
+void KdTree::range_query(std::span<const double> q, double eps,
+                         std::vector<PointId>& out) const {
+  range_query_budgeted(q, eps, QueryBudget{}, out);
+}
+
+void KdTree::range_query_budgeted(std::span<const double> q, double eps,
+                                  const QueryBudget& budget,
+                                  std::vector<PointId>& out) const {
+  if (root_ < 0) return;
+  QueryState st{eps, eps * eps, &budget, &out};
+  query_node(root_, q, st);
+}
+
+void KdTree::query_node(i32 node_id, std::span<const double> q,
+                        QueryState& st) const {
+  if (st.stopped) return;
+  const Node& node = nodes_[static_cast<size_t>(node_id)];
+  ++st.nodes_visited;
+  counters::tree_nodes(1);
+  if (st.budget->max_nodes != 0 && st.nodes_visited > st.budget->max_nodes) {
+    st.stopped = true;  // the paper's branch-pruning cutoff
+    return;
+  }
+  if (box_distance2(node, q) > st.eps2) return;
+
+  if (node.is_leaf()) {
+    for (u32 i = node.begin; i < node.end && !st.stopped; ++i) {
+      const PointId id = ids_[i];
+      if (squared_distance(q, points_[id]) <= st.eps2) {
+        st.out->push_back(id);
+        ++st.found;
+        if (st.budget->max_neighbors != 0 &&
+            st.found >= st.budget->max_neighbors) {
+          st.stopped = true;
+        }
+      }
+    }
+    return;
+  }
+
+  // Descend the side containing q first: with a neighbor budget this
+  // reports the densest nearby region before the cutoff fires.
+  const bool left_first = q[node.split_dim] <= node.split_value;
+  query_node(left_first ? node.left : node.right, q, st);
+  query_node(left_first ? node.right : node.left, q, st);
+}
+
+std::vector<PointId> KdTree::knn(std::span<const double> q, size_t k) const {
+  // Max-heap of (distance2, id); bounded to k entries.
+  using Entry = std::pair<double, PointId>;
+  std::priority_queue<Entry> heap;
+  if (root_ < 0 || k == 0) return {};
+
+  // Iterative best-first would be faster; recursive depth-first with heap
+  // pruning is simpler and the call sites (examples, tests) are small.
+  auto visit = [&](auto&& self, i32 node_id) -> void {
+    const Node& node = nodes_[static_cast<size_t>(node_id)];
+    counters::tree_nodes(1);
+    if (heap.size() == k && box_distance2(node, q) > heap.top().first) return;
+    if (node.is_leaf()) {
+      for (u32 i = node.begin; i < node.end; ++i) {
+        const PointId id = ids_[i];
+        const double d2 = squared_distance(q, points_[id]);
+        if (heap.size() < k) {
+          heap.emplace(d2, id);
+        } else if (d2 < heap.top().first) {
+          heap.pop();
+          heap.emplace(d2, id);
+        }
+      }
+      return;
+    }
+    const bool left_first = q[node.split_dim] <= node.split_value;
+    self(self, left_first ? node.left : node.right);
+    self(self, left_first ? node.right : node.left);
+  };
+  visit(visit, root_);
+
+  std::vector<PointId> out(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[i] = heap.top().second;
+    heap.pop();
+  }
+  return out;
+}
+
+u64 KdTree::byte_size() const {
+  return points_.byte_size() + ids_.size() * sizeof(PointId) +
+         nodes_.size() * sizeof(Node) + boxes_.size() * sizeof(double);
+}
+
+}  // namespace sdb

@@ -1,0 +1,59 @@
+// Abstract eps-neighborhood index.
+//
+// DBSCAN (Algorithm 1/2 in the paper) only needs one spatial primitive:
+// "all points within eps of q". The paper uses a kd-tree broadcast to every
+// executor; this interface lets the clustering code run against the kd-tree,
+// a uniform grid, or the naive O(n^2) scan so the paper's complexity claims
+// (Section V.B) can be measured rather than asserted.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "geom/point_set.hpp"
+#include "util/common.hpp"
+
+namespace sdb {
+
+/// Optional limits for approximate ("pruning branches") queries used by the
+/// paper for the 1M-point runs. Zero means unlimited.
+struct QueryBudget {
+  /// Stop reporting once this many neighbors were found (0 = exact).
+  u64 max_neighbors = 0;
+  /// Stop descending once this many tree nodes / grid cells were visited
+  /// (0 = exact).
+  u64 max_nodes = 0;
+
+  [[nodiscard]] bool exact() const {
+    return max_neighbors == 0 && max_nodes == 0;
+  }
+};
+
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Append the ids of all points within `eps` of `q` to `out` (out is NOT
+  /// cleared). Includes the query point itself if it is in the dataset.
+  virtual void range_query(std::span<const double> q, double eps,
+                           std::vector<PointId>& out) const = 0;
+
+  /// Budgeted range query; an exact index may ignore the budget only when
+  /// budget.exact() is true.
+  virtual void range_query_budgeted(std::span<const double> q, double eps,
+                                    const QueryBudget& budget,
+                                    std::vector<PointId>& out) const = 0;
+
+  /// Number of indexed points.
+  [[nodiscard]] virtual size_t size() const = 0;
+
+  /// Approximate serialized size in bytes; prices the paper's broadcast of
+  /// the kd-tree to every executor.
+  [[nodiscard]] virtual u64 byte_size() const = 0;
+
+  /// Human-readable name used in bench output.
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+}  // namespace sdb

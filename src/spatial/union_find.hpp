@@ -1,0 +1,62 @@
+// Disjoint-set forest with union by rank + path halving.
+//
+// Used by the driver-side UnionFind merge strategy (the sound alternative to
+// the paper's single-pass Algorithm 4) and by the clustering-equivalence
+// checker. Patwary et al.'s PDSDBSCAN — the accuracy comparator the paper
+// cites — is built on the same structure.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/counters.hpp"
+
+namespace sdb {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), rank_(n, 0) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+
+  /// Representative of x's set (with path halving).
+  size_t find(size_t x) {
+    SDB_DCHECK(x < parent_.size(), "UnionFind::find out of range");
+    while (parent_[x] != x) {
+      counters::merge_ops(1);
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merge the sets of a and b. Returns true if they were distinct.
+  bool unite(size_t a, size_t b) {
+    a = find(a);
+    b = find(b);
+    counters::merge_ops(1);
+    if (a == b) return false;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+    --sets_;
+    return true;
+  }
+
+  [[nodiscard]] bool same(size_t a, size_t b) {
+    return find(a) == find(b);
+  }
+
+  [[nodiscard]] size_t size() const { return parent_.size(); }
+
+  /// Number of disjoint sets remaining.
+  [[nodiscard]] size_t set_count() const { return sets_; }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<u32> rank_;
+  size_t sets_ = parent_.size();
+};
+
+}  // namespace sdb

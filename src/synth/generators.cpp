@@ -1,0 +1,212 @@
+#include "synth/generators.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+namespace sdb::synth {
+
+double ball_volume(int dim, double r) {
+  const double d = dim;
+  return std::pow(std::numbers::pi, d / 2.0) / std::tgamma(d / 2.0 + 1.0) *
+         std::pow(r, d);
+}
+
+double uniform_box_side(i64 n, int dim, double eps, double target_neighbors) {
+  SDB_CHECK(n > 0 && target_neighbors > 0, "bad uniform_box_side arguments");
+  // Expected neighbors = n * V_ball(eps) / side^dim  => solve for side.
+  const double volume = static_cast<double>(n) * ball_volume(dim, eps) /
+                        target_neighbors;
+  return std::pow(volume, 1.0 / dim);
+}
+
+PointSet gaussian_clusters(const GaussianMixtureConfig& cfg, Rng& rng,
+                           std::vector<i32>* true_labels) {
+  SDB_CHECK(cfg.n > 0 && cfg.dim > 0 && cfg.clusters > 0,
+            "bad GaussianMixtureConfig");
+  PointSet points(cfg.dim);
+  points.reserve(static_cast<size_t>(cfg.n));
+  if (true_labels != nullptr) {
+    true_labels->clear();
+    true_labels->reserve(static_cast<size_t>(cfg.n));
+  }
+
+  // Sample well-separated centers by rejection (bounded retries; if the box
+  // is too crowded we accept the best effort — the datasets remain valid,
+  // just with potentially touching clusters).
+  const double min_sep2 = cfg.center_separation_sigmas * cfg.sigma *
+                          cfg.center_separation_sigmas * cfg.sigma;
+  std::vector<std::vector<double>> centers;
+  centers.reserve(static_cast<size_t>(cfg.clusters));
+  for (int c = 0; c < cfg.clusters; ++c) {
+    std::vector<double> best(static_cast<size_t>(cfg.dim));
+    for (int attempt = 0; attempt < 256; ++attempt) {
+      std::vector<double> cand(static_cast<size_t>(cfg.dim));
+      for (auto& x : cand) x = rng.uniform(0.0, cfg.box_side);
+      bool ok = true;
+      for (const auto& existing : centers) {
+        double d2 = 0.0;
+        for (int d = 0; d < cfg.dim; ++d) {
+          const double diff = cand[d] - existing[d];
+          d2 += diff * diff;
+        }
+        if (d2 < min_sep2) {
+          ok = false;
+          break;
+        }
+      }
+      best = cand;
+      if (ok) break;
+    }
+    centers.push_back(std::move(best));
+  }
+
+  const i64 noise_count =
+      static_cast<i64>(std::llround(cfg.noise_fraction * cfg.n));
+  std::vector<double> p(static_cast<size_t>(cfg.dim));
+  for (i64 i = 0; i < cfg.n; ++i) {
+    if (i < noise_count) {
+      for (auto& x : p) x = rng.uniform(0.0, cfg.box_side);
+      points.add(p);
+      if (true_labels != nullptr) true_labels->push_back(-1);
+      continue;
+    }
+    const auto c = static_cast<size_t>(rng.uniform_index(centers.size()));
+    for (int d = 0; d < cfg.dim; ++d) {
+      p[static_cast<size_t>(d)] = rng.normal(centers[c][static_cast<size_t>(d)], cfg.sigma);
+    }
+    points.add(p);
+    if (true_labels != nullptr) true_labels->push_back(static_cast<i32>(c));
+  }
+  return points;
+}
+
+PointSet uniform_points(const UniformConfig& cfg, Rng& rng) {
+  SDB_CHECK(cfg.n > 0 && cfg.dim > 0, "bad UniformConfig");
+  const double side =
+      cfg.box_side > 0.0
+          ? cfg.box_side
+          : uniform_box_side(cfg.n, cfg.dim, cfg.eps, cfg.target_neighbors);
+  PointSet points(cfg.dim);
+  points.reserve(static_cast<size_t>(cfg.n));
+  std::vector<double> p(static_cast<size_t>(cfg.dim));
+  for (i64 i = 0; i < cfg.n; ++i) {
+    for (auto& x : p) x = rng.uniform(0.0, side);
+    points.add(p);
+  }
+  return points;
+}
+
+namespace {
+
+void median_order(const PointSet& points, std::vector<PointId>& ids,
+                  size_t begin, size_t end, int leaf) {
+  if (end - begin <= static_cast<size_t>(leaf)) return;
+  const int dim = points.dim();
+  int best = 0;
+  double spread = -1.0;
+  for (int d = 0; d < dim; ++d) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (size_t i = begin; i < end; ++i) {
+      const double x = points[ids[i]][static_cast<size_t>(d)];
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    if (hi - lo > spread) {
+      spread = hi - lo;
+      best = d;
+    }
+  }
+  if (spread <= 0.0) return;
+  const size_t mid = begin + (end - begin) / 2;
+  std::nth_element(ids.begin() + static_cast<long>(begin),
+                   ids.begin() + static_cast<long>(mid),
+                   ids.begin() + static_cast<long>(end),
+                   [&](PointId a, PointId b) {
+                     return points[a][static_cast<size_t>(best)] <
+                            points[b][static_cast<size_t>(best)];
+                   });
+  median_order(points, ids, begin, mid, leaf);
+  median_order(points, ids, mid, end, leaf);
+}
+
+}  // namespace
+
+PointSet spatially_sorted(const PointSet& points, int leaf) {
+  std::vector<PointId> ids(points.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<PointId>(i);
+  median_order(points, ids, 0, ids.size(), std::max(1, leaf));
+  PointSet out(points.dim());
+  out.reserve(points.size());
+  for (const PointId id : ids) out.add(points[id]);
+  return out;
+}
+
+PointSet two_moons(i64 n_per_moon, double noise_sigma, Rng& rng) {
+  PointSet points(2);
+  points.reserve(static_cast<size_t>(2 * n_per_moon));
+  for (i64 i = 0; i < n_per_moon; ++i) {
+    const double t = std::numbers::pi * rng.uniform();
+    const double p[2] = {std::cos(t) + rng.normal(0.0, noise_sigma),
+                         std::sin(t) + rng.normal(0.0, noise_sigma)};
+    points.add(p);
+  }
+  for (i64 i = 0; i < n_per_moon; ++i) {
+    const double t = std::numbers::pi * rng.uniform();
+    const double p[2] = {1.0 - std::cos(t) + rng.normal(0.0, noise_sigma),
+                         0.5 - std::sin(t) + rng.normal(0.0, noise_sigma)};
+    points.add(p);
+  }
+  return points;
+}
+
+PointSet rings(i64 n_per_ring, int num_rings, double noise_sigma,
+               i64 background_noise, Rng& rng) {
+  PointSet points(2);
+  points.reserve(static_cast<size_t>(n_per_ring * num_rings + background_noise));
+  const double max_r = static_cast<double>(num_rings);
+  for (int ring = 1; ring <= num_rings; ++ring) {
+    const double r = static_cast<double>(ring);
+    for (i64 i = 0; i < n_per_ring; ++i) {
+      const double t = 2.0 * std::numbers::pi * rng.uniform();
+      const double rr = r + rng.normal(0.0, noise_sigma);
+      const double p[2] = {rr * std::cos(t), rr * std::sin(t)};
+      points.add(p);
+    }
+  }
+  for (i64 i = 0; i < background_noise; ++i) {
+    const double p[2] = {rng.uniform(-max_r - 1, max_r + 1),
+                         rng.uniform(-max_r - 1, max_r + 1)};
+    points.add(p);
+  }
+  return points;
+}
+
+PointSet blobs_2d(i64 n, int num_blobs, double sigma, i64 background_noise,
+                  Rng& rng, std::vector<i32>* true_labels) {
+  PointSet points(2);
+  points.reserve(static_cast<size_t>(n + background_noise));
+  if (true_labels != nullptr) true_labels->clear();
+  const double side = 10.0 * sigma * std::sqrt(static_cast<double>(num_blobs));
+  std::vector<std::array<double, 2>> centers;
+  centers.reserve(static_cast<size_t>(num_blobs));
+  for (int b = 0; b < num_blobs; ++b) {
+    centers.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side)});
+  }
+  for (i64 i = 0; i < n; ++i) {
+    const auto b = static_cast<size_t>(rng.uniform_index(centers.size()));
+    const double p[2] = {rng.normal(centers[b][0], sigma),
+                         rng.normal(centers[b][1], sigma)};
+    points.add(p);
+    if (true_labels != nullptr) true_labels->push_back(static_cast<i32>(b));
+  }
+  for (i64 i = 0; i < background_noise; ++i) {
+    const double p[2] = {rng.uniform(0.0, side), rng.uniform(0.0, side)};
+    points.add(p);
+    if (true_labels != nullptr) true_labels->push_back(-1);
+  }
+  return points;
+}
+
+}  // namespace sdb::synth

@@ -1,0 +1,86 @@
+#include "synth/io.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "util/serialize.hpp"
+
+namespace sdb::synth {
+
+std::string to_text(const PointSet& points) {
+  std::string out;
+  // ~24 chars per coordinate is a safe reservation for %.17g doubles.
+  out.reserve(points.size() * static_cast<size_t>(points.dim()) * 24);
+  char buf[64];
+  for (PointId i = 0; i < static_cast<PointId>(points.size()); ++i) {
+    const auto p = points[i];
+    for (size_t d = 0; d < p.size(); ++d) {
+      const int len = std::snprintf(buf, sizeof(buf), "%.17g", p[d]);
+      if (d > 0) out.push_back(' ');
+      out.append(buf, static_cast<size_t>(len));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+PointSet from_text(const std::string& text) {
+  PointSet points;
+  std::vector<double> coords;
+  int dim = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    coords.clear();
+    size_t p = pos;
+    while (p < eol) {
+      while (p < eol && (text[p] == ' ' || text[p] == '\t' || text[p] == '\r')) {
+        ++p;
+      }
+      if (p >= eol) break;
+      size_t q = p;
+      while (q < eol && text[q] != ' ' && text[q] != '\t' && text[q] != '\r') {
+        ++q;
+      }
+      double value = 0.0;
+      const auto [ptr, ec] = std::from_chars(text.data() + p, text.data() + q, value);
+      SDB_CHECK(ec == std::errc{} && ptr == text.data() + q,
+                "malformed coordinate in point text");
+      coords.push_back(value);
+      p = q;
+    }
+    pos = eol + 1;
+    if (coords.empty()) continue;  // skip blank lines
+    if (dim == 0) {
+      dim = static_cast<int>(coords.size());
+      points = PointSet(dim);
+    }
+    SDB_CHECK(static_cast<int>(coords.size()) == dim,
+              "inconsistent dimensionality in point text");
+    points.add(coords);
+  }
+  if (dim == 0) return PointSet(1);  // empty input -> empty 1-d set
+  return points;
+}
+
+void save_binary(const PointSet& points, const std::string& path) {
+  BinaryWriter w;
+  w.write_u32(static_cast<u32>(points.dim()));
+  w.write_u64(points.size());
+  w.write_f64_vec(points.raw());
+  write_file(path, w.buffer());
+}
+
+PointSet load_binary(const std::string& path) {
+  const std::vector<char> data = read_file(path);
+  BinaryReader r(data);
+  const int dim = static_cast<int>(r.read_u32());
+  const u64 n = r.read_u64();
+  std::vector<double> raw = r.read_f64_vec();
+  SDB_CHECK(raw.size() == n * static_cast<u64>(dim), "corrupt binary point file");
+  return PointSet(dim, std::move(raw));
+}
+
+}  // namespace sdb::synth

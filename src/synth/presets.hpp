@@ -1,0 +1,43 @@
+// Table I dataset presets.
+//
+// Name    Points      d   eps  minpts  kind
+// c10k    10,000      10  25   5       synthetic-cluster (Gaussian mixture)
+// c100k   102,400     10  25   5       synthetic-cluster
+// r10k    10,000      10  25   5       uniform random
+// r100k   102,400     10  25   5       uniform random
+// r1m     1,024,000   10  25   5       uniform random
+//
+// `scale` uniformly shrinks the point counts (benches default to reduced
+// scale on laptop-class hosts; --full restores the paper's sizes).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "synth/generators.hpp"
+
+namespace sdb::synth {
+
+enum class DatasetKind { kCluster, kUniform };
+
+struct DatasetSpec {
+  std::string name;
+  i64 points = 0;
+  int dim = 10;
+  double eps = 25.0;
+  i64 minpts = 5;
+  DatasetKind kind = DatasetKind::kUniform;
+};
+
+/// All five Table I presets, in the paper's order.
+const std::vector<DatasetSpec>& table1_presets();
+
+/// Look up a preset by name ("c10k", "c100k", "r10k", "r100k", "r1m").
+std::optional<DatasetSpec> find_preset(const std::string& name);
+
+/// Generate the dataset for a preset, deterministically from `seed`.
+/// `scale` in (0, 1] multiplies the point count (1.0 = the paper's size).
+PointSet generate(const DatasetSpec& spec, u64 seed, double scale = 1.0);
+
+}  // namespace sdb::synth

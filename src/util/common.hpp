@@ -1,0 +1,51 @@
+// Basic shared definitions for the sparkdbscan libraries.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace sdb {
+
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+/// Index of a point in the global dataset. The paper's SEED mechanism is
+/// defined entirely in terms of global point indices, so this type appears
+/// throughout the partitioned-DBSCAN code.
+using PointId = std::int64_t;
+
+/// Identifier of a data partition (== executor task in the Spark layer).
+using PartitionId = std::int32_t;
+
+/// Cluster label. kNoise / kUnlabeled are sentinels.
+using ClusterId = std::int64_t;
+inline constexpr ClusterId kNoise = -1;
+inline constexpr ClusterId kUnlabeled = -2;
+
+[[noreturn]] inline void fatal(const char* file, int line, const char* expr,
+                               std::string_view msg) {
+  std::fprintf(stderr, "[sdb fatal] %s:%d: check `%s` failed: %.*s\n", file,
+               line, expr, static_cast<int>(msg.size()), msg.data());
+  std::abort();
+}
+
+}  // namespace sdb
+
+/// Always-on invariant check (benchmarked code avoids it on hot paths).
+#define SDB_CHECK(expr, msg)                      \
+  do {                                            \
+    if (!(expr)) {                                \
+      ::sdb::fatal(__FILE__, __LINE__, #expr, msg); \
+    }                                             \
+  } while (0)
+
+/// Debug-only check: compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define SDB_DCHECK(expr, msg) ((void)0)
+#else
+#define SDB_DCHECK(expr, msg) SDB_CHECK(expr, msg)
+#endif

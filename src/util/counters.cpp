@@ -1,0 +1,26 @@
+#include "util/counters.hpp"
+
+namespace sdb {
+namespace counters {
+
+WorkCounters*& active() {
+  thread_local WorkCounters* sink = nullptr;
+  return sink;
+}
+
+}  // namespace counters
+
+ScopedCounters::ScopedCounters(WorkCounters* sink)
+    : sink_(sink), previous_(counters::active()) {
+  counters::active() = sink_;
+}
+
+ScopedCounters::~ScopedCounters() {
+  counters::active() = previous_;
+  // Propagate to the enclosing scope so nesting accumulates naturally.
+  if (previous_ != nullptr && sink_ != nullptr) {
+    *previous_ += *sink_;
+  }
+}
+
+}  // namespace sdb

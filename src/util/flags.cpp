@@ -1,0 +1,151 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdb {
+namespace {
+
+const char* type_name(int t) {
+  switch (t) {
+    case 0: return "int";
+    case 1: return "float";
+    case 2: return "bool";
+    case 3: return "string";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Flags::add_i64(const std::string& name, i64 v, const std::string& help) {
+  Entry e;
+  e.type = Type::kI64;
+  e.help = help;
+  e.i = v;
+  entries_[name] = e;
+}
+
+void Flags::add_f64(const std::string& name, double v,
+                    const std::string& help) {
+  Entry e;
+  e.type = Type::kF64;
+  e.help = help;
+  e.f = v;
+  entries_[name] = e;
+}
+
+void Flags::add_bool(const std::string& name, bool v, const std::string& help) {
+  Entry e;
+  e.type = Type::kBool;
+  e.help = help;
+  e.b = v;
+  entries_[name] = e;
+}
+
+void Flags::add_string(const std::string& name, const std::string& v,
+                       const std::string& help) {
+  Entry e;
+  e.type = Type::kString;
+  e.help = help;
+  e.s = v;
+  entries_[name] = e;
+}
+
+std::string Flags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, e] : entries_) {
+    os << "  --" << name << " (" << type_name(static_cast<int>(e.type))
+       << ") : " << e.help << " [default: ";
+    switch (e.type) {
+      case Type::kI64: os << e.i; break;
+      case Type::kF64: os << e.f; break;
+      case Type::kBool: os << (e.b ? "true" : "false"); break;
+      case Type::kString: os << '"' << e.s << '"'; break;
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+void Flags::set_from_string(const std::string& name, const std::string& value) {
+  auto it = entries_.find(name);
+  SDB_CHECK(it != entries_.end(), "unknown flag --" + name);
+  Entry& e = it->second;
+  try {
+    switch (e.type) {
+      case Type::kI64: e.i = std::stoll(value); break;
+      case Type::kF64: e.f = std::stod(value); break;
+      case Type::kBool:
+        if (value == "true" || value == "1") {
+          e.b = true;
+        } else if (value == "false" || value == "0") {
+          e.b = false;
+        } else {
+          throw std::invalid_argument("bad bool");
+        }
+        break;
+      case Type::kString: e.s = value; break;
+    }
+  } catch (const std::exception&) {
+    SDB_CHECK(false, "bad value for flag --" + name + ": " + value);
+  }
+}
+
+void Flags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stdout);
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      set_from_string(arg.substr(0, eq), arg.substr(eq + 1));
+      continue;
+    }
+    // "--flag value" form; a bare boolean flag means "true".
+    auto it = entries_.find(arg);
+    SDB_CHECK(it != entries_.end(), "unknown flag --" + arg);
+    if (it->second.type == Type::kBool &&
+        (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+      it->second.b = true;
+      continue;
+    }
+    SDB_CHECK(i + 1 < argc, "flag --" + arg + " expects a value");
+    set_from_string(arg, argv[++i]);
+  }
+}
+
+const Flags::Entry& Flags::lookup(const std::string& name, Type type) const {
+  auto it = entries_.find(name);
+  SDB_CHECK(it != entries_.end(), "flag not registered: " + name);
+  SDB_CHECK(it->second.type == type, "flag type mismatch: " + name);
+  return it->second;
+}
+
+i64 Flags::i64_flag(const std::string& name) const {
+  return lookup(name, Type::kI64).i;
+}
+
+double Flags::f64(const std::string& name) const {
+  return lookup(name, Type::kF64).f;
+}
+
+bool Flags::boolean(const std::string& name) const {
+  return lookup(name, Type::kBool).b;
+}
+
+const std::string& Flags::string(const std::string& name) const {
+  return lookup(name, Type::kString).s;
+}
+
+}  // namespace sdb

@@ -1,0 +1,64 @@
+// Tiny command-line flag parser for the bench harnesses and examples.
+//
+// Usage:
+//   sdb::Flags flags;
+//   flags.add_i64("cores", 8, "number of simulated cores");
+//   flags.add_string("dataset", "c10k", "Table I preset name");
+//   flags.parse(argc, argv);             // accepts --name=value / --name value
+//   i64 cores = flags.i64("cores");
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace sdb {
+
+class Flags {
+ public:
+  void add_i64(const std::string& name, i64 default_value,
+               const std::string& help);
+  void add_f64(const std::string& name, double default_value,
+               const std::string& help);
+  void add_bool(const std::string& name, bool default_value,
+                const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parse argv. Unknown flags or malformed values abort with a usage dump.
+  /// `--help` prints usage and exits(0). Positional arguments are collected
+  /// into positional().
+  void parse(int argc, char** argv);
+
+  [[nodiscard]] i64 i64_flag(const std::string& name) const;
+  [[nodiscard]] double f64(const std::string& name) const;
+  [[nodiscard]] bool boolean(const std::string& name) const;
+  [[nodiscard]] const std::string& string(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Render the usage text (also shown on --help).
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  enum class Type { kI64, kF64, kBool, kString };
+  struct Entry {
+    Type type;
+    std::string help;
+    i64 i = 0;
+    double f = 0;
+    bool b = false;
+    std::string s;
+  };
+
+  const Entry& lookup(const std::string& name, Type type) const;
+  void set_from_string(const std::string& name, const std::string& value);
+
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sdb

@@ -1,0 +1,27 @@
+// Minimal leveled logger (stderr). Thread-safe, printf-style.
+#pragma once
+
+#include <cstdarg>
+
+namespace sdb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the minimum level that is emitted (default: kInfo).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line: "[level] <component>: <message>".
+void log(LogLevel level, const char* component, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace sdb
+
+#define SDB_LOG_DEBUG(component, ...) \
+  ::sdb::log(::sdb::LogLevel::kDebug, component, __VA_ARGS__)
+#define SDB_LOG_INFO(component, ...) \
+  ::sdb::log(::sdb::LogLevel::kInfo, component, __VA_ARGS__)
+#define SDB_LOG_WARN(component, ...) \
+  ::sdb::log(::sdb::LogLevel::kWarn, component, __VA_ARGS__)
+#define SDB_LOG_ERROR(component, ...) \
+  ::sdb::log(::sdb::LogLevel::kError, component, __VA_ARGS__)

@@ -1,0 +1,73 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the reproduction (data generators, straggler
+// model, fault injection, partition shuffling) draws from an sdb::Rng seeded
+// from an explicit value, so all experiments are bit-reproducible.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+#include "util/common.hpp"
+
+namespace sdb {
+
+/// Derive a child seed from a parent seed and a stream name.
+/// Used to give independent deterministic streams to subcomponents
+/// ("generator", "straggler", "faults", ...) from one experiment seed.
+u64 derive_seed(u64 parent, std::string_view stream);
+
+/// Thin deterministic wrapper around mt19937_64 with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(u64 seed) : engine_(seed) {}
+
+  /// Child generator with an independent stream.
+  [[nodiscard]] Rng fork(std::string_view stream) const;
+
+  /// Uniform in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  u64 uniform_index(u64 n) {
+    SDB_DCHECK(n > 0, "uniform_index needs n > 0");
+    return std::uniform_int_distribution<u64>(0, n - 1)(engine_);
+  }
+
+  /// Standard normal.
+  double normal() { return normal_(engine_); }
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given rate.
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& c) {
+    std::shuffle(c.begin(), c.end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  u64 seed_of_fork_ = 0;  // retained for debugging only
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+
+  friend u64 derive_seed(u64, std::string_view);
+};
+
+}  // namespace sdb

@@ -1,0 +1,37 @@
+#include "util/serialize.hpp"
+
+#include <cstdio>
+
+#include "util/counters.hpp"
+
+namespace sdb {
+
+void write_file(const std::string& path, const std::vector<char>& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  SDB_CHECK(f != nullptr, "cannot open for write: " + path);
+  if (!data.empty()) {
+    const size_t n = std::fwrite(data.data(), 1, data.size(), f);
+    SDB_CHECK(n == data.size(), "short write: " + path);
+  }
+  std::fclose(f);
+  counters::bytes_written(data.size());
+}
+
+std::vector<char> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  SDB_CHECK(f != nullptr, "cannot open for read: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  SDB_CHECK(size >= 0, "ftell failed: " + path);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<char> data(static_cast<size_t>(size));
+  if (size > 0) {
+    const size_t n = std::fread(data.data(), 1, data.size(), f);
+    SDB_CHECK(n == data.size(), "short read: " + path);
+  }
+  std::fclose(f);
+  counters::bytes_read(data.size());
+  return data;
+}
+
+}  // namespace sdb

@@ -1,0 +1,112 @@
+// Binary serialization used by the DFS blocks, MapReduce spill files, and
+// minispark's broadcast/accumulator size accounting.
+//
+// Format: little-endian fixed-width scalars, u64 length prefixes for
+// strings/vectors. The writers/readers are deliberately simple: the goal is
+// measurable byte volumes, not schema evolution.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace sdb {
+
+class BinaryWriter {
+ public:
+  void write_u8(u32 v) { buf_.push_back(static_cast<char>(v & 0xff)); }
+  void write_u32(u32 v) { append(&v, sizeof(v)); }
+  void write_u64(u64 v) { append(&v, sizeof(v)); }
+  void write_i64(i64 v) { append(&v, sizeof(v)); }
+  void write_f64(double v) { append(&v, sizeof(v)); }
+
+  void write_string(const std::string& s) {
+    write_u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void write_i64_vec(const std::vector<i64>& v) {
+    write_u64(v.size());
+    append(v.data(), v.size() * sizeof(i64));
+  }
+
+  void write_f64_vec(const std::vector<double>& v) {
+    write_u64(v.size());
+    append(v.data(), v.size() * sizeof(double));
+  }
+
+  [[nodiscard]] const std::vector<char>& buffer() const { return buf_; }
+  [[nodiscard]] u64 size() const { return buf_.size(); }
+  std::vector<char> take() { return std::move(buf_); }
+
+ private:
+  void append(const void* p, size_t n) {
+    const char* c = static_cast<const char*>(p);
+    buf_.insert(buf_.end(), c, c + n);
+  }
+  std::vector<char> buf_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::vector<char>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+  BinaryReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  u32 read_u8() { u32 v = static_cast<unsigned char>(peek(1)[0]); pos_ += 1; return v; }
+  u32 read_u32() { return read_scalar<u32>(); }
+  u64 read_u64() { return read_scalar<u64>(); }
+  i64 read_i64() { return read_scalar<i64>(); }
+  double read_f64() { return read_scalar<double>(); }
+
+  std::string read_string() {
+    const u64 n = read_u64();
+    const char* p = peek(n);
+    pos_ += n;
+    return std::string(p, n);
+  }
+
+  std::vector<i64> read_i64_vec() { return read_vec<i64>(); }
+  std::vector<double> read_f64_vec() { return read_vec<double>(); }
+
+  [[nodiscard]] bool at_end() const { return pos_ == size_; }
+  [[nodiscard]] size_t position() const { return pos_; }
+  [[nodiscard]] size_t remaining() const { return size_ - pos_; }
+
+ private:
+  template <typename T>
+  T read_scalar() {
+    T v;
+    std::memcpy(&v, peek(sizeof(T)), sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> read_vec() {
+    const u64 n = read_u64();
+    std::vector<T> v(n);
+    if (n > 0) {
+      std::memcpy(v.data(), peek(n * sizeof(T)), n * sizeof(T));
+      pos_ += n * sizeof(T);
+    }
+    return v;
+  }
+
+  const char* peek(size_t n) {
+    SDB_CHECK(pos_ + n <= size_, "BinaryReader: truncated input");
+    return data_ + pos_;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Write/read a whole buffer to/from a file. Aborts on IO failure.
+void write_file(const std::string& path, const std::vector<char>& data);
+std::vector<char> read_file(const std::string& path);
+
+}  // namespace sdb

@@ -1,0 +1,33 @@
+// Wall-clock stopwatch used by benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace sdb {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch and return the elapsed seconds up to now.
+  double restart() {
+    const auto now = Clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
+  /// Elapsed seconds since construction or the last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sdb

@@ -1,0 +1,89 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sdb {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SDB_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  SDB_CHECK(cells.size() == headers_.size(), "row/header arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::cell(i64 v) { return std::to_string(v); }
+std::string TablePrinter::cell(u64 v) { return std::to_string(v); }
+
+std::string TablePrinter::to_ascii() const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(width[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  auto emit_rule = [&] {
+    os << '+';
+    for (const size_t w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  emit_rule();
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return os.str();
+}
+
+std::string TablePrinter::to_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (const char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << (c ? "," : "") << quote(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << quote(row[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void TablePrinter::print(const std::string& title) const {
+  if (!title.empty()) std::printf("%s\n", title.c_str());
+  std::fputs(to_ascii().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace sdb

@@ -1,0 +1,42 @@
+// ASCII table / CSV renderer for the benchmark harnesses.
+//
+// Each bench binary prints the same rows/series the paper's table or figure
+// reports; TablePrinter keeps that output aligned and machine-readable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace sdb {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles/ints into cells.
+  static std::string cell(double v, int precision = 3);
+  static std::string cell(i64 v);
+  static std::string cell(u64 v);
+
+  /// Render as an aligned ASCII table.
+  [[nodiscard]] std::string to_ascii() const;
+
+  /// Render as CSV (RFC-4180-ish quoting for commas/quotes).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Print the ASCII table to stdout with an optional title line.
+  void print(const std::string& title = "") const;
+
+  [[nodiscard]] size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sdb

@@ -1,0 +1,54 @@
+// LEB128-style variable-length integer coding plus zigzag, the building
+// block of the compact partial-cluster codec (the paper's Section IV.B note:
+// "choosing an appropriate data serialization format that is both fast and
+// compact" matters because broadcast/accumulator bytes ride the network
+// model).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace sdb {
+
+/// Append `v` to `out` as unsigned LEB128 (1-10 bytes).
+inline void put_varint(std::vector<char>& out, u64 v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Decode one varint from data[pos...], advancing pos. Aborts on truncation
+/// or overlong (>10 byte) encodings.
+inline u64 get_varint(const char* data, size_t size, size_t& pos) {
+  u64 v = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    SDB_CHECK(pos < size, "varint: truncated input");
+    const auto byte = static_cast<unsigned char>(data[pos++]);
+    v |= static_cast<u64>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+  SDB_CHECK(false, "varint: overlong encoding");
+  return 0;
+}
+
+/// Zigzag mapping: small-magnitude signed values -> small unsigned values.
+inline u64 zigzag(i64 v) {
+  return (static_cast<u64>(v) << 1) ^ static_cast<u64>(v >> 63);
+}
+inline i64 unzigzag(u64 v) {
+  return static_cast<i64>(v >> 1) ^ -static_cast<i64>(v & 1);
+}
+
+/// Sorted-id list codec: sort ascending, delta-encode, varint each delta.
+/// Point-id lists inside a partial cluster are dense per partition, so the
+/// deltas are tiny — this is where the compact codec wins its bytes.
+void put_id_list(std::vector<char>& out, std::vector<i64> ids);
+std::vector<i64> get_id_list(const char* data, size_t size, size_t& pos);
+
+}  // namespace sdb

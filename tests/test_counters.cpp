@@ -1,0 +1,101 @@
+#include "util/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace sdb {
+namespace {
+
+TEST(Counters, NoActiveSinkIsNoop) {
+  EXPECT_EQ(counters::active(), nullptr);
+  counters::distance_evals(5);  // must not crash
+}
+
+TEST(Counters, ScopedCollection) {
+  WorkCounters wc;
+  {
+    ScopedCounters scope(&wc);
+    counters::distance_evals(3);
+    counters::hash_ops(2);
+    counters::queue_ops(7);
+  }
+  EXPECT_EQ(wc.distance_evals, 3u);
+  EXPECT_EQ(wc.hash_ops, 2u);
+  EXPECT_EQ(wc.queue_ops, 7u);
+  EXPECT_EQ(counters::active(), nullptr);
+}
+
+TEST(Counters, NestedScopesPropagateToOuter) {
+  WorkCounters outer;
+  {
+    ScopedCounters a(&outer);
+    counters::distance_evals(1);
+    WorkCounters inner;
+    {
+      ScopedCounters b(&inner);
+      counters::distance_evals(10);
+    }
+    EXPECT_EQ(inner.distance_evals, 10u);
+    counters::distance_evals(1);
+  }
+  // outer = its own 2 + inner's 10
+  EXPECT_EQ(outer.distance_evals, 12u);
+}
+
+TEST(Counters, PlusEqualsAggregatesAllFields) {
+  WorkCounters a;
+  a.distance_evals = 1;
+  a.tree_nodes = 2;
+  a.hash_ops = 3;
+  a.queue_ops = 4;
+  a.points_processed = 5;
+  a.seed_ops = 6;
+  a.merge_ops = 7;
+  a.bytes_read = 8;
+  a.bytes_written = 9;
+  a.net_bytes = 10;
+  WorkCounters b = a;
+  b += a;
+  EXPECT_EQ(b.distance_evals, 2u);
+  EXPECT_EQ(b.tree_nodes, 4u);
+  EXPECT_EQ(b.hash_ops, 6u);
+  EXPECT_EQ(b.queue_ops, 8u);
+  EXPECT_EQ(b.points_processed, 10u);
+  EXPECT_EQ(b.seed_ops, 12u);
+  EXPECT_EQ(b.merge_ops, 14u);
+  EXPECT_EQ(b.bytes_read, 16u);
+  EXPECT_EQ(b.bytes_written, 18u);
+  EXPECT_EQ(b.net_bytes, 20u);
+}
+
+TEST(Counters, TotalOpsExcludesBytes) {
+  WorkCounters a;
+  a.distance_evals = 1;
+  a.bytes_read = 1000;
+  EXPECT_EQ(a.total_ops(), 1u);
+}
+
+TEST(Counters, ThreadLocalIsolation) {
+  WorkCounters main_wc;
+  ScopedCounters scope(&main_wc);
+  std::thread worker([] {
+    // The worker thread has no active sink; these must be dropped, not
+    // leak into the main thread's scope.
+    EXPECT_EQ(counters::active(), nullptr);
+    counters::distance_evals(100);
+    WorkCounters own;
+    {
+      ScopedCounters inner(&own);
+      counters::distance_evals(7);
+    }
+    EXPECT_EQ(own.distance_evals, 7u);
+  });
+  worker.join();
+  counters::distance_evals(1);
+  // Only this thread's single increment lands in the scope's sink.
+  EXPECT_EQ(main_wc.distance_evals, 1u);
+}
+
+}  // namespace
+}  // namespace sdb

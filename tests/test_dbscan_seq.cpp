@@ -1,0 +1,182 @@
+#include "core/dbscan_seq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spatial/brute_force.hpp"
+#include "spatial/kd_tree.hpp"
+#include "synth/generators.hpp"
+#include "util/rng.hpp"
+
+namespace sdb::dbscan {
+namespace {
+
+PointSet line_points(std::initializer_list<double> xs) {
+  PointSet ps(1);
+  for (const double x : xs) {
+    const double p[1] = {x};
+    ps.add(p);
+  }
+  return ps;
+}
+
+TEST(DbscanSeq, EmptyInput) {
+  PointSet ps(2);
+  KdTree tree(ps);
+  const auto result = dbscan_sequential(ps, tree, {1.0, 3});
+  EXPECT_EQ(result.clustering.num_clusters, 0u);
+  EXPECT_TRUE(result.clustering.labels.empty());
+}
+
+TEST(DbscanSeq, AllNoiseWhenSparse) {
+  const PointSet ps = line_points({0, 100, 200, 300});
+  KdTree tree(ps);
+  const auto result = dbscan_sequential(ps, tree, {1.0, 2});
+  EXPECT_EQ(result.clustering.num_clusters, 0u);
+  EXPECT_EQ(result.clustering.noise_count(), 4u);
+  EXPECT_TRUE(result.core_points.empty());
+}
+
+TEST(DbscanSeq, SingleDenseCluster) {
+  const PointSet ps = line_points({0, 1, 2, 3, 4});
+  KdTree tree(ps);
+  // eps=1.5: each interior point has 3+ neighbors (incl. itself).
+  const auto result = dbscan_sequential(ps, tree, {1.5, 3});
+  EXPECT_EQ(result.clustering.num_clusters, 1u);
+  EXPECT_EQ(result.clustering.noise_count(), 0u);
+  for (const ClusterId l : result.clustering.labels) EXPECT_EQ(l, 0);
+}
+
+TEST(DbscanSeq, TwoSeparatedClusters) {
+  const PointSet ps = line_points({0, 1, 2, 100, 101, 102});
+  KdTree tree(ps);
+  const auto result = dbscan_sequential(ps, tree, {1.5, 3});
+  EXPECT_EQ(result.clustering.num_clusters, 2u);
+  EXPECT_EQ(result.clustering.labels[0], result.clustering.labels[2]);
+  EXPECT_EQ(result.clustering.labels[3], result.clustering.labels[5]);
+  EXPECT_NE(result.clustering.labels[0], result.clustering.labels[3]);
+}
+
+TEST(DbscanSeq, BorderPointJoinsCluster) {
+  // 0,1,2 dense core chain; 3.4 is within eps of 2 but has only 2 neighbors
+  // -> border point, must join the cluster, not be noise.
+  const PointSet ps = line_points({0, 1, 2, 3.4});
+  KdTree tree(ps);
+  const auto result = dbscan_sequential(ps, tree, {1.5, 3});
+  EXPECT_EQ(result.clustering.num_clusters, 1u);
+  EXPECT_EQ(result.clustering.labels[3], 0);
+  // 3.4 itself must not be a core point.
+  for (const PointId c : result.core_points) EXPECT_NE(c, 3);
+}
+
+TEST(DbscanSeq, ChainReachability) {
+  // A long chain where each point only sees its immediate neighbors:
+  // density-reachability must propagate end to end (Definition 3).
+  PointSet ps(1);
+  for (int i = 0; i < 50; ++i) {
+    const double p[1] = {static_cast<double>(i)};
+    ps.add(p);
+  }
+  KdTree tree(ps);
+  const auto result = dbscan_sequential(ps, tree, {1.1, 3});
+  EXPECT_EQ(result.clustering.num_clusters, 1u);
+  EXPECT_EQ(result.clustering.labels[0], result.clustering.labels[49]);
+}
+
+TEST(DbscanSeq, NoiseBetweenClusters) {
+  const PointSet ps = line_points({0, 1, 2, 50, 100, 101, 102});
+  KdTree tree(ps);
+  const auto result = dbscan_sequential(ps, tree, {1.5, 3});
+  EXPECT_EQ(result.clustering.num_clusters, 2u);
+  EXPECT_EQ(result.clustering.labels[3], kNoise);
+}
+
+TEST(DbscanSeq, MinptsCountsSelf) {
+  // Two points at distance 0.5, minpts=2: each has 2 neighbors (self+other)
+  // -> both core, one cluster. This pins down the self-inclusion convention.
+  const PointSet ps = line_points({0, 0.5});
+  KdTree tree(ps);
+  const auto result = dbscan_sequential(ps, tree, {1.0, 2});
+  EXPECT_EQ(result.clustering.num_clusters, 1u);
+  EXPECT_EQ(result.core_points.size(), 2u);
+}
+
+TEST(DbscanSeq, IndexChoiceDoesNotChangeResult) {
+  synth::GaussianMixtureConfig cfg;
+  cfg.n = 600;
+  cfg.dim = 3;
+  cfg.clusters = 4;
+  cfg.sigma = 1.0;
+  cfg.box_side = 100.0;
+  Rng rng(12);
+  const PointSet ps = synth::gaussian_clusters(cfg, rng);
+  const KdTree tree(ps);
+  const BruteForceIndex brute(ps);
+  const DbscanParams params{2.0, 5};
+  auto a = dbscan_sequential(ps, tree, params);
+  auto b = dbscan_sequential(ps, brute, params);
+  // Identical scan order (ids ascending from both indexes after sorting
+  // neighbor lists is not guaranteed) -> compare structurally: same core
+  // sets and same noise sets.
+  EXPECT_EQ(a.core_points.size(), b.core_points.size());
+  EXPECT_EQ(a.clustering.noise_count(), b.clustering.noise_count());
+  EXPECT_EQ(a.clustering.num_clusters, b.clustering.num_clusters);
+}
+
+TEST(DbscanSeq, RecoverGaussianComponents) {
+  synth::GaussianMixtureConfig cfg;
+  cfg.n = 1200;
+  cfg.dim = 10;
+  cfg.clusters = 6;
+  cfg.sigma = 5.0;
+  cfg.noise_fraction = 0.0;
+  cfg.center_separation_sigmas = 30.0;
+  cfg.box_side = 3000.0;
+  Rng rng(21);
+  std::vector<i32> truth;
+  const PointSet ps = synth::gaussian_clusters(cfg, rng, &truth);
+  const KdTree tree(ps);
+  const auto result = dbscan_sequential(ps, tree, {25.0, 5});
+  // DBSCAN should find ~the number of generating components.
+  EXPECT_GE(result.clustering.num_clusters, 5u);
+  EXPECT_LE(result.clustering.num_clusters, 8u);
+  // Points from the same component end up in the same cluster.
+  u64 checked = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    for (size_t j = i + 1; j < 200; ++j) {
+      if (truth[i] == truth[j] &&
+          result.clustering.labels[i] >= 0 &&
+          result.clustering.labels[j] >= 0) {
+        EXPECT_EQ(result.clustering.labels[i], result.clustering.labels[j]);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(DbscanSeq, CountersPopulated) {
+  const PointSet ps = line_points({0, 1, 2, 3});
+  KdTree tree(ps);
+  const auto result = dbscan_sequential(ps, tree, {1.5, 2});
+  EXPECT_GT(result.counters.distance_evals, 0u);
+  EXPECT_GT(result.counters.queue_ops, 0u);
+  EXPECT_GT(result.counters.points_processed, 0u);
+}
+
+TEST(DbscanSeq, LabelsAreDense) {
+  Rng rng(31);
+  synth::UniformConfig cfg;
+  cfg.n = 500;
+  cfg.dim = 2;
+  cfg.box_side = 40.0;
+  const PointSet ps = synth::uniform_points(cfg, rng);
+  KdTree tree(ps);
+  const auto result = dbscan_sequential(ps, tree, {2.0, 4});
+  for (const ClusterId l : result.clustering.labels) {
+    EXPECT_TRUE(l == kNoise ||
+                (l >= 0 && l < static_cast<ClusterId>(result.clustering.num_clusters)));
+  }
+}
+
+}  // namespace
+}  // namespace sdb::dbscan

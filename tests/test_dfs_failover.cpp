@@ -1,0 +1,86 @@
+// Datanode failure simulation: reads fail over to surviving replicas and
+// only abort when a block's entire replica set is gone — HDFS's replication
+// contract, which the paper leans on for fault tolerance.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "dfs/mini_dfs.hpp"
+
+namespace sdb::dfs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DfsFailoverTest : public ::testing::Test {
+ protected:
+  DfsFailoverTest()
+      : root_((fs::temp_directory_path() / "sdb_dfs_failover").string()) {
+    fs::remove_all(root_);
+  }
+  ~DfsFailoverTest() override { fs::remove_all(root_); }
+  std::string root_;
+};
+
+TEST_F(DfsFailoverTest, ReadsSurviveSingleNodeFailure) {
+  MiniDfs dfs(root_, 8, /*datanodes=*/4, /*replication=*/3);
+  const std::string content = "0123456789abcdefghij";
+  dfs.write("/f", content);
+  dfs.fail_datanode(0);
+  EXPECT_EQ(dfs.read("/f"), content);  // replicas on other nodes serve
+}
+
+TEST_F(DfsFailoverTest, FailoversCounted) {
+  MiniDfs dfs(root_, 8, 4, 3);
+  dfs.write("/f", std::string(32, 'x'));
+  // Fail the primary replica of at least one block: with round-robin
+  // placement starting at node 0, block 0's replicas are {0,1,2}.
+  dfs.fail_datanode(0);
+  EXPECT_EQ(dfs.failovers(), 0u);
+  (void)dfs.read("/f");
+  EXPECT_GT(dfs.failovers(), 0u);
+}
+
+TEST_F(DfsFailoverTest, AllReplicasDeadAborts) {
+  MiniDfs dfs(root_, 8, 3, 3);  // every block replicated on all 3 nodes
+  dfs.write("/f", "data!");
+  dfs.fail_datanode(0);
+  dfs.fail_datanode(1);
+  dfs.fail_datanode(2);
+  EXPECT_DEATH((void)dfs.read("/f"), "unavailable");
+}
+
+TEST_F(DfsFailoverTest, RecoveryRestoresService) {
+  MiniDfs dfs(root_, 8, 2, 2);
+  dfs.write("/f", "hello");
+  dfs.fail_datanode(0);
+  dfs.fail_datanode(1);
+  dfs.recover_datanode(1);
+  EXPECT_TRUE(dfs.datanode_alive(1));
+  EXPECT_FALSE(dfs.datanode_alive(0));
+  EXPECT_EQ(dfs.read("/f"), "hello");
+}
+
+TEST_F(DfsFailoverTest, TextSplitsAlsoFailOver) {
+  MiniDfs dfs(root_, 6, 4, 3);
+  std::string content;
+  for (int i = 0; i < 10; ++i) content += "rec" + std::to_string(i) + "\n";
+  dfs.write("/f", content);
+  dfs.fail_datanode(1);
+  std::string reassembled;
+  for (size_t b = 0; b < dfs.stat("/f").blocks.size(); ++b) {
+    reassembled += dfs.read_text_split("/f", b);
+  }
+  EXPECT_EQ(reassembled, content);
+}
+
+TEST_F(DfsFailoverTest, ReplicationOneIsFragile) {
+  MiniDfs dfs(root_, 8, 4, 1);
+  dfs.write("/f", std::string(64, 'y'));  // blocks spread across nodes
+  dfs.fail_datanode(0);
+  // Some block had its only replica on node 0 (round-robin placement).
+  EXPECT_DEATH((void)dfs.read("/f"), "unavailable");
+}
+
+}  // namespace
+}  // namespace sdb::dfs

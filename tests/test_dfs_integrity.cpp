@@ -1,0 +1,75 @@
+// Block checksum verification — HDFS's data-integrity scan.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "dfs/mini_dfs.hpp"
+
+namespace sdb::dfs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DfsIntegrityTest : public ::testing::Test {
+ protected:
+  DfsIntegrityTest()
+      : root_((fs::temp_directory_path() / "sdb_dfs_integrity").string()) {
+    fs::remove_all(root_);
+  }
+  ~DfsIntegrityTest() override { fs::remove_all(root_); }
+
+  /// Flip one byte of the backing file of block `id`.
+  void corrupt_block(u64 id) const {
+    const std::string path =
+        (fs::path(root_) / "blocks" / ("blk_" + std::to_string(id))).string();
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(0);
+    byte = static_cast<char>(byte ^ 0xff);
+    f.write(&byte, 1);
+  }
+
+  std::string root_;
+};
+
+TEST_F(DfsIntegrityTest, CleanFileVerifies) {
+  MiniDfs dfs(root_, 8);
+  dfs.write("/f", "the quick brown fox jumps over the lazy dog");
+  EXPECT_TRUE(dfs.verify("/f").empty());
+}
+
+TEST_F(DfsIntegrityTest, CorruptionDetectedAndLocated) {
+  MiniDfs dfs(root_, 8);
+  const FileInfo& info = dfs.write("/f", std::string(40, 'a'));
+  ASSERT_EQ(info.blocks.size(), 5u);
+  corrupt_block(info.blocks[2].id);
+  const auto corrupt = dfs.verify("/f");
+  EXPECT_EQ(corrupt, (std::vector<size_t>{2}));
+}
+
+TEST_F(DfsIntegrityTest, MultipleCorruptions) {
+  MiniDfs dfs(root_, 4);
+  const FileInfo& info = dfs.write("/f", std::string(20, 'z'));
+  corrupt_block(info.blocks[0].id);
+  corrupt_block(info.blocks[4].id);
+  EXPECT_EQ(dfs.verify("/f"), (std::vector<size_t>{0, 4}));
+}
+
+TEST_F(DfsIntegrityTest, ChecksumsDifferPerContent) {
+  MiniDfs dfs(root_, 64);
+  const FileInfo& a = dfs.write("/a", "content one");
+  const FileInfo& b = dfs.write("/b", "content two");
+  EXPECT_NE(a.blocks[0].checksum, b.blocks[0].checksum);
+}
+
+TEST_F(DfsIntegrityTest, EmptyFileVerifies) {
+  MiniDfs dfs(root_, 8);
+  dfs.write("/empty", "");
+  EXPECT_TRUE(dfs.verify("/empty").empty());
+}
+
+}  // namespace
+}  // namespace sdb::dfs

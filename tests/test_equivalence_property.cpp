@@ -1,0 +1,167 @@
+// The paper's correctness claim, as a property sweep: "all parallel
+// executions generate the same result as the serial execution."
+//
+// For every combination of (dataset shape, partition count, partitioner),
+// the partitioned pipeline with complete seeds + union-find merge must be
+// structurally equivalent to sequential DBSCAN.
+#include <gtest/gtest.h>
+
+#include "core/dbscan_seq.hpp"
+#include "core/local_dbscan.hpp"
+#include "core/merge.hpp"
+#include "core/quality.hpp"
+#include "spatial/kd_tree.hpp"
+#include "synth/generators.hpp"
+#include "util/rng.hpp"
+
+namespace sdb::dbscan {
+namespace {
+
+enum class Shape { kBlobs, kUniform, kMoons, kRings };
+
+const char* shape_name(Shape s) {
+  switch (s) {
+    case Shape::kBlobs: return "blobs";
+    case Shape::kUniform: return "uniform";
+    case Shape::kMoons: return "moons";
+    case Shape::kRings: return "rings";
+  }
+  return "?";
+}
+
+PointSet make_shape(Shape shape, u64 seed) {
+  Rng rng(seed);
+  switch (shape) {
+    case Shape::kBlobs: {
+      synth::GaussianMixtureConfig cfg;
+      cfg.n = 700;
+      cfg.dim = 2;
+      cfg.clusters = 4;
+      cfg.sigma = 0.4;
+      cfg.noise_fraction = 0.08;
+      cfg.box_side = 40.0;
+      return synth::gaussian_clusters(cfg, rng);
+    }
+    case Shape::kUniform: {
+      synth::UniformConfig cfg;
+      cfg.n = 700;
+      cfg.dim = 2;
+      cfg.box_side = 25.0;
+      return synth::uniform_points(cfg, rng);
+    }
+    case Shape::kMoons:
+      return synth::two_moons(350, 0.04, rng);
+    case Shape::kRings:
+      return synth::rings(250, 2, 0.03, 60, rng);
+  }
+  return PointSet(2);
+}
+
+DbscanParams shape_params(Shape shape) {
+  switch (shape) {
+    case Shape::kBlobs: return {0.8, 5};
+    case Shape::kUniform: return {0.9, 4};
+    case Shape::kMoons: return {0.12, 5};
+    case Shape::kRings: return {0.2, 5};
+  }
+  return {1.0, 5};
+}
+
+class ParallelEqualsSequential
+    : public ::testing::TestWithParam<
+          std::tuple<Shape, u32, PartitionerKind>> {};
+
+TEST_P(ParallelEqualsSequential, StructuralEquivalence) {
+  const auto [shape, partitions, partitioner] = GetParam();
+  const PointSet ps = make_shape(shape, 1000 + static_cast<u64>(shape));
+  const DbscanParams params = shape_params(shape);
+  const KdTree tree(ps);
+  const auto seq = dbscan_sequential(ps, tree, params);
+
+  const Partitioning partitioning =
+      make_partitioning(partitioner, ps, partitions, 77);
+  LocalDbscanConfig local_cfg;
+  local_cfg.params = params;
+  local_cfg.seed_strategy = SeedStrategy::kAllForeign;
+  std::vector<LocalClusterResult> locals;
+  for (u32 p = 0; p < partitions; ++p) {
+    locals.push_back(local_dbscan(ps, tree, partitioning,
+                                  static_cast<PartitionId>(p), local_cfg));
+  }
+  MergeOptions merge_options;
+  merge_options.strategy = MergeStrategy::kUnionFind;
+  const auto merged = merge_partial_clusters(locals, ps.size(), merge_options);
+
+  const auto eq = check_equivalence(ps, tree, params, seq.core_points,
+                                    seq.clustering, merged.clustering);
+  EXPECT_TRUE(eq.equivalent)
+      << shape_name(shape) << " partitions=" << partitions << " partitioner="
+      << partitioner_name(partitioner) << " :: core=" << eq.core_mismatches
+      << " noise=" << eq.noise_mismatches
+      << " border=" << eq.border_violations << " " << eq.detail;
+  // Cluster counts must agree exactly (they are label-invariant).
+  EXPECT_EQ(merged.clustering.num_clusters, seq.clustering.num_clusters);
+  EXPECT_EQ(merged.clustering.noise_count(), seq.clustering.noise_count());
+  // Rand index of structurally-equivalent clusterings is ~1 (border
+  // ambiguity can move a handful of points).
+  EXPECT_GT(rand_index(seq.clustering, merged.clustering), 0.999);
+}
+
+std::string sweep_case_name(
+    const ::testing::TestParamInfo<std::tuple<Shape, u32, PartitionerKind>>&
+        info) {
+  std::string name = shape_name(std::get<0>(info.param));
+  name += "_p" + std::to_string(std::get<1>(info.param)) + "_";
+  name += partitioner_name(std::get<2>(info.param));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelEqualsSequential,
+    ::testing::Combine(
+        ::testing::Values(Shape::kBlobs, Shape::kUniform, Shape::kMoons,
+                          Shape::kRings),
+        ::testing::Values(1u, 2u, 3u, 5u, 8u, 16u),
+        ::testing::Values(PartitionerKind::kBlock, PartitionerKind::kRandom,
+                          PartitionerKind::kKdSplit)),
+    sweep_case_name);
+
+TEST(ParallelEqualsSequentialHighDim, TenDimensionalPaperRegime) {
+  // The paper's actual regime: d=10, eps=25, minpts=5.
+  Rng rng(4242);
+  synth::GaussianMixtureConfig cfg;
+  cfg.n = 900;
+  cfg.dim = 10;
+  cfg.clusters = 6;
+  cfg.sigma = 5.0;
+  cfg.noise_fraction = 0.05;
+  cfg.center_separation_sigmas = 25.0;
+  cfg.box_side = 1200.0;
+  const PointSet ps = synth::gaussian_clusters(cfg, rng);
+  const DbscanParams params{25.0, 5};
+  const KdTree tree(ps);
+  const auto seq = dbscan_sequential(ps, tree, params);
+
+  for (const u32 partitions : {2u, 7u}) {
+    const Partitioning partitioning =
+        make_partitioning(PartitionerKind::kBlock, ps, partitions);
+    LocalDbscanConfig local_cfg;
+    local_cfg.params = params;
+    std::vector<LocalClusterResult> locals;
+    for (u32 p = 0; p < partitions; ++p) {
+      locals.push_back(local_dbscan(ps, tree, partitioning,
+                                    static_cast<PartitionId>(p), local_cfg));
+    }
+    const auto merged = merge_partial_clusters(locals, ps.size(), {});
+    const auto eq = check_equivalence(ps, tree, params, seq.core_points,
+                                      seq.clustering, merged.clustering);
+    EXPECT_TRUE(eq.equivalent) << "partitions=" << partitions << " "
+                               << eq.detail;
+  }
+}
+
+}  // namespace
+}  // namespace sdb::dbscan

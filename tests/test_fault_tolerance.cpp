@@ -1,0 +1,103 @@
+// Fault-tolerance: the motivation the paper gives for leaving MPI behind.
+// Tasks are killed by injection and must be recomputed from lineage with
+// identical results.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "minispark/spark_context.hpp"
+
+namespace sdb::minispark {
+namespace {
+
+TEST(FaultTolerance, InjectedFailuresAreRetriedToSuccess) {
+  ClusterConfig cfg;
+  cfg.executors = 4;
+  cfg.fault_injection_rate = 0.3;
+  cfg.max_task_attempts = 6;
+  cfg.straggler.fraction = 0.0;
+  cfg.seed = 11;
+  SparkContext ctx(cfg);
+  std::vector<int> data(1000);
+  std::iota(data.begin(), data.end(), 0);
+  auto rdd = ctx.parallelize(data, 16);
+  const auto out = ctx.collect(*rdd);
+  EXPECT_EQ(out, data);  // result identical despite failures
+  EXPECT_GT(ctx.last_job().failures_injected, 0u);
+}
+
+TEST(FaultTolerance, AttemptsRecordedPerTask) {
+  ClusterConfig cfg;
+  cfg.executors = 2;
+  cfg.fault_injection_rate = 0.5;
+  cfg.max_task_attempts = 8;
+  cfg.straggler.fraction = 0.0;
+  cfg.seed = 3;
+  SparkContext ctx(cfg);
+  auto rdd = ctx.parallelize(std::vector<int>(64, 1), 32);
+  ctx.count(*rdd);
+  u32 retried = 0;
+  for (const auto& t : ctx.last_job().tasks) {
+    EXPECT_GE(t.attempts, 1u);
+    EXPECT_LE(t.attempts, 8u);
+    if (t.attempts > 1) ++retried;
+  }
+  EXPECT_GT(retried, 0u);
+}
+
+TEST(FaultTolerance, RetriesChargeExtraLaunchOverhead) {
+  // A retried task pays the task-launch overhead again (the recompute).
+  ClusterConfig no_faults_cfg;
+  no_faults_cfg.executors = 1;
+  no_faults_cfg.straggler.fraction = 0.0;
+  ClusterConfig faults_cfg = no_faults_cfg;
+  faults_cfg.fault_injection_rate = 0.9;
+  faults_cfg.max_task_attempts = 10;
+  faults_cfg.seed = 5;
+
+  SparkContext clean(no_faults_cfg);
+  SparkContext faulty(faults_cfg);
+  auto make = [](SparkContext& ctx) {
+    auto rdd = ctx.parallelize(std::vector<int>(8, 1), 8);
+    ctx.count(*rdd);
+    return ctx.last_job().sim_executor_total_s;
+  };
+  EXPECT_GT(make(faulty), make(clean));
+}
+
+TEST(FaultTolerance, DeterministicGivenSeed) {
+  auto run = [](u64 seed) {
+    ClusterConfig cfg;
+    cfg.executors = 4;
+    cfg.fault_injection_rate = 0.4;
+    cfg.seed = seed;
+    cfg.straggler.fraction = 0.0;
+    SparkContext ctx(cfg);
+    auto rdd = ctx.parallelize(std::vector<int>(100, 2), 20);
+    ctx.count(*rdd);
+    std::vector<u32> attempts;
+    for (const auto& t : ctx.last_job().tasks) attempts.push_back(t.attempts);
+    return attempts;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(FaultTolerance, CachedRddSurvivesCacheLossViaLineage) {
+  // Spark reconstructs lost cached partitions from lineage; uncache_all()
+  // models the loss, materialize() must transparently recompute.
+  ClusterConfig cfg;
+  cfg.executors = 2;
+  cfg.straggler.fraction = 0.0;
+  SparkContext ctx(cfg);
+  auto base = ctx.parallelize(std::vector<int>{1, 2, 3, 4}, 2);
+  auto mapped = base->map([](const int& x) { return x * 10; });
+  mapped->cache();
+  const auto first = ctx.collect(*mapped);
+  mapped->uncache_all();  // simulated executor loss
+  const auto second = ctx.collect(*mapped);
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace sdb::minispark

@@ -1,0 +1,93 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdb {
+namespace {
+
+Flags make_flags() {
+  Flags f;
+  f.add_i64("cores", 8, "cores");
+  f.add_f64("eps", 25.0, "epsilon");
+  f.add_bool("full", false, "full scale");
+  f.add_string("dataset", "c10k", "dataset");
+  return f;
+}
+
+TEST(Flags, Defaults) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog"};
+  f.parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(f.i64_flag("cores"), 8);
+  EXPECT_DOUBLE_EQ(f.f64("eps"), 25.0);
+  EXPECT_FALSE(f.boolean("full"));
+  EXPECT_EQ(f.string("dataset"), "c10k");
+}
+
+TEST(Flags, EqualsForm) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--cores=32", "--eps=1.5", "--full=true",
+                        "--dataset=r1m"};
+  f.parse(5, const_cast<char**>(argv));
+  EXPECT_EQ(f.i64_flag("cores"), 32);
+  EXPECT_DOUBLE_EQ(f.f64("eps"), 1.5);
+  EXPECT_TRUE(f.boolean("full"));
+  EXPECT_EQ(f.string("dataset"), "r1m");
+}
+
+TEST(Flags, SpaceForm) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--cores", "16", "--dataset", "r100k"};
+  f.parse(5, const_cast<char**>(argv));
+  EXPECT_EQ(f.i64_flag("cores"), 16);
+  EXPECT_EQ(f.string("dataset"), "r100k");
+}
+
+TEST(Flags, BareBooleanMeansTrue) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--full", "--cores", "2"};
+  f.parse(4, const_cast<char**>(argv));
+  EXPECT_TRUE(f.boolean("full"));
+  EXPECT_EQ(f.i64_flag("cores"), 2);
+}
+
+TEST(Flags, Positional) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "input.txt", "--cores=4", "out.txt"};
+  f.parse(4, const_cast<char**>(argv));
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "out.txt");
+}
+
+TEST(Flags, NegativeNumbers) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--cores=-3", "--eps=-0.5"};
+  f.parse(3, const_cast<char**>(argv));
+  EXPECT_EQ(f.i64_flag("cores"), -3);
+  EXPECT_DOUBLE_EQ(f.f64("eps"), -0.5);
+}
+
+TEST(Flags, UsageListsAllFlags) {
+  Flags f = make_flags();
+  const std::string usage = f.usage("prog");
+  EXPECT_NE(usage.find("--cores"), std::string::npos);
+  EXPECT_NE(usage.find("--eps"), std::string::npos);
+  EXPECT_NE(usage.find("--full"), std::string::npos);
+  EXPECT_NE(usage.find("--dataset"), std::string::npos);
+}
+
+TEST(FlagsDeath, UnknownFlagAborts) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_DEATH(f.parse(2, const_cast<char**>(argv)), "unknown flag");
+}
+
+TEST(FlagsDeath, BadValueAborts) {
+  Flags f = make_flags();
+  const char* argv[] = {"prog", "--cores=abc"};
+  EXPECT_DEATH(f.parse(2, const_cast<char**>(argv)), "bad value");
+}
+
+}  // namespace
+}  // namespace sdb

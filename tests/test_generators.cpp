@@ -1,0 +1,150 @@
+#include "synth/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace sdb::synth {
+namespace {
+
+TEST(BallVolume, KnownValues) {
+  EXPECT_NEAR(ball_volume(1, 2.0), 4.0, 1e-9);                      // 2r
+  EXPECT_NEAR(ball_volume(2, 3.0), std::numbers::pi * 9.0, 1e-9);   // pi r^2
+  EXPECT_NEAR(ball_volume(3, 1.0), 4.0 / 3.0 * std::numbers::pi, 1e-9);
+}
+
+TEST(UniformBoxSide, SolvesExpectedDensity) {
+  const i64 n = 10000;
+  const int dim = 10;
+  const double eps = 25.0;
+  const double target = 15.0;
+  const double side = uniform_box_side(n, dim, eps, target);
+  // Verify the defining equation: n * V(eps) / side^dim == target.
+  const double implied =
+      static_cast<double>(n) * ball_volume(dim, eps) / std::pow(side, dim);
+  EXPECT_NEAR(implied, target, 1e-6);
+}
+
+TEST(GaussianClusters, CountsAndDimensions) {
+  GaussianMixtureConfig cfg;
+  cfg.n = 1000;
+  cfg.dim = 4;
+  cfg.clusters = 5;
+  Rng rng(1);
+  std::vector<i32> labels;
+  const PointSet ps = gaussian_clusters(cfg, rng, &labels);
+  EXPECT_EQ(ps.size(), 1000u);
+  EXPECT_EQ(ps.dim(), 4);
+  EXPECT_EQ(labels.size(), 1000u);
+  // Every non-noise label within [0, clusters).
+  for (const i32 l : labels) {
+    EXPECT_GE(l, -1);
+    EXPECT_LT(l, 5);
+  }
+}
+
+TEST(GaussianClusters, NoiseFractionHonored) {
+  GaussianMixtureConfig cfg;
+  cfg.n = 2000;
+  cfg.noise_fraction = 0.1;
+  Rng rng(2);
+  std::vector<i32> labels;
+  gaussian_clusters(cfg, rng, &labels);
+  i64 noise = 0;
+  for (const i32 l : labels) noise += (l == -1) ? 1 : 0;
+  EXPECT_EQ(noise, 200);
+}
+
+TEST(GaussianClusters, Deterministic) {
+  GaussianMixtureConfig cfg;
+  cfg.n = 500;
+  Rng r1(7);
+  Rng r2(7);
+  const PointSet a = gaussian_clusters(cfg, r1);
+  const PointSet b = gaussian_clusters(cfg, r2);
+  EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(GaussianClusters, ClustersAreTight) {
+  // Points of one component should lie within a few sigma of each other.
+  GaussianMixtureConfig cfg;
+  cfg.n = 2000;
+  cfg.dim = 10;
+  cfg.clusters = 4;
+  cfg.sigma = 5.0;
+  cfg.noise_fraction = 0.0;
+  cfg.center_separation_sigmas = 20.0;
+  cfg.box_side = 2000.0;
+  Rng rng(3);
+  std::vector<i32> labels;
+  const PointSet ps = gaussian_clusters(cfg, rng, &labels);
+  // Typical intra-cluster distance ~ sigma*sqrt(2d) = 5*sqrt(20) ~ 22.4.
+  double intra_max = 0.0;
+  for (size_t i = 0; i < 200; ++i) {
+    for (size_t j = i + 1; j < 200; ++j) {
+      if (labels[i] != labels[j]) continue;
+      double d2 = 0;
+      for (int d = 0; d < 10; ++d) {
+        const double diff = ps[static_cast<PointId>(i)][static_cast<size_t>(d)] -
+                            ps[static_cast<PointId>(j)][static_cast<size_t>(d)];
+        d2 += diff * diff;
+      }
+      intra_max = std::max(intra_max, std::sqrt(d2));
+    }
+  }
+  EXPECT_LT(intra_max, 8 * cfg.sigma * std::sqrt(10.0));
+}
+
+TEST(UniformPoints, BoxRespected) {
+  UniformConfig cfg;
+  cfg.n = 500;
+  cfg.dim = 3;
+  cfg.box_side = 10.0;
+  Rng rng(5);
+  const PointSet ps = uniform_points(cfg, rng);
+  EXPECT_EQ(ps.size(), 500u);
+  for (PointId i = 0; i < 500; ++i) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_GE(ps[i][static_cast<size_t>(d)], 0.0);
+      EXPECT_LT(ps[i][static_cast<size_t>(d)], 10.0);
+    }
+  }
+}
+
+TEST(UniformPoints, AutoBoxSideFromDensity) {
+  UniformConfig cfg;
+  cfg.n = 1000;
+  cfg.dim = 10;
+  cfg.eps = 25.0;
+  cfg.target_neighbors = 15.0;
+  cfg.box_side = 0.0;  // solve from density
+  Rng rng(6);
+  const PointSet ps = uniform_points(cfg, rng);
+  EXPECT_EQ(ps.size(), 1000u);
+}
+
+TEST(TwoMoons, ShapeBasics) {
+  Rng rng(8);
+  const PointSet ps = two_moons(250, 0.05, rng);
+  EXPECT_EQ(ps.size(), 500u);
+  EXPECT_EQ(ps.dim(), 2);
+}
+
+TEST(Rings, PointCount) {
+  Rng rng(9);
+  const PointSet ps = rings(100, 3, 0.02, 50, rng);
+  EXPECT_EQ(ps.size(), 350u);
+  EXPECT_EQ(ps.dim(), 2);
+}
+
+TEST(Blobs2d, LabelsMatchPoints) {
+  Rng rng(10);
+  std::vector<i32> labels;
+  const PointSet ps = blobs_2d(400, 4, 0.5, 40, rng, &labels);
+  EXPECT_EQ(ps.size(), 440u);
+  EXPECT_EQ(labels.size(), 440u);
+}
+
+}  // namespace
+}  // namespace sdb::synth

@@ -1,0 +1,102 @@
+#include "spatial/grid_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "spatial/brute_force.hpp"
+#include "util/rng.hpp"
+
+namespace sdb {
+namespace {
+
+PointSet random_points(i64 n, int dim, double side, u64 seed) {
+  Rng rng(seed);
+  PointSet ps(dim);
+  std::vector<double> p(static_cast<size_t>(dim));
+  for (i64 i = 0; i < n; ++i) {
+    for (auto& x : p) x = rng.uniform(-side / 2, side / 2);
+    ps.add(p);
+  }
+  return ps;
+}
+
+std::vector<PointId> sorted(std::vector<PointId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+class GridMatchesBruteForce
+    : public ::testing::TestWithParam<std::tuple<int, i64, double, double>> {};
+
+TEST_P(GridMatchesBruteForce, RangeQueriesAgree) {
+  const auto [dim, n, cell, eps] = GetParam();
+  const PointSet ps = random_points(n, dim, 60.0, 101 + static_cast<u64>(dim));
+  const GridIndex grid(ps, cell);
+  const BruteForceIndex brute(ps);
+  Rng rng(5);
+  for (int trial = 0; trial < 40; ++trial) {
+    const PointId q = static_cast<PointId>(rng.uniform_index(ps.size()));
+    std::vector<PointId> a;
+    std::vector<PointId> b;
+    grid.range_query(ps[q], eps, a);
+    brute.range_query(ps[q], eps, b);
+    EXPECT_EQ(sorted(a), sorted(b))
+        << "dim=" << dim << " cell=" << cell << " eps=" << eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GridMatchesBruteForce,
+    ::testing::Values(std::make_tuple(2, 1000, 5.0, 5.0),
+                      std::make_tuple(2, 1000, 5.0, 12.0),  // eps > cell
+                      std::make_tuple(2, 1000, 10.0, 3.0),  // eps < cell
+                      std::make_tuple(3, 800, 8.0, 8.0),
+                      std::make_tuple(1, 300, 2.0, 4.0)));
+
+TEST(GridIndex, NegativeCoordinatesHandled) {
+  PointSet ps(2);
+  const double a[2] = {-10.5, -10.5};
+  const double b[2] = {-10.4, -10.4};
+  const double c[2] = {10.0, 10.0};
+  ps.add(a);
+  ps.add(b);
+  ps.add(c);
+  GridIndex grid(ps, 1.0);
+  std::vector<PointId> out;
+  grid.range_query(a, 0.5, out);
+  EXPECT_EQ(sorted(out), (std::vector<PointId>{0, 1}));
+}
+
+TEST(GridIndex, CellCountReasonable) {
+  const PointSet ps = random_points(1000, 2, 50.0, 3);
+  GridIndex grid(ps, 5.0);
+  EXPECT_GT(grid.cell_count(), 10u);
+  EXPECT_LE(grid.cell_count(), 1000u);
+}
+
+TEST(GridIndex, NeighborBudgetRespected) {
+  const PointSet ps = random_points(2000, 2, 10.0, 9);
+  GridIndex grid(ps, 2.0);
+  QueryBudget budget;
+  budget.max_neighbors = 3;
+  std::vector<PointId> out;
+  grid.range_query_budgeted(ps[0], 4.0, budget, out);
+  EXPECT_LE(out.size(), 3u);
+}
+
+TEST(GridIndexDeath, ZeroCellAborts) {
+  PointSet ps(2);
+  EXPECT_DEATH(GridIndex(ps, 0.0), "positive");
+}
+
+TEST(BruteForce, SelfIncluded) {
+  const PointSet ps = random_points(50, 3, 10.0, 13);
+  BruteForceIndex brute(ps);
+  std::vector<PointId> out;
+  brute.range_query(ps[7], 0.0001, out);
+  EXPECT_NE(std::find(out.begin(), out.end(), 7), out.end());
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,80 @@
+#include "synth/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "synth/generators.hpp"
+#include "util/rng.hpp"
+
+namespace sdb::synth {
+namespace {
+
+TEST(PointIo, TextRoundTrip) {
+  PointSet ps(3);
+  const double a[3] = {1.5, -2.25, 3.0};
+  const double b[3] = {0.1, 0.2, 0.3};
+  ps.add(a);
+  ps.add(b);
+  const std::string text = to_text(ps);
+  const PointSet back = from_text(text);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.dim(), 3);
+  EXPECT_EQ(ps.raw(), back.raw());  // %.17g is lossless for doubles
+}
+
+TEST(PointIo, TextRoundTripRandom) {
+  Rng rng(4);
+  UniformConfig cfg;
+  cfg.n = 200;
+  cfg.dim = 10;
+  cfg.box_side = 123.456;
+  const PointSet ps = uniform_points(cfg, rng);
+  const PointSet back = from_text(to_text(ps));
+  EXPECT_EQ(ps.raw(), back.raw());
+}
+
+TEST(PointIo, ParsesBlankLinesAndWhitespace) {
+  const PointSet ps = from_text("1 2\n\n  3\t4  \r\n5 6\n");
+  ASSERT_EQ(ps.size(), 3u);
+  EXPECT_DOUBLE_EQ(ps[1][0], 3.0);
+  EXPECT_DOUBLE_EQ(ps[2][1], 6.0);
+}
+
+TEST(PointIo, LastLineWithoutNewline) {
+  const PointSet ps = from_text("1 2\n3 4");
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_DOUBLE_EQ(ps[1][1], 4.0);
+}
+
+TEST(PointIo, EmptyTextYieldsEmptySet) {
+  EXPECT_EQ(from_text("").size(), 0u);
+  EXPECT_EQ(from_text("\n\n").size(), 0u);
+}
+
+TEST(PointIoDeath, InconsistentDimensionAborts) {
+  EXPECT_DEATH(from_text("1 2\n3 4 5\n"), "inconsistent");
+}
+
+TEST(PointIoDeath, MalformedCoordinateAborts) {
+  EXPECT_DEATH(from_text("1 abc\n"), "malformed");
+}
+
+TEST(PointIo, BinaryRoundTrip) {
+  Rng rng(5);
+  UniformConfig cfg;
+  cfg.n = 100;
+  cfg.dim = 7;
+  cfg.box_side = 10;
+  const PointSet ps = uniform_points(cfg, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sdb_points.bin").string();
+  save_binary(ps, path);
+  const PointSet back = load_binary(path);
+  EXPECT_EQ(ps.raw(), back.raw());
+  EXPECT_EQ(back.dim(), 7);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace sdb::synth

@@ -1,0 +1,195 @@
+#include "spatial/kd_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geom/distance.hpp"
+#include "spatial/brute_force.hpp"
+#include "util/counters.hpp"
+#include "util/rng.hpp"
+
+namespace sdb {
+namespace {
+
+PointSet random_points(i64 n, int dim, double side, u64 seed) {
+  Rng rng(seed);
+  PointSet ps(dim);
+  ps.reserve(static_cast<size_t>(n));
+  std::vector<double> p(static_cast<size_t>(dim));
+  for (i64 i = 0; i < n; ++i) {
+    for (auto& x : p) x = rng.uniform(0.0, side);
+    ps.add(p);
+  }
+  return ps;
+}
+
+std::vector<PointId> sorted(std::vector<PointId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(KdTree, EmptySet) {
+  PointSet ps(3);
+  KdTree tree(ps);
+  std::vector<PointId> out;
+  const double q[3] = {0, 0, 0};
+  tree.range_query(q, 1.0, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(KdTree, SinglePoint) {
+  PointSet ps(2);
+  const double a[2] = {1, 1};
+  ps.add(a);
+  KdTree tree(ps);
+  std::vector<PointId> out;
+  tree.range_query(a, 0.1, out);
+  EXPECT_EQ(out, std::vector<PointId>{0});
+  out.clear();
+  const double far[2] = {5, 5};
+  tree.range_query(far, 0.1, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(KdTree, DuplicatePointsAllReported) {
+  PointSet ps(2);
+  const double a[2] = {1, 1};
+  for (int i = 0; i < 50; ++i) ps.add(a);
+  KdTree tree(ps, 4);
+  std::vector<PointId> out;
+  tree.range_query(a, 0.5, out);
+  EXPECT_EQ(out.size(), 50u);
+}
+
+class KdTreeMatchesBruteForce
+    : public ::testing::TestWithParam<std::tuple<int, i64, double>> {};
+
+TEST_P(KdTreeMatchesBruteForce, RangeQueriesAgree) {
+  const auto [dim, n, eps] = GetParam();
+  const PointSet ps = random_points(n, dim, 100.0, 7 + static_cast<u64>(dim));
+  const KdTree tree(ps, 8);
+  const BruteForceIndex brute(ps);
+  Rng rng(55);
+  for (int trial = 0; trial < 50; ++trial) {
+    const PointId q = static_cast<PointId>(rng.uniform_index(ps.size()));
+    std::vector<PointId> a;
+    std::vector<PointId> b;
+    tree.range_query(ps[q], eps, a);
+    brute.range_query(ps[q], eps, b);
+    EXPECT_EQ(sorted(a), sorted(b)) << "dim=" << dim << " n=" << n
+                                    << " eps=" << eps << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdTreeMatchesBruteForce,
+    ::testing::Values(std::make_tuple(2, 500, 5.0),
+                      std::make_tuple(2, 2000, 12.0),
+                      std::make_tuple(3, 1000, 15.0),
+                      std::make_tuple(5, 1000, 40.0),
+                      std::make_tuple(10, 800, 60.0),
+                      std::make_tuple(10, 800, 5.0),
+                      std::make_tuple(1, 300, 3.0)));
+
+TEST(KdTree, KnnMatchesBruteForce) {
+  const PointSet ps = random_points(800, 4, 50.0, 17);
+  const KdTree tree(ps, 8);
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const PointId q = static_cast<PointId>(rng.uniform_index(ps.size()));
+    const size_t k = 1 + rng.uniform_index(20);
+    const auto knn = tree.knn(ps[q], k);
+    ASSERT_EQ(knn.size(), std::min(k, ps.size()));
+    // Compare against brute-force k smallest distances.
+    std::vector<std::pair<double, PointId>> all;
+    for (PointId i = 0; i < static_cast<PointId>(ps.size()); ++i) {
+      all.emplace_back(squared_distance(ps[q], ps[i]), i);
+    }
+    std::sort(all.begin(), all.end());
+    // Distances must match (ids may tie arbitrarily).
+    for (size_t i = 0; i < knn.size(); ++i) {
+      EXPECT_DOUBLE_EQ(squared_distance(ps[q], ps[knn[i]]), all[i].first);
+    }
+  }
+}
+
+TEST(KdTree, KnnOrderedNearestFirst) {
+  const PointSet ps = random_points(300, 3, 50.0, 23);
+  const KdTree tree(ps);
+  const auto knn = tree.knn(ps[0], 10);
+  for (size_t i = 1; i < knn.size(); ++i) {
+    EXPECT_LE(squared_distance(ps[0], ps[knn[i - 1]]),
+              squared_distance(ps[0], ps[knn[i]]));
+  }
+  EXPECT_EQ(knn[0], 0);  // the query point itself is its own nearest
+}
+
+TEST(KdTree, NeighborBudgetCapsResults) {
+  const PointSet ps = random_points(2000, 2, 10.0, 31);
+  const KdTree tree(ps);
+  QueryBudget budget;
+  budget.max_neighbors = 5;
+  std::vector<PointId> out;
+  tree.range_query_budgeted(ps[0], 5.0, budget, out);
+  EXPECT_LE(out.size(), 5u);
+  // Without budget there are far more.
+  std::vector<PointId> full;
+  tree.range_query(ps[0], 5.0, full);
+  EXPECT_GT(full.size(), 5u);
+  // Budgeted results are a subset of the exact results.
+  for (const PointId id : out) {
+    EXPECT_NE(std::find(full.begin(), full.end(), id), full.end());
+  }
+}
+
+TEST(KdTree, NodeBudgetReducesVisits) {
+  const PointSet ps = random_points(5000, 3, 30.0, 37);
+  const KdTree tree(ps, 8);
+  QueryBudget budget;
+  budget.max_nodes = 10;
+  WorkCounters limited;
+  {
+    ScopedCounters scope(&limited);
+    std::vector<PointId> out;
+    tree.range_query_budgeted(ps[0], 10.0, budget, out);
+  }
+  WorkCounters full;
+  {
+    ScopedCounters scope(&full);
+    std::vector<PointId> out;
+    tree.range_query(ps[0], 10.0, out);
+  }
+  EXPECT_LE(limited.tree_nodes, 11u);
+  EXPECT_GT(full.tree_nodes, limited.tree_nodes);
+}
+
+TEST(KdTree, BuildIsBalancedish) {
+  const PointSet ps = random_points(4096, 3, 100.0, 41);
+  const KdTree tree(ps, 16);
+  // Perfectly balanced depth would be log2(4096/16) = 8; allow slack.
+  EXPECT_LE(tree.depth(), 14);
+  EXPECT_GT(tree.node_count(), 4096u / 16);
+}
+
+TEST(KdTree, ByteSizeNonTrivial) {
+  const PointSet ps = random_points(100, 5, 10.0, 43);
+  const KdTree tree(ps);
+  EXPECT_GE(tree.byte_size(), ps.byte_size());
+}
+
+TEST(KdTree, CountsTreeNodeVisits) {
+  const PointSet ps = random_points(1000, 2, 50.0, 47);
+  const KdTree tree(ps, 8);
+  WorkCounters wc;
+  {
+    ScopedCounters scope(&wc);
+    std::vector<PointId> out;
+    tree.range_query(ps[0], 1.0, out);
+  }
+  EXPECT_GT(wc.tree_nodes, 0u);
+}
+
+}  // namespace
+}  // namespace sdb

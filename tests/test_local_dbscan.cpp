@@ -1,0 +1,227 @@
+#include "core/local_dbscan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dbscan_seq.hpp"
+#include "spatial/kd_tree.hpp"
+#include "synth/generators.hpp"
+#include "util/rng.hpp"
+
+namespace sdb::dbscan {
+namespace {
+
+PointSet line_points(std::initializer_list<double> xs) {
+  PointSet ps(1);
+  for (const double x : xs) {
+    const double p[1] = {x};
+    ps.add(p);
+  }
+  return ps;
+}
+
+TEST(LocalDbscan, OnlyLocalPointsAreMembers) {
+  // One dense chain split across two partitions by index.
+  const PointSet ps = line_points({0, 1, 2, 3, 4, 5, 6, 7});
+  const KdTree tree(ps);
+  const Partitioning part = make_partitioning(PartitionerKind::kBlock, ps, 2);
+  LocalDbscanConfig cfg;
+  cfg.params = {1.5, 3};
+  const auto r0 = local_dbscan(ps, tree, part, 0, cfg);
+  for (const auto& pc : r0.clusters) {
+    for (const PointId m : pc.members) {
+      EXPECT_EQ(part.owner[static_cast<size_t>(m)], 0);
+    }
+    for (const PointId s : pc.seeds) {
+      EXPECT_NE(part.owner[static_cast<size_t>(s)], 0);
+    }
+  }
+}
+
+TEST(LocalDbscan, SeedsPointAcrossTheCut) {
+  const PointSet ps = line_points({0, 1, 2, 3, 4, 5, 6, 7});
+  const KdTree tree(ps);
+  const Partitioning part = make_partitioning(PartitionerKind::kBlock, ps, 2);
+  LocalDbscanConfig cfg;
+  cfg.params = {1.5, 3};
+  cfg.seed_strategy = SeedStrategy::kAllForeign;
+  const auto r0 = local_dbscan(ps, tree, part, 0, cfg);
+  ASSERT_EQ(r0.clusters.size(), 1u);
+  // Point 4 (and possibly 5) are within eps of partition 0's points.
+  const auto& seeds = r0.clusters[0].seeds;
+  EXPECT_NE(std::find(seeds.begin(), seeds.end(), 4), seeds.end());
+}
+
+TEST(LocalDbscan, OnePerPartitionPlacesAtMostOneSeedPerPartition) {
+  Rng rng(3);
+  synth::UniformConfig ucfg;
+  ucfg.n = 400;
+  ucfg.dim = 2;
+  ucfg.box_side = 20.0;
+  const PointSet ps = synth::uniform_points(ucfg, rng);
+  const KdTree tree(ps);
+  const Partitioning part = make_partitioning(PartitionerKind::kBlock, ps, 4);
+  LocalDbscanConfig cfg;
+  cfg.params = {1.5, 4};
+  cfg.seed_strategy = SeedStrategy::kOnePerPartition;
+  for (PartitionId p = 0; p < 4; ++p) {
+    const auto local = local_dbscan(ps, tree, part, p, cfg);
+    for (const auto& pc : local.clusters) {
+      std::vector<int> per_partition(4, 0);
+      for (const PointId s : pc.seeds) {
+        ++per_partition[static_cast<size_t>(part.owner[static_cast<size_t>(s)])];
+      }
+      for (const int c : per_partition) EXPECT_LE(c, 1);
+    }
+  }
+}
+
+TEST(LocalDbscan, AllForeignSeedsAreDeduplicated) {
+  const PointSet ps = line_points({0, 0.5, 1, 1.5, 2, 2.5, 3, 3.5});
+  const KdTree tree(ps);
+  const Partitioning part = make_partitioning(PartitionerKind::kBlock, ps, 2);
+  LocalDbscanConfig cfg;
+  cfg.params = {1.2, 3};
+  cfg.seed_strategy = SeedStrategy::kAllForeign;
+  const auto r0 = local_dbscan(ps, tree, part, 0, cfg);
+  for (const auto& pc : r0.clusters) {
+    auto seeds = pc.seeds;
+    std::sort(seeds.begin(), seeds.end());
+    EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+  }
+}
+
+TEST(LocalDbscan, CorePointsAreGloballyExact) {
+  // Core-ness must match sequential DBSCAN exactly: neighborhoods come from
+  // the broadcast index over ALL points, not just the partition.
+  Rng rng(7);
+  synth::UniformConfig ucfg;
+  ucfg.n = 300;
+  ucfg.dim = 2;
+  ucfg.box_side = 15.0;
+  const PointSet ps = synth::uniform_points(ucfg, rng);
+  const KdTree tree(ps);
+  const DbscanParams params{1.0, 4};
+  const auto seq = dbscan_sequential(ps, tree, params);
+  std::vector<char> seq_core(ps.size(), 0);
+  for (const PointId c : seq.core_points) seq_core[static_cast<size_t>(c)] = 1;
+
+  const Partitioning part = make_partitioning(PartitionerKind::kBlock, ps, 3);
+  LocalDbscanConfig cfg;
+  cfg.params = params;
+  std::vector<char> par_core(ps.size(), 0);
+  for (PartitionId p = 0; p < 3; ++p) {
+    const auto local = local_dbscan(ps, tree, part, p, cfg);
+    for (const PointId c : local.core_points) {
+      par_core[static_cast<size_t>(c)] = 1;
+    }
+  }
+  EXPECT_EQ(seq_core, par_core);
+}
+
+TEST(LocalDbscan, EveryLocalPointAccountedFor) {
+  // Each local point is a member of exactly one partial cluster OR noise.
+  Rng rng(9);
+  synth::UniformConfig ucfg;
+  ucfg.n = 500;
+  ucfg.dim = 3;
+  ucfg.box_side = 25.0;
+  const PointSet ps = synth::uniform_points(ucfg, rng);
+  const KdTree tree(ps);
+  const Partitioning part = make_partitioning(PartitionerKind::kBlock, ps, 4);
+  LocalDbscanConfig cfg;
+  cfg.params = {1.8, 4};
+  for (PartitionId p = 0; p < 4; ++p) {
+    const auto local = local_dbscan(ps, tree, part, p, cfg);
+    std::vector<int> seen(ps.size(), 0);
+    for (const auto& pc : local.clusters) {
+      for (const PointId m : pc.members) ++seen[static_cast<size_t>(m)];
+    }
+    for (const PointId q : local.noise) ++seen[static_cast<size_t>(q)];
+    for (const PointId id : part.parts[static_cast<size_t>(p)]) {
+      EXPECT_EQ(seen[static_cast<size_t>(id)], 1) << "point " << id;
+    }
+  }
+}
+
+TEST(LocalDbscan, SinglePartitionEqualsSequential) {
+  // With one partition there are no SEEDs and the result must match
+  // Algorithm 1 exactly (same counts; labels up to renaming).
+  Rng rng(13);
+  synth::GaussianMixtureConfig gcfg;
+  gcfg.n = 400;
+  gcfg.dim = 2;
+  gcfg.clusters = 3;
+  gcfg.sigma = 0.5;
+  gcfg.box_side = 50.0;
+  const PointSet ps = synth::gaussian_clusters(gcfg, rng);
+  const KdTree tree(ps);
+  const DbscanParams params{1.0, 4};
+  const auto seq = dbscan_sequential(ps, tree, params);
+  const Partitioning part = make_partitioning(PartitionerKind::kBlock, ps, 1);
+  LocalDbscanConfig cfg;
+  cfg.params = params;
+  const auto local = local_dbscan(ps, tree, part, 0, cfg);
+  EXPECT_EQ(local.clusters.size(), seq.clustering.num_clusters);
+  EXPECT_EQ(local.noise.size(), seq.clustering.noise_count());
+  EXPECT_EQ(local.core_points.size(), seq.core_points.size());
+  for (const auto& pc : local.clusters) EXPECT_TRUE(pc.seeds.empty());
+}
+
+TEST(LocalDbscan, PartialClusterUidsUniqueAndDecodable) {
+  const PointSet ps = line_points({0, 1, 2, 10, 11, 12, 20, 21, 22});
+  const KdTree tree(ps);
+  const Partitioning part = make_partitioning(PartitionerKind::kBlock, ps, 3);
+  LocalDbscanConfig cfg;
+  cfg.params = {1.5, 2};
+  std::vector<u64> uids;
+  for (PartitionId p = 0; p < 3; ++p) {
+    const auto local = local_dbscan(ps, tree, part, p, cfg);
+    for (const auto& pc : local.clusters) {
+      EXPECT_EQ(pc.partition, p);
+      EXPECT_EQ(pc.uid >> 32, static_cast<u64>(static_cast<u32>(p)));
+      uids.push_back(pc.uid);
+    }
+  }
+  std::sort(uids.begin(), uids.end());
+  EXPECT_EQ(std::adjacent_find(uids.begin(), uids.end()), uids.end());
+}
+
+TEST(LocalDbscan, FragmentationGrowsWithPartitions) {
+  // The paper's Figure 6 observation: more partitions -> more partial
+  // clusters.
+  Rng rng(17);
+  synth::UniformConfig ucfg;
+  ucfg.n = 1500;
+  ucfg.dim = 2;
+  ucfg.box_side = 30.0;
+  const PointSet ps = synth::uniform_points(ucfg, rng);
+  const KdTree tree(ps);
+  LocalDbscanConfig cfg;
+  cfg.params = {1.0, 4};
+  auto total_partial = [&](u32 parts) {
+    const Partitioning part =
+        make_partitioning(PartitionerKind::kBlock, ps, parts);
+    u64 total = 0;
+    for (u32 p = 0; p < parts; ++p) {
+      total += local_dbscan(ps, tree, part, static_cast<PartitionId>(p), cfg)
+                   .clusters.size();
+    }
+    return total;
+  };
+  const u64 m1 = total_partial(1);
+  const u64 m8 = total_partial(8);
+  EXPECT_GT(m8, m1);
+}
+
+TEST(LocalDbscanDeath, BadPartitionAborts) {
+  const PointSet ps = line_points({0, 1});
+  const KdTree tree(ps);
+  const Partitioning part = make_partitioning(PartitionerKind::kBlock, ps, 2);
+  LocalDbscanConfig cfg;
+  EXPECT_DEATH(local_dbscan(ps, tree, part, 5, cfg), "partition id");
+}
+
+}  // namespace
+}  // namespace sdb::dbscan

@@ -1,0 +1,171 @@
+#include "core/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dbscan_seq.hpp"
+#include "core/local_dbscan.hpp"
+#include "spatial/kd_tree.hpp"
+#include "synth/generators.hpp"
+#include "util/rng.hpp"
+
+namespace sdb::dbscan {
+namespace {
+
+// Build a LocalClusterResult by hand.
+LocalClusterResult make_local(PartitionId partition,
+                              std::vector<PartialCluster> clusters,
+                              std::vector<PointId> cores,
+                              std::vector<PointId> noise = {}) {
+  LocalClusterResult r;
+  r.partition = partition;
+  r.clusters = std::move(clusters);
+  r.core_points = std::move(cores);
+  r.noise = std::move(noise);
+  return r;
+}
+
+PartialCluster make_pc(PartitionId part, u32 idx, std::vector<PointId> members,
+                       std::vector<PointId> seeds) {
+  PartialCluster pc;
+  pc.partition = part;
+  pc.uid = PartialCluster::make_uid(part, idx);
+  pc.members = std::move(members);
+  pc.seeds = std::move(seeds);
+  return pc;
+}
+
+TEST(Merge, PaperFigure4Example) {
+  // Figure 4: C[0] in partition 0 (range 0-2499) holds seed 3000; C[5] in
+  // partition 1 contains 3000 as a regular element -> one merged cluster.
+  auto local0 = make_local(
+      0, {make_pc(0, 0, {0, 5, 6, 11, 223, 2300, 23, 45, 1000}, {3000})},
+      {0, 5, 6});
+  auto local1 = make_local(
+      1, {make_pc(1, 5, {3000, 2501, 4200, 2800, 2600, 3401, 3678}, {})},
+      {3000, 2501});
+  MergeOptions opt;
+  opt.strategy = MergeStrategy::kPaperSinglePass;
+  const auto merged = merge_partial_clusters({local0, local1}, 5000, opt);
+  EXPECT_EQ(merged.clustering.num_clusters, 1u);
+  EXPECT_EQ(merged.clustering.labels[0], merged.clustering.labels[3000]);
+  EXPECT_EQ(merged.clustering.labels[2300], merged.clustering.labels[3678]);
+  EXPECT_EQ(merged.stats.merges, 1u);
+  EXPECT_EQ(merged.stats.partial_clusters, 2u);
+}
+
+TEST(Merge, NoSeedsNoMerges) {
+  auto local0 = make_local(0, {make_pc(0, 0, {0, 1}, {})}, {0, 1});
+  auto local1 = make_local(1, {make_pc(1, 0, {2, 3}, {})}, {2, 3});
+  for (const auto strategy :
+       {MergeStrategy::kPaperSinglePass, MergeStrategy::kUnionFind}) {
+    MergeOptions opt;
+    opt.strategy = strategy;
+    const auto merged = merge_partial_clusters({local0, local1}, 4, opt);
+    EXPECT_EQ(merged.clustering.num_clusters, 2u);
+    EXPECT_EQ(merged.stats.merges, 0u);
+  }
+}
+
+TEST(Merge, UnclaimedBorderSeedAdopted) {
+  // Seed 5 is noise in partition 1 (cross-partition border point): the
+  // cluster holding the seed must adopt it.
+  auto local0 = make_local(0, {make_pc(0, 0, {0, 1, 2}, {5})}, {0, 1, 2});
+  auto local1 = make_local(1, {}, {}, {5, 6});
+  for (const auto strategy :
+       {MergeStrategy::kPaperSinglePass, MergeStrategy::kUnionFind}) {
+    MergeOptions opt;
+    opt.strategy = strategy;
+    const auto merged = merge_partial_clusters({local0, local1}, 8, opt);
+    EXPECT_EQ(merged.clustering.labels[5], merged.clustering.labels[0]);
+    EXPECT_EQ(merged.stats.border_claims, 1u);
+    EXPECT_EQ(merged.clustering.labels[6], kNoise);
+  }
+}
+
+TEST(Merge, UnionFindClosesChains) {
+  // A -> B -> C chain: A's seed reaches B, B's seed reaches C. Union-find
+  // must produce ONE cluster even though A and C never reference each other.
+  auto a = make_local(0, {make_pc(0, 0, {0, 1}, {10})}, {0, 1});
+  auto b = make_local(1, {make_pc(1, 0, {10, 11}, {20})}, {10, 11});
+  auto c = make_local(2, {make_pc(2, 0, {20, 21}, {})}, {20, 21});
+  MergeOptions opt;
+  opt.strategy = MergeStrategy::kUnionFind;
+  const auto merged = merge_partial_clusters({a, b, c}, 30, opt);
+  EXPECT_EQ(merged.clustering.num_clusters, 1u);
+  EXPECT_EQ(merged.clustering.labels[0], merged.clustering.labels[21]);
+}
+
+TEST(Merge, PaperSinglePassMissesAbsorbedClustersSeeds) {
+  // The documented Algorithm 4 gap: once B is absorbed by A, B's own seeds
+  // are never processed. Order the partial clusters so A absorbs B before
+  // B's turn; C must stay separate under the paper pass but fuse under
+  // union-find.
+  auto a = make_local(0, {make_pc(0, 0, {0, 1}, {10})}, {0, 1});
+  auto b = make_local(1, {make_pc(1, 0, {10, 11}, {20})}, {10, 11});
+  auto c = make_local(2, {make_pc(2, 0, {20, 21}, {})}, {20, 21});
+  MergeOptions paper;
+  paper.strategy = MergeStrategy::kPaperSinglePass;
+  const auto merged = merge_partial_clusters({a, b, c}, 30, paper);
+  // A+B merged; C separate because B (absorbed, 'finished') never digs out
+  // its seed 20.
+  EXPECT_EQ(merged.clustering.num_clusters, 2u);
+  EXPECT_EQ(merged.clustering.labels[0], merged.clustering.labels[10]);
+  EXPECT_NE(merged.clustering.labels[0], merged.clustering.labels[20]);
+}
+
+TEST(Merge, PaperSinglePassOverMergesOnBorderSeeds) {
+  // The second Algorithm 4 gap: seed 10 is a NON-core border member of B.
+  // Sequential DBSCAN keeps A and B separate (border points do not connect
+  // clusters); the paper pass merges them, union-find does not.
+  auto a = make_local(0, {make_pc(0, 0, {0, 1}, {10})}, {0, 1});
+  auto b = make_local(1, {make_pc(1, 0, {10, 11, 12}, {})}, {11, 12});
+  MergeOptions paper;
+  paper.strategy = MergeStrategy::kPaperSinglePass;
+  const auto paper_merged = merge_partial_clusters({a, b}, 20, paper);
+  EXPECT_EQ(paper_merged.clustering.num_clusters, 1u);
+
+  MergeOptions uf;
+  uf.strategy = MergeStrategy::kUnionFind;
+  const auto uf_merged = merge_partial_clusters({a, b}, 20, uf);
+  EXPECT_EQ(uf_merged.clustering.num_clusters, 2u);
+  // The border point stays with its own partition's cluster.
+  EXPECT_EQ(uf_merged.clustering.labels[10], uf_merged.clustering.labels[11]);
+}
+
+TEST(Merge, MinSizeFilterDropsSmallClusters) {
+  auto local0 = make_local(
+      0, {make_pc(0, 0, {0, 1, 2, 3}, {}), make_pc(0, 1, {7}, {})},
+      {0, 1, 2, 3, 7});
+  MergeOptions opt;
+  opt.min_partial_cluster_size = 2;
+  const auto merged = merge_partial_clusters({local0}, 10, opt);
+  EXPECT_EQ(merged.clustering.num_clusters, 1u);
+  EXPECT_EQ(merged.clustering.labels[7], kNoise);
+  EXPECT_EQ(merged.stats.filtered_partial_clusters, 1u);
+}
+
+TEST(Merge, StatsReportKAndM) {
+  auto local0 = make_local(
+      0, {make_pc(0, 0, {0, 1, 2}, {}), make_pc(0, 1, {5, 6}, {})},
+      {0, 1, 2, 5, 6});
+  const auto merged = merge_partial_clusters({local0}, 10, {});
+  EXPECT_EQ(merged.stats.partial_clusters, 2u);
+  EXPECT_EQ(merged.stats.max_partial_cluster_size, 3u);
+}
+
+TEST(Merge, EmptyInput) {
+  const auto merged = merge_partial_clusters({}, 5, {});
+  EXPECT_EQ(merged.clustering.num_clusters, 0u);
+  EXPECT_EQ(merged.clustering.labels.size(), 5u);
+  EXPECT_EQ(merged.clustering.noise_count(), 5u);
+}
+
+TEST(Merge, CountersPopulated) {
+  auto local0 = make_local(0, {make_pc(0, 0, {0, 1, 2}, {5})}, {0, 1, 2});
+  auto local1 = make_local(1, {make_pc(1, 0, {5, 6}, {})}, {5, 6});
+  const auto merged = merge_partial_clusters({local0, local1}, 8, {});
+  EXPECT_GT(merged.counters.merge_ops, 0u);
+}
+
+}  // namespace
+}  // namespace sdb::dbscan

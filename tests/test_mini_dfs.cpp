@@ -1,0 +1,132 @@
+#include "dfs/mini_dfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/counters.hpp"
+
+namespace sdb::dfs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class MiniDfsTest : public ::testing::Test {
+ protected:
+  MiniDfsTest()
+      : root_((fs::temp_directory_path() / "sdb_dfs_test").string()) {
+    fs::remove_all(root_);
+  }
+  ~MiniDfsTest() override { fs::remove_all(root_); }
+  std::string root_;
+};
+
+TEST_F(MiniDfsTest, WriteReadRoundTrip) {
+  MiniDfs dfs(root_, 16);
+  const std::string content = "hello\nworld\nthis is a test\n";
+  dfs.write("/data/points.txt", content);
+  EXPECT_TRUE(dfs.exists("/data/points.txt"));
+  EXPECT_EQ(dfs.read("/data/points.txt"), content);
+}
+
+TEST_F(MiniDfsTest, BlockSplitting) {
+  MiniDfs dfs(root_, 10);
+  const std::string content(35, 'x');
+  const FileInfo& info = dfs.write("/f", content);
+  EXPECT_EQ(info.size, 35u);
+  ASSERT_EQ(info.blocks.size(), 4u);
+  EXPECT_EQ(info.blocks[0].size, 10u);
+  EXPECT_EQ(info.blocks[3].size, 5u);
+}
+
+TEST_F(MiniDfsTest, ReplicaPlacement) {
+  MiniDfs dfs(root_, 8, /*datanodes=*/4, /*replication=*/3);
+  const FileInfo& info = dfs.write("/f", std::string(20, 'y'));
+  for (const auto& block : info.blocks) {
+    EXPECT_EQ(block.replicas.size(), 3u);
+    for (const u32 r : block.replicas) EXPECT_LT(r, 4u);
+  }
+}
+
+TEST_F(MiniDfsTest, ReplicationClampedToDatanodes) {
+  MiniDfs dfs(root_, 8, /*datanodes=*/2, /*replication=*/5);
+  const FileInfo& info = dfs.write("/f", "abc");
+  EXPECT_EQ(info.blocks[0].replicas.size(), 2u);
+}
+
+TEST_F(MiniDfsTest, TextSplitsReconstructRecordsExactlyOnce) {
+  // Records straddle block boundaries; concatenating all splits must yield
+  // the original records exactly once, in order (LineRecordReader law).
+  MiniDfs dfs(root_, 7);  // tiny blocks => lots of straddling
+  std::string content;
+  for (int i = 0; i < 50; ++i) {
+    content += "record-" + std::to_string(i) + "\n";
+  }
+  dfs.write("/records", content);
+  const size_t blocks = dfs.stat("/records").blocks.size();
+  std::string reassembled;
+  for (size_t b = 0; b < blocks; ++b) {
+    reassembled += dfs.read_text_split("/records", b);
+  }
+  EXPECT_EQ(reassembled, content);
+}
+
+TEST_F(MiniDfsTest, TextSplitLongRecordSpanningManyBlocks) {
+  MiniDfs dfs(root_, 4);
+  const std::string content = "aa\n" + std::string(20, 'b') + "\ncc\n";
+  dfs.write("/long", content);
+  const size_t blocks = dfs.stat("/long").blocks.size();
+  std::string reassembled;
+  for (size_t b = 0; b < blocks; ++b) {
+    reassembled += dfs.read_text_split("/long", b);
+  }
+  EXPECT_EQ(reassembled, content);
+}
+
+TEST_F(MiniDfsTest, OverwriteReplacesContent) {
+  MiniDfs dfs(root_, 16);
+  dfs.write("/f", "first");
+  dfs.write("/f", "second version");
+  EXPECT_EQ(dfs.read("/f"), "second version");
+}
+
+TEST_F(MiniDfsTest, RemoveDeletesBlocks) {
+  MiniDfs dfs(root_, 4);
+  dfs.write("/f", "0123456789");
+  dfs.remove("/f");
+  EXPECT_FALSE(dfs.exists("/f"));
+  // Block files are gone from the backing directory.
+  size_t files = 0;
+  for (const auto& e : fs::directory_iterator(fs::path(root_) / "blocks")) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 0u);
+}
+
+TEST_F(MiniDfsTest, EmptyFile) {
+  MiniDfs dfs(root_, 16);
+  dfs.write("/empty", "");
+  EXPECT_TRUE(dfs.exists("/empty"));
+  EXPECT_EQ(dfs.read("/empty"), "");
+  EXPECT_EQ(dfs.stat("/empty").blocks.size(), 0u);
+}
+
+TEST_F(MiniDfsTest, StatMissingAborts) {
+  MiniDfs dfs(root_, 16);
+  EXPECT_DEATH((void)dfs.stat("/missing"), "no such DFS file");
+}
+
+TEST_F(MiniDfsTest, ReadCountsBytes) {
+  MiniDfs dfs(root_, 8);
+  dfs.write("/f", std::string(30, 'z'));
+  WorkCounters wc;
+  {
+    ScopedCounters scope(&wc);
+    (void)dfs.read("/f");
+  }
+  EXPECT_EQ(wc.bytes_read, 30u);
+}
+
+}  // namespace
+}  // namespace sdb::dfs

@@ -1,0 +1,155 @@
+#include "core/partitioners.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/generators.hpp"
+#include "util/rng.hpp"
+
+namespace sdb::dbscan {
+namespace {
+
+PointSet sample_points(i64 n, int dim, u64 seed) {
+  Rng rng(seed);
+  synth::UniformConfig cfg;
+  cfg.n = n;
+  cfg.dim = dim;
+  cfg.box_side = 100.0;
+  return synth::uniform_points(cfg, rng);
+}
+
+void check_is_partition(const Partitioning& part, size_t n) {
+  ASSERT_EQ(part.owner.size(), n);
+  std::vector<u64> counted(part.num_partitions, 0);
+  for (const PartitionId o : part.owner) {
+    ASSERT_GE(o, 0);
+    ASSERT_LT(static_cast<u32>(o), part.num_partitions);
+    ++counted[static_cast<size_t>(o)];
+  }
+  ASSERT_EQ(part.parts.size(), part.num_partitions);
+  u64 total = 0;
+  for (u32 p = 0; p < part.num_partitions; ++p) {
+    EXPECT_EQ(part.parts[p].size(), counted[p]);
+    total += part.parts[p].size();
+    for (const PointId id : part.parts[p]) {
+      EXPECT_EQ(part.owner[static_cast<size_t>(id)], static_cast<PartitionId>(p));
+    }
+  }
+  EXPECT_EQ(total, n);
+}
+
+class PartitionerLaw
+    : public ::testing::TestWithParam<std::tuple<PartitionerKind, u32>> {};
+
+TEST_P(PartitionerLaw, EveryPointOwnedExactlyOnce) {
+  const auto [kind, parts] = GetParam();
+  const PointSet ps = sample_points(1000, 3, 5);
+  const Partitioning part = make_partitioning(kind, ps, parts);
+  check_is_partition(part, ps.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionerLaw,
+    ::testing::Combine(::testing::Values(PartitionerKind::kBlock,
+                                         PartitionerKind::kRandom,
+                                         PartitionerKind::kGrid,
+                                         PartitionerKind::kKdSplit),
+                       ::testing::Values(1u, 2u, 3u, 8u, 17u)));
+
+TEST(BlockPartitioner, ContiguousRanges) {
+  const PointSet ps = sample_points(100, 2, 7);
+  const Partitioning part =
+      make_partitioning(PartitionerKind::kBlock, ps, 4);
+  ASSERT_TRUE(part.contiguous());
+  ASSERT_EQ(part.ranges.size(), 4u);
+  EXPECT_EQ(part.ranges[0].first, 0);
+  EXPECT_EQ(part.ranges[3].second, 100);
+  for (size_t p = 1; p < 4; ++p) {
+    EXPECT_EQ(part.ranges[p].first, part.ranges[p - 1].second);
+  }
+  // The paper's SEED test: ownership == range membership.
+  for (PointId i = 0; i < 100; ++i) {
+    const auto p = static_cast<size_t>(part.owner[static_cast<size_t>(i)]);
+    EXPECT_GE(i, part.ranges[p].first);
+    EXPECT_LT(i, part.ranges[p].second);
+  }
+}
+
+TEST(BlockPartitioner, BalancedSizes) {
+  const PointSet ps = sample_points(103, 2, 7);
+  const Partitioning part =
+      make_partitioning(PartitionerKind::kBlock, ps, 4);
+  EXPECT_LE(part.max_part_size() - part.min_part_size(), 1u);
+}
+
+TEST(RandomPartitioner, BalancedAndSeedDependent) {
+  const PointSet ps = sample_points(1000, 2, 7);
+  const Partitioning a =
+      make_partitioning(PartitionerKind::kRandom, ps, 8, 1);
+  const Partitioning b =
+      make_partitioning(PartitionerKind::kRandom, ps, 8, 2);
+  EXPECT_LE(a.max_part_size() - a.min_part_size(), 1u);
+  EXPECT_NE(a.owner, b.owner);
+  const Partitioning a2 =
+      make_partitioning(PartitionerKind::kRandom, ps, 8, 1);
+  EXPECT_EQ(a.owner, a2.owner);
+}
+
+TEST(KdSplitPartitioner, BalancedSizes) {
+  const PointSet ps = sample_points(1000, 5, 9);
+  const Partitioning part =
+      make_partitioning(PartitionerKind::kKdSplit, ps, 7);
+  // Proportional splits keep all parts within a small factor.
+  EXPECT_LE(part.max_part_size(), part.min_part_size() + 2);
+}
+
+TEST(KdSplitPartitioner, SpatiallyCoherent) {
+  // On well-separated 2-D blobs, kd-split should rarely cut a tight blob:
+  // most blob-mates share a partition more often than under block split of
+  // shuffled data. Weak but meaningful: compare intra-blob co-location.
+  Rng rng(11);
+  std::vector<i32> truth;
+  const PointSet ps = synth::blobs_2d(800, 4, 0.5, 0, rng, &truth);
+  const Partitioning kd =
+      make_partitioning(PartitionerKind::kKdSplit, ps, 4);
+  const Partitioning random =
+      make_partitioning(PartitionerKind::kRandom, ps, 4, 3);
+  auto coherence = [&](const Partitioning& part) {
+    u64 same = 0;
+    u64 pairs = 0;
+    for (size_t i = 0; i < 300; ++i) {
+      for (size_t j = i + 1; j < 300; ++j) {
+        if (truth[i] != truth[j]) continue;
+        ++pairs;
+        same += part.owner[i] == part.owner[j] ? 1 : 0;
+      }
+    }
+    return static_cast<double>(same) / static_cast<double>(pairs);
+  };
+  EXPECT_GT(coherence(kd), coherence(random) + 0.2);
+}
+
+TEST(GridPartitioner, DeterministicAndComplete) {
+  const PointSet ps = sample_points(500, 3, 13);
+  const Partitioning a = make_partitioning(PartitionerKind::kGrid, ps, 6);
+  const Partitioning b = make_partitioning(PartitionerKind::kGrid, ps, 6);
+  EXPECT_EQ(a.owner, b.owner);
+  check_is_partition(a, ps.size());
+}
+
+TEST(Partitioning, ByteSizeScalesWithPoints) {
+  const PointSet small = sample_points(100, 2, 15);
+  const PointSet large = sample_points(1000, 2, 15);
+  const auto a = make_partitioning(PartitionerKind::kBlock, small, 4);
+  const auto b = make_partitioning(PartitionerKind::kBlock, large, 4);
+  EXPECT_LT(a.byte_size(), b.byte_size());
+}
+
+TEST(PartitionerNames, AllNamed) {
+  EXPECT_STREQ(partitioner_name(PartitionerKind::kBlock), "block");
+  EXPECT_STREQ(partitioner_name(PartitionerKind::kRandom), "random");
+  EXPECT_STREQ(partitioner_name(PartitionerKind::kGrid), "grid");
+  EXPECT_STREQ(partitioner_name(PartitionerKind::kKdSplit), "kd-split");
+}
+
+}  // namespace
+}  // namespace sdb::dbscan

@@ -1,0 +1,132 @@
+#include "core/pds_dbscan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dbscan_seq.hpp"
+#include "core/quality.hpp"
+#include "spatial/kd_tree.hpp"
+#include "synth/generators.hpp"
+#include "util/rng.hpp"
+
+namespace sdb::dbscan {
+namespace {
+
+class PdsEqualsSequential
+    : public ::testing::TestWithParam<std::tuple<u32, PartitionerKind>> {};
+
+TEST_P(PdsEqualsSequential, StructuralEquivalence) {
+  const auto [partitions, partitioner] = GetParam();
+  Rng rng(77);
+  synth::GaussianMixtureConfig gcfg;
+  gcfg.n = 800;
+  gcfg.dim = 2;
+  gcfg.clusters = 4;
+  gcfg.sigma = 0.5;
+  gcfg.noise_fraction = 0.1;
+  gcfg.box_side = 40.0;
+  const PointSet ps = synth::gaussian_clusters(gcfg, rng);
+  const DbscanParams params{0.9, 5};
+  const KdTree tree(ps);
+  const auto seq = dbscan_sequential(ps, tree, params);
+
+  PdsDbscanConfig cfg;
+  cfg.params = params;
+  cfg.partitions = partitions;
+  cfg.partitioner = partitioner;
+  const auto pds = pds_dbscan(ps, tree, cfg);
+
+  // Identical core sets.
+  auto sorted = [](std::vector<PointId> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(pds.core_points), sorted(seq.core_points));
+
+  const auto eq = check_equivalence(ps, tree, params, seq.core_points,
+                                    seq.clustering, pds.clustering);
+  EXPECT_TRUE(eq.equivalent)
+      << "partitions=" << partitions << " " << eq.detail;
+  EXPECT_EQ(pds.clustering.num_clusters, seq.clustering.num_clusters);
+  EXPECT_EQ(pds.clustering.noise_count(), seq.clustering.noise_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PdsEqualsSequential,
+    ::testing::Combine(::testing::Values(1u, 3u, 8u, 16u),
+                       ::testing::Values(PartitionerKind::kBlock,
+                                         PartitionerKind::kKdSplit)));
+
+TEST(PdsDbscan, CrossUnionsZeroWithOnePartition) {
+  Rng rng(5);
+  synth::UniformConfig ucfg;
+  ucfg.n = 300;
+  ucfg.dim = 2;
+  ucfg.box_side = 12.0;
+  const PointSet ps = synth::uniform_points(ucfg, rng);
+  const KdTree tree(ps);
+  PdsDbscanConfig cfg;
+  cfg.params = {1.0, 4};
+  cfg.partitions = 1;
+  const auto pds = pds_dbscan(ps, tree, cfg);
+  EXPECT_EQ(pds.cross_unions, 0u);
+}
+
+TEST(PdsDbscan, CrossUnionsGrowWithPartitions) {
+  Rng rng(6);
+  synth::UniformConfig ucfg;
+  ucfg.n = 1000;
+  ucfg.dim = 2;
+  ucfg.box_side = 20.0;
+  const PointSet ps = synth::uniform_points(ucfg, rng);
+  const KdTree tree(ps);
+  PdsDbscanConfig cfg;
+  cfg.params = {1.0, 4};
+  cfg.partitions = 2;
+  const u64 at2 = pds_dbscan(ps, tree, cfg).cross_unions;
+  cfg.partitions = 16;
+  const u64 at16 = pds_dbscan(ps, tree, cfg).cross_unions;
+  EXPECT_GT(at16, at2);
+}
+
+TEST(PdsDbscan, SpatialPartitioningCutsCommunication) {
+  // PDSDBSCAN's merge volume shrinks with spatially coherent partitions —
+  // the same effect the SEED design shows in bench_ablation_seeds.
+  Rng rng(7);
+  synth::UniformConfig ucfg;
+  ucfg.n = 1500;
+  ucfg.dim = 2;
+  ucfg.box_side = 25.0;
+  const PointSet raw = synth::uniform_points(ucfg, rng);
+  const PointSet ps = synth::spatially_sorted(raw);
+  const KdTree tree(ps);
+  PdsDbscanConfig block;
+  block.params = {1.0, 4};
+  block.partitions = 8;
+  block.partitioner = PartitionerKind::kBlock;  // spatial via sorted input
+  PdsDbscanConfig random = block;
+  random.partitioner = PartitionerKind::kRandom;
+  EXPECT_LT(pds_dbscan(ps, tree, block).cross_unions,
+            pds_dbscan(ps, tree, random).cross_unions / 2);
+}
+
+TEST(PdsDbscan, PhaseCountersPopulated) {
+  Rng rng(8);
+  synth::UniformConfig ucfg;
+  ucfg.n = 400;
+  ucfg.dim = 2;
+  ucfg.box_side = 15.0;
+  const PointSet ps = synth::uniform_points(ucfg, rng);
+  const KdTree tree(ps);
+  PdsDbscanConfig cfg;
+  cfg.params = {1.0, 4};
+  cfg.partitions = 4;
+  const auto pds = pds_dbscan(ps, tree, cfg);
+  ASSERT_EQ(pds.local_phase.size(), 4u);
+  for (const auto& wc : pds.local_phase) {
+    EXPECT_GT(wc.distance_evals, 0u);
+  }
+  EXPECT_GT(pds.merge_phase.merge_ops, 0u);
+}
+
+}  // namespace
+}  // namespace sdb::dbscan

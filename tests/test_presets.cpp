@@ -1,0 +1,66 @@
+#include "synth/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdb::synth {
+namespace {
+
+TEST(Presets, TableIContents) {
+  const auto& presets = table1_presets();
+  ASSERT_EQ(presets.size(), 5u);
+  EXPECT_EQ(presets[0].name, "c10k");
+  EXPECT_EQ(presets[0].points, 10'000);
+  EXPECT_EQ(presets[1].name, "c100k");
+  EXPECT_EQ(presets[1].points, 102'400);
+  EXPECT_EQ(presets[2].name, "r10k");
+  EXPECT_EQ(presets[3].name, "r100k");
+  EXPECT_EQ(presets[4].name, "r1m");
+  EXPECT_EQ(presets[4].points, 1'024'000);
+  for (const auto& p : presets) {
+    EXPECT_EQ(p.dim, 10);
+    EXPECT_DOUBLE_EQ(p.eps, 25.0);
+    EXPECT_EQ(p.minpts, 5);
+  }
+}
+
+TEST(Presets, FindByName) {
+  EXPECT_TRUE(find_preset("r100k").has_value());
+  EXPECT_EQ(find_preset("r100k")->points, 102'400);
+  EXPECT_FALSE(find_preset("nope").has_value());
+}
+
+TEST(Presets, KindAssignment) {
+  EXPECT_EQ(find_preset("c10k")->kind, DatasetKind::kCluster);
+  EXPECT_EQ(find_preset("r1m")->kind, DatasetKind::kUniform);
+}
+
+TEST(Presets, GenerateScaled) {
+  const auto spec = *find_preset("c10k");
+  const PointSet ps = generate(spec, 42, 0.1);
+  EXPECT_EQ(ps.size(), 1000u);
+  EXPECT_EQ(ps.dim(), 10);
+}
+
+TEST(Presets, GenerateDeterministic) {
+  const auto spec = *find_preset("r10k");
+  const PointSet a = generate(spec, 42, 0.05);
+  const PointSet b = generate(spec, 42, 0.05);
+  EXPECT_EQ(a.raw(), b.raw());
+  const PointSet c = generate(spec, 43, 0.05);
+  EXPECT_NE(a.raw(), c.raw());
+}
+
+TEST(Presets, MinimumSizeFloor) {
+  const auto spec = *find_preset("r10k");
+  const PointSet ps = generate(spec, 42, 0.0001);
+  EXPECT_GE(ps.size(), 64u);
+}
+
+TEST(PresetsDeath, BadScaleAborts) {
+  const auto spec = *find_preset("r10k");
+  EXPECT_DEATH(generate(spec, 42, 0.0), "scale");
+  EXPECT_DEATH(generate(spec, 42, 1.5), "scale");
+}
+
+}  // namespace
+}  // namespace sdb::synth

@@ -1,0 +1,145 @@
+#include "core/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dbscan_seq.hpp"
+#include "spatial/kd_tree.hpp"
+#include "synth/generators.hpp"
+#include "util/rng.hpp"
+
+namespace sdb::dbscan {
+namespace {
+
+Clustering labels_of(std::vector<ClusterId> l, u64 k) {
+  Clustering c;
+  c.labels = std::move(l);
+  c.num_clusters = k;
+  return c;
+}
+
+TEST(RandIndex, IdenticalClusterings) {
+  const auto a = labels_of({0, 0, 1, 1, kNoise}, 2);
+  EXPECT_DOUBLE_EQ(rand_index(a, a), 1.0);
+}
+
+TEST(RandIndex, LabelPermutationInvariant) {
+  const auto a = labels_of({0, 0, 1, 1}, 2);
+  const auto b = labels_of({1, 1, 0, 0}, 2);
+  EXPECT_DOUBLE_EQ(rand_index(a, b), 1.0);
+}
+
+TEST(RandIndex, CompleteDisagreement) {
+  // a: all one cluster; b: all singletons (noise).
+  const auto a = labels_of({0, 0, 0, 0}, 1);
+  const auto b = labels_of({kNoise, kNoise, kNoise, kNoise}, 0);
+  EXPECT_DOUBLE_EQ(rand_index(a, b), 0.0);
+}
+
+TEST(RandIndex, PartialAgreement) {
+  const auto a = labels_of({0, 0, 1, 1}, 2);
+  const auto b = labels_of({0, 0, 0, 1}, 2);
+  // Pairs: (0,1) same/same agree; (2,3) same/diff disagree; (0,2),(0,3),
+  // (1,2),(1,3) diff in a; in b (0,2) same -> disagree, (1,2) same ->
+  // disagree, (0,3),(1,3) diff -> agree. Agreements: 3 of 6.
+  EXPECT_DOUBLE_EQ(rand_index(a, b), 0.5);
+}
+
+TEST(RandIndex, NoiseTreatedAsSingletons) {
+  const auto a = labels_of({kNoise, kNoise}, 0);
+  const auto b = labels_of({0, 0}, 1);
+  EXPECT_DOUBLE_EQ(rand_index(a, b), 0.0);
+  // Two noise points agree with two noise points.
+  EXPECT_DOUBLE_EQ(rand_index(a, a), 1.0);
+}
+
+TEST(Summarize, Basics) {
+  const auto c = labels_of({0, 0, 0, 1, 1, kNoise}, 2);
+  const auto stats = summarize(c);
+  EXPECT_EQ(stats.clusters, 2u);
+  EXPECT_EQ(stats.noise, 1u);
+  EXPECT_EQ(stats.largest, 3u);
+  EXPECT_EQ(stats.smallest, 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_size, 2.5);
+}
+
+TEST(Normalize, DenseFirstAppearance) {
+  auto c = labels_of({7, 7, 3, kNoise, 3, 9}, 0);
+  c.normalize();
+  EXPECT_EQ(c.labels, (std::vector<ClusterId>{0, 0, 1, kNoise, 1, 2}));
+  EXPECT_EQ(c.num_clusters, 3u);
+}
+
+class EquivalenceTest : public ::testing::Test {
+ protected:
+  EquivalenceTest() : ps_(1) {
+    for (const double x : {0.0, 1.0, 2.0, 10.0, 11.0, 12.0, 50.0}) {
+      const double p[1] = {x};
+      ps_.add(p);
+    }
+    tree_ = std::make_unique<KdTree>(ps_);
+    // minpts=2 so every clustered point is core (multi-core clusters make
+    // the bijection checks meaningful).
+    params_ = {1.5, 2};
+    seq_ = dbscan_sequential(ps_, *tree_, params_);
+  }
+  PointSet ps_;
+  std::unique_ptr<KdTree> tree_;
+  DbscanParams params_;
+  SeqResult seq_;
+};
+
+TEST_F(EquivalenceTest, SelfEquivalent) {
+  const auto report = check_equivalence(ps_, *tree_, params_,
+                                        seq_.core_points, seq_.clustering,
+                                        seq_.clustering);
+  EXPECT_TRUE(report.equivalent) << report.detail;
+}
+
+TEST_F(EquivalenceTest, RelabeledStillEquivalent) {
+  Clustering relabeled = seq_.clustering;
+  for (ClusterId& l : relabeled.labels) {
+    if (l >= 0) l = 1 - l;  // swap the two cluster labels
+  }
+  const auto report = check_equivalence(ps_, *tree_, params_,
+                                        seq_.core_points, seq_.clustering,
+                                        relabeled);
+  EXPECT_TRUE(report.equivalent) << report.detail;
+}
+
+TEST_F(EquivalenceTest, SplitClusterDetected) {
+  Clustering broken = seq_.clustering;
+  // Move one core point of cluster 0 into its own cluster.
+  broken.labels[0] = 5;
+  broken.num_clusters = 6;
+  const auto report = check_equivalence(ps_, *tree_, params_,
+                                        seq_.core_points, seq_.clustering,
+                                        broken);
+  EXPECT_FALSE(report.equivalent);
+  EXPECT_GT(report.core_mismatches, 0u);
+}
+
+TEST_F(EquivalenceTest, NoiseFlipDetected) {
+  Clustering broken = seq_.clustering;
+  broken.labels[6] = 0;  // the isolated point joins a cluster
+  const auto report = check_equivalence(ps_, *tree_, params_,
+                                        seq_.core_points, seq_.clustering,
+                                        broken);
+  EXPECT_FALSE(report.equivalent);
+  EXPECT_GT(report.noise_mismatches + report.border_violations, 0u);
+}
+
+TEST_F(EquivalenceTest, MergedClustersDetected) {
+  Clustering broken = seq_.clustering;
+  for (ClusterId& l : broken.labels) {
+    if (l == 1) l = 0;  // fuse the two clusters
+  }
+  broken.num_clusters = 1;
+  const auto report = check_equivalence(ps_, *tree_, params_,
+                                        seq_.core_points, seq_.clustering,
+                                        broken);
+  EXPECT_FALSE(report.equivalent);
+  EXPECT_GT(report.core_mismatches, 0u);
+}
+
+}  // namespace
+}  // namespace sdb::dbscan

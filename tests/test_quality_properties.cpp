@@ -1,0 +1,113 @@
+// Property tests for the quality metrics themselves — the instruments the
+// equivalence claims rest on must satisfy their own laws.
+#include <gtest/gtest.h>
+
+#include "core/quality.hpp"
+#include "util/rng.hpp"
+
+namespace sdb::dbscan {
+namespace {
+
+Clustering random_clustering(size_t n, u64 clusters, double noise_rate,
+                             Rng& rng) {
+  Clustering c;
+  c.labels.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.chance(noise_rate)) {
+      c.labels.push_back(kNoise);
+    } else {
+      c.labels.push_back(static_cast<ClusterId>(rng.uniform_index(clusters)));
+    }
+  }
+  c.num_clusters = clusters;
+  c.normalize();
+  return c;
+}
+
+TEST(RandIndexProperties, RangeAndIdentity) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto a = random_clustering(120, 1 + rng.uniform_index(6), 0.2, rng);
+    const auto b = random_clustering(120, 1 + rng.uniform_index(6), 0.2, rng);
+    const double r = rand_index(a, b);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+    EXPECT_DOUBLE_EQ(rand_index(a, a), 1.0);
+  }
+}
+
+TEST(RandIndexProperties, Symmetry) {
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto a = random_clustering(100, 1 + rng.uniform_index(5), 0.15, rng);
+    const auto b = random_clustering(100, 1 + rng.uniform_index(5), 0.15, rng);
+    EXPECT_DOUBLE_EQ(rand_index(a, b), rand_index(b, a));
+  }
+}
+
+TEST(RandIndexProperties, PermutationInvariance) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = random_clustering(100, 4, 0.1, rng);
+    const auto b = random_clustering(100, 4, 0.1, rng);
+    // Relabel b with a fixed permutation of its cluster ids.
+    Clustering b2 = b;
+    for (ClusterId& l : b2.labels) {
+      if (l >= 0) l = (l + 1) % 4;
+    }
+    EXPECT_DOUBLE_EQ(rand_index(a, b), rand_index(a, b2));
+  }
+}
+
+TEST(RandIndexProperties, RefinementScoresBelowIdentity) {
+  // Splitting one cluster of `a` strictly reduces the Rand index vs a.
+  Clustering a;
+  a.labels.assign(60, 0);
+  for (size_t i = 30; i < 60; ++i) a.labels[i] = 1;
+  a.num_clusters = 2;
+  Clustering split = a;
+  for (size_t i = 0; i < 15; ++i) split.labels[i] = 2;
+  split.num_clusters = 3;
+  EXPECT_LT(rand_index(a, split), 1.0);
+  EXPECT_GT(rand_index(a, split), 0.5);
+}
+
+TEST(NormalizeProperties, IdempotentAndOrderCanonical) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto c = random_clustering(80, 5, 0.2, rng);
+    // Scramble labels.
+    for (ClusterId& l : c.labels) {
+      if (l >= 0) l = l * 17 + 3;
+    }
+    Clustering once = c;
+    once.normalize();
+    Clustering twice = once;
+    twice.normalize();
+    EXPECT_EQ(once.labels, twice.labels);
+    EXPECT_EQ(once.num_clusters, twice.num_clusters);
+    // First non-noise label is 0, labels dense.
+    ClusterId max_label = -1;
+    for (const ClusterId l : once.labels) max_label = std::max(max_label, l);
+    EXPECT_EQ(max_label + 1, static_cast<ClusterId>(once.num_clusters));
+  }
+}
+
+TEST(SummarizeProperties, SizesSumToClusteredCount) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto c = random_clustering(150, 1 + rng.uniform_index(7), 0.25, rng);
+    const auto stats = summarize(c);
+    u64 clustered = 0;
+    for (const ClusterId l : c.labels) clustered += (l >= 0) ? 1 : 0;
+    EXPECT_EQ(stats.noise + clustered, c.labels.size());
+    if (stats.clusters > 0) {
+      EXPECT_NEAR(stats.mean_size * static_cast<double>(stats.clusters),
+                  static_cast<double>(clustered), 1e-9);
+      EXPECT_GE(stats.largest, stats.smallest);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdb::dbscan

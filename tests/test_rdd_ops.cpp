@@ -1,0 +1,169 @@
+#include "minispark/rdd_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "minispark/spark_context.hpp"
+
+namespace sdb::minispark {
+namespace {
+
+ClusterConfig quiet(u32 executors = 4) {
+  ClusterConfig cfg;
+  cfg.executors = executors;
+  cfg.straggler.fraction = 0.0;
+  return cfg;
+}
+
+std::vector<int> iota_vec(int n) {
+  std::vector<int> v(static_cast<size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(RddOps, FlatMapExpandsElements) {
+  SparkContext ctx(quiet());
+  auto rdd = ctx.parallelize(iota_vec(5), 2);
+  auto expanded = flat_map(
+      std::shared_ptr<const Rdd<int>>(rdd),
+      [](int& x) { return std::vector<int>(static_cast<size_t>(x), x); });
+  const auto out = ctx.collect(*expanded);
+  // 0 -> nothing, 1 -> {1}, 2 -> {2,2}, ...
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 2, 3, 3, 3, 4, 4, 4, 4}));
+}
+
+TEST(RddOps, FlatMapCanChangeType) {
+  SparkContext ctx(quiet());
+  auto rdd = ctx.parallelize(std::vector<std::string>{"a b", "c"}, 1);
+  auto words = flat_map(std::shared_ptr<const Rdd<std::string>>(rdd),
+                        [](std::string& line) {
+                          std::vector<std::string> out;
+                          size_t pos = 0;
+                          while (pos < line.size()) {
+                            size_t sp = line.find(' ', pos);
+                            if (sp == std::string::npos) sp = line.size();
+                            out.push_back(line.substr(pos, sp - pos));
+                            pos = sp + 1;
+                          }
+                          return out;
+                        });
+  EXPECT_EQ(ctx.collect(*words),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(RddOps, UnionConcatenatesPartitions) {
+  SparkContext ctx(quiet());
+  auto a = ctx.parallelize(std::vector<int>{1, 2}, 2);
+  auto b = ctx.parallelize(std::vector<int>{3, 4, 5}, 3);
+  auto u = union_rdds<int>(a, b);
+  EXPECT_EQ(u->num_partitions(), 5u);
+  EXPECT_EQ(ctx.collect(*u), (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(u->lineage_depth(), 1u);
+  EXPECT_EQ(u->parents().size(), 2u);
+}
+
+TEST(RddOps, ZipWithIndexGlobalOrder) {
+  SparkContext ctx(quiet());
+  auto rdd = ctx.parallelize(std::vector<std::string>{"a", "b", "c", "d", "e"},
+                             3);
+  auto zipped = zip_with_index<std::string>(rdd);
+  const auto out = ctx.collect(*zipped);
+  ASSERT_EQ(out.size(), 5u);
+  for (u64 i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].second, i);
+  }
+  EXPECT_EQ(out[0].first, "a");
+  EXPECT_EQ(out[4].first, "e");
+}
+
+TEST(RddOps, ZipWithIndexComputePartitionInIsolation) {
+  // Computing only partition 2 must still see the right offsets.
+  auto base = std::make_shared<ParallelizeRdd<int>>(iota_vec(10), 4);
+  auto zipped = zip_with_index<int>(base);
+  const auto part2 = zipped->compute(2);
+  // Partitions of 10 over 4: sizes 2,3,2,3 -> partition 2 starts at 5.
+  ASSERT_FALSE(part2.empty());
+  EXPECT_EQ(part2[0].second, 5u);
+}
+
+TEST(RddOps, SampleFractionRoughlyHonored) {
+  SparkContext ctx(quiet());
+  auto rdd = ctx.parallelize(iota_vec(10000), 8);
+  auto sampled = sample<int>(rdd, 0.2, 99);
+  const u64 n = ctx.count(*sampled);
+  EXPECT_GT(n, 1700u);
+  EXPECT_LT(n, 2300u);
+}
+
+TEST(RddOps, SampleDeterministicPerSeed) {
+  SparkContext ctx(quiet());
+  auto rdd = ctx.parallelize(iota_vec(1000), 4);
+  auto s1 = sample<int>(rdd, 0.5, 7);
+  auto s2 = sample<int>(rdd, 0.5, 7);
+  auto s3 = sample<int>(rdd, 0.5, 8);
+  EXPECT_EQ(ctx.collect(*s1), ctx.collect(*s2));
+  EXPECT_NE(ctx.collect(*s1), ctx.collect(*s3));
+}
+
+TEST(RddOps, GlomOneVectorPerPartition) {
+  SparkContext ctx(quiet());
+  auto rdd = ctx.parallelize(iota_vec(10), 3);
+  auto g = glom<int>(rdd);
+  const auto out = ctx.collect(*g, /*bytes_per_element=*/64);
+  ASSERT_EQ(out.size(), 3u);
+  u64 total = 0;
+  for (const auto& part : out) total += part.size();
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(RddOps, ComposeThroughPipeline) {
+  SparkContext ctx(quiet());
+  auto base = ctx.parallelize(iota_vec(100), 5);
+  auto doubled = base->map([](const int& x) { return 2 * x; });
+  auto sampled = sample<int>(doubled, 0.5, 3);
+  auto expanded = flat_map(std::shared_ptr<const Rdd<int>>(sampled),
+                           [](int& x) { return std::vector<int>{x, -x}; });
+  const auto out = ctx.collect(*expanded);
+  EXPECT_FALSE(out.empty());
+  long sum = 0;
+  for (const int x : out) sum += x;
+  EXPECT_EQ(sum, 0);  // every x paired with -x
+}
+
+TEST(Actions, ReduceSums) {
+  SparkContext ctx(quiet());
+  auto rdd = ctx.parallelize(iota_vec(101), 7);
+  const int total = ctx.reduce(*rdd, [](int a, int b) { return a + b; });
+  EXPECT_EQ(total, 5050);
+}
+
+TEST(Actions, ReduceWithEmptyPartitions) {
+  SparkContext ctx(quiet());
+  auto rdd = ctx.parallelize(std::vector<int>{5}, 8);  // 7 empty partitions
+  EXPECT_EQ(ctx.reduce(*rdd, [](int a, int b) { return a + b; }), 5);
+}
+
+TEST(Actions, ReduceEmptyRddAborts) {
+  // The whole context must be constructed INSIDE the death-test child: the
+  // fork only carries the calling thread, so a pre-existing thread pool
+  // would leave the child's tasks unserviced and hang the test.
+  EXPECT_DEATH(
+      {
+        SparkContext ctx(quiet());
+        auto rdd = ctx.parallelize(std::vector<int>{}, 3);
+        ctx.reduce(*rdd, [](int a, int b) { return a + b; });
+      },
+      "empty RDD");
+}
+
+TEST(Actions, TakeRespectsPartitionOrder) {
+  SparkContext ctx(quiet());
+  auto rdd = ctx.parallelize(iota_vec(100), 10);
+  EXPECT_EQ(ctx.take(*rdd, 3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(ctx.take(*rdd, 0), (std::vector<int>{}));
+  EXPECT_EQ(ctx.take(*rdd, 1000).size(), 100u);
+}
+
+}  // namespace
+}  // namespace sdb::minispark

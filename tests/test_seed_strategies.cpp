@@ -1,0 +1,149 @@
+// Seed-placement strategies: the paper's one-seed-per-partition rule vs the
+// complete all-foreign rule, including a constructed case where the paper's
+// rule under-merges (DESIGN.md §3).
+#include <gtest/gtest.h>
+
+#include "core/dbscan_seq.hpp"
+#include "core/local_dbscan.hpp"
+#include "core/merge.hpp"
+#include "core/quality.hpp"
+#include "spatial/kd_tree.hpp"
+#include "synth/generators.hpp"
+#include "util/rng.hpp"
+
+namespace sdb::dbscan {
+namespace {
+
+std::vector<LocalClusterResult> run_locals(const PointSet& ps,
+                                           const KdTree& tree,
+                                           const Partitioning& partitioning,
+                                           const DbscanParams& params,
+                                           SeedStrategy strategy) {
+  LocalDbscanConfig cfg;
+  cfg.params = params;
+  cfg.seed_strategy = strategy;
+  std::vector<LocalClusterResult> locals;
+  for (u32 p = 0; p < partitioning.num_partitions; ++p) {
+    locals.push_back(
+        local_dbscan(ps, tree, partitioning, static_cast<PartitionId>(p), cfg));
+  }
+  return locals;
+}
+
+u64 seed_count(const std::vector<LocalClusterResult>& locals) {
+  u64 total = 0;
+  for (const auto& local : locals) {
+    for (const auto& pc : local.clusters) total += pc.seeds.size();
+  }
+  return total;
+}
+
+TEST(SeedStrategies, OnePerPartitionPlacesFewerSeeds) {
+  Rng rng(51);
+  synth::UniformConfig ucfg;
+  ucfg.n = 1200;
+  ucfg.dim = 2;
+  ucfg.box_side = 25.0;
+  const PointSet ps = synth::uniform_points(ucfg, rng);
+  const KdTree tree(ps);
+  const DbscanParams params{1.0, 4};
+  const auto part = make_partitioning(PartitionerKind::kBlock, ps, 6);
+  const auto one = run_locals(ps, tree, part, params, SeedStrategy::kOnePerPartition);
+  const auto all = run_locals(ps, tree, part, params, SeedStrategy::kAllForeign);
+  EXPECT_LT(seed_count(one), seed_count(all));
+  EXPECT_GT(seed_count(one), 0u);
+}
+
+TEST(SeedStrategies, AllForeignNeverWorseThanPaperRule) {
+  // With the sound union-find merge, the paper's one-seed-per-partition rule
+  // can only LOSE merge edges relative to all-foreign (both record a subset
+  // of the true cross-partition adjacencies; all-foreign records all of
+  // them). Hence: #clusters(one) >= #clusters(all) == #clusters(sequential),
+  // on every dataset/partitioning.
+  Rng rng(53);
+  synth::UniformConfig ucfg;
+  ucfg.n = 1500;
+  ucfg.dim = 2;
+  ucfg.box_side = 28.0;
+  const PointSet ps = synth::uniform_points(ucfg, rng);
+  const KdTree tree(ps);
+  const DbscanParams params{1.0, 4};
+  const auto seq = dbscan_sequential(ps, tree, params);
+
+  MergeOptions merge_options;
+  merge_options.strategy = MergeStrategy::kUnionFind;
+  for (const u32 partitions : {4u, 8u, 16u}) {
+    const auto part =
+        make_partitioning(PartitionerKind::kBlock, ps, partitions);
+    const auto one = merge_partial_clusters(
+        run_locals(ps, tree, part, params, SeedStrategy::kOnePerPartition),
+        ps.size(), merge_options);
+    const auto all = merge_partial_clusters(
+        run_locals(ps, tree, part, params, SeedStrategy::kAllForeign),
+        ps.size(), merge_options);
+    EXPECT_EQ(all.clustering.num_clusters, seq.clustering.num_clusters);
+    EXPECT_GE(one.clustering.num_clusters, all.clustering.num_clusters)
+        << "partitions=" << partitions;
+    const auto eq = check_equivalence(ps, tree, params, seq.core_points,
+                                      seq.clustering, all.clustering);
+    EXPECT_TRUE(eq.equivalent) << eq.detail;
+  }
+}
+
+TEST(SeedStrategies, StrategiesAgreeWhenOnePartnerPerPartition) {
+  // On well-separated blobs each partial cluster touches at most one foreign
+  // cluster per partition, so both strategies merge identically.
+  Rng rng(61);
+  synth::GaussianMixtureConfig cfg;
+  cfg.n = 600;
+  cfg.dim = 2;
+  cfg.clusters = 3;
+  cfg.sigma = 0.3;
+  cfg.noise_fraction = 0.0;
+  cfg.box_side = 60.0;
+  const PointSet ps = synth::gaussian_clusters(cfg, rng);
+  const KdTree tree(ps);
+  const DbscanParams params{0.7, 5};
+  const auto part = make_partitioning(PartitionerKind::kBlock, ps, 4);
+
+  MergeOptions merge_options;
+  const auto one = merge_partial_clusters(
+      run_locals(ps, tree, part, params, SeedStrategy::kOnePerPartition),
+      ps.size(), merge_options);
+  const auto all = merge_partial_clusters(
+      run_locals(ps, tree, part, params, SeedStrategy::kAllForeign), ps.size(),
+      merge_options);
+  EXPECT_EQ(one.clustering.num_clusters, all.clustering.num_clusters);
+}
+
+TEST(SeedStrategies, SeedOpsCountedInBothModes) {
+  Rng rng(71);
+  synth::UniformConfig ucfg;
+  ucfg.n = 400;
+  ucfg.dim = 2;
+  ucfg.box_side = 15.0;
+  const PointSet ps = synth::uniform_points(ucfg, rng);
+  const KdTree tree(ps);
+  const auto part = make_partitioning(PartitionerKind::kBlock, ps, 4);
+  for (const auto strategy :
+       {SeedStrategy::kOnePerPartition, SeedStrategy::kAllForeign}) {
+    LocalDbscanConfig cfg;
+    cfg.params = {1.0, 4};
+    cfg.seed_strategy = strategy;
+    WorkCounters wc;
+    {
+      ScopedCounters scope(&wc);
+      local_dbscan(ps, tree, part, 0, cfg);
+    }
+    EXPECT_GT(wc.seed_ops, 0u) << seed_strategy_name(strategy);
+  }
+}
+
+TEST(SeedStrategies, Names) {
+  EXPECT_STREQ(seed_strategy_name(SeedStrategy::kOnePerPartition),
+               "one-per-partition");
+  EXPECT_STREQ(seed_strategy_name(SeedStrategy::kAllForeign), "all-foreign");
+}
+
+}  // namespace
+}  // namespace sdb::dbscan

@@ -1,0 +1,105 @@
+#include "util/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/counters.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace sdb {
+namespace {
+
+TEST(Serialize, ScalarRoundTrip) {
+  BinaryWriter w;
+  w.write_u8(200);
+  w.write_u32(0xdeadbeef);
+  w.write_u64(0x123456789abcdef0ull);
+  w.write_i64(-42);
+  w.write_f64(3.14159);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.read_u8(), 200u);
+  EXPECT_EQ(r.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.read_u64(), 0x123456789abcdef0ull);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.read_f64(), 3.14159);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, StringRoundTrip) {
+  BinaryWriter w;
+  w.write_string("");
+  w.write_string("hello world");
+  w.write_string(std::string("bin\0ary", 7));
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_string(), "hello world");
+  EXPECT_EQ(r.read_string(), std::string("bin\0ary", 7));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  BinaryWriter w;
+  w.write_i64_vec({1, -2, 3});
+  w.write_f64_vec({});
+  w.write_f64_vec({0.5, -1.5});
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.read_i64_vec(), (std::vector<i64>{1, -2, 3}));
+  EXPECT_TRUE(r.read_f64_vec().empty());
+  EXPECT_EQ(r.read_f64_vec(), (std::vector<double>{0.5, -1.5}));
+}
+
+TEST(Serialize, RemainingAndPosition) {
+  BinaryWriter w;
+  w.write_u64(1);
+  w.write_u64(2);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.remaining(), 16u);
+  r.read_u64();
+  EXPECT_EQ(r.position(), 8u);
+  EXPECT_EQ(r.remaining(), 8u);
+}
+
+TEST(SerializeDeath, TruncatedInputAborts) {
+  BinaryWriter w;
+  w.write_u32(7);
+  BinaryReader r(w.buffer());
+  EXPECT_DEATH(r.read_u64(), "truncated");
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sdb_serialize_test.bin")
+          .string();
+  const std::vector<char> data = {'a', 'b', '\0', 'c'};
+  write_file(path, data);
+  EXPECT_EQ(read_file(path), data);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, FileIoCharactersCounted) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sdb_serialize_count.bin")
+          .string();
+  WorkCounters wc;
+  {
+    ScopedCounters scope(&wc);
+    write_file(path, std::vector<char>(100, 'x'));
+    (void)read_file(path);
+  }
+  EXPECT_EQ(wc.bytes_written, 100u);
+  EXPECT_EQ(wc.bytes_read, 100u);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, EmptyFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sdb_serialize_empty.bin")
+          .string();
+  write_file(path, {});
+  EXPECT_TRUE(read_file(path).empty());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace sdb

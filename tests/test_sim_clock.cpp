@@ -1,0 +1,155 @@
+// The simulated cluster clock: cost model arithmetic and its scaling laws.
+#include <gtest/gtest.h>
+
+#include "minispark/cost_model.hpp"
+#include "minispark/metrics.hpp"
+
+namespace sdb::minispark {
+namespace {
+
+TEST(CostModel, ComputeSecondsLinearInOps) {
+  CostModel cm;
+  WorkCounters a;
+  a.distance_evals = 1'000'000;
+  WorkCounters b = a;
+  b.distance_evals = 2'000'000;
+  EXPECT_NEAR(cm.compute_seconds(b), 2.0 * cm.compute_seconds(a), 1e-12);
+}
+
+TEST(CostModel, AllOpKindsPriced) {
+  CostModel cm;
+  WorkCounters wc;
+  EXPECT_DOUBLE_EQ(cm.compute_seconds(wc), 0.0);
+  wc.distance_evals = 1;
+  const double d1 = cm.compute_seconds(wc);
+  EXPECT_GT(d1, 0.0);
+  wc.tree_nodes = 1;
+  wc.hash_ops = 1;
+  wc.queue_ops = 1;
+  wc.points_processed = 1;
+  wc.seed_ops = 1;
+  wc.merge_ops = 1;
+  EXPECT_GT(cm.compute_seconds(wc), d1);
+}
+
+TEST(CostModel, DiskBytesPricedAtBandwidth) {
+  CostModel cm;
+  WorkCounters wc;
+  wc.bytes_read = static_cast<u64>(cm.disk_read_bps);  // 1 second worth
+  EXPECT_NEAR(cm.compute_seconds(wc), 1.0, 1e-9);
+  WorkCounters ww;
+  ww.bytes_written = static_cast<u64>(cm.disk_write_bps);
+  EXPECT_NEAR(cm.compute_seconds(ww), 1.0, 1e-9);
+}
+
+TEST(CostModel, NetworkBytesIncludeLatency) {
+  CostModel cm;
+  WorkCounters wc;
+  wc.net_bytes = static_cast<u64>(cm.net_bps);
+  EXPECT_NEAR(cm.compute_seconds(wc), 1.0 + cm.net_latency_s, 1e-9);
+}
+
+TEST(CostModel, BroadcastGrowsSublinearlyWithExecutors) {
+  CostModel cm;
+  const u64 bytes = 100'000'000;
+  const double t2 = cm.broadcast_seconds(bytes, 2);
+  const double t512 = cm.broadcast_seconds(bytes, 512);
+  EXPECT_GT(t512, t2);
+  // Torrent-style: 256x the executors costs far less than 256x the time.
+  EXPECT_LT(t512, t2 * 16);
+}
+
+TEST(CostModel, TransferLinearInBytes) {
+  CostModel cm;
+  const double t1 = cm.transfer_seconds(1'000'000);
+  const double t2 = cm.transfer_seconds(2'000'000);
+  EXPECT_GT(t2, t1);
+  EXPECT_NEAR(t2 - t1, 1e6 / cm.net_bps, 1e-12);
+}
+
+TEST(ListSchedule, EqualTasksPerfectSpeedup) {
+  const std::vector<double> tasks(64, 1.0);
+  for (const u32 cores : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    EXPECT_DOUBLE_EQ(list_schedule_makespan(tasks, cores),
+                     64.0 / cores);
+  }
+}
+
+TEST(ListSchedule, ImbalanceLimitsSpeedup) {
+  // One long task bounds the makespan no matter how many cores.
+  std::vector<double> tasks(15, 1.0);
+  tasks.push_back(10.0);
+  EXPECT_DOUBLE_EQ(list_schedule_makespan(tasks, 1000), 10.0);
+}
+
+TEST(ListSchedule, MoreCoresNeverSlower) {
+  const std::vector<double> tasks = {5, 3, 8, 1, 1, 9, 2, 4};
+  double prev = list_schedule_makespan(tasks, 1);
+  for (u32 c = 2; c <= 16; ++c) {
+    const double now = list_schedule_makespan(tasks, c);
+    EXPECT_LE(now, prev + 1e-12);
+    prev = now;
+  }
+}
+
+TEST(ListSchedule, SingleCoreIsSum) {
+  const std::vector<double> tasks = {0.5, 1.5, 2.0};
+  EXPECT_DOUBLE_EQ(list_schedule_makespan(tasks, 1), 4.0);
+}
+
+TEST(ListSchedule, FullScheduleLaws) {
+  const std::vector<double> d = {3, 1, 4, 1, 5};
+  const auto schedule = list_schedule(d, 2);
+  ASSERT_EQ(schedule.size(), 5u);
+  // Tasks appear once, in submission order.
+  for (u32 t = 0; t < 5; ++t) EXPECT_EQ(schedule[t].task, t);
+  // No overlap on any core.
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_GE(schedule[i].end_s, schedule[i].start_s);
+    EXPECT_LT(schedule[i].core, 2u);
+    for (size_t j = i + 1; j < schedule.size(); ++j) {
+      if (schedule[i].core != schedule[j].core) continue;
+      const bool disjoint = schedule[i].end_s <= schedule[j].start_s ||
+                            schedule[j].end_s <= schedule[i].start_s;
+      EXPECT_TRUE(disjoint) << "tasks " << i << "," << j << " overlap";
+    }
+  }
+  // Schedule end agrees with the makespan function.
+  double end = 0.0;
+  for (const auto& t : schedule) end = std::max(end, t.end_s);
+  EXPECT_DOUBLE_EQ(end, list_schedule_makespan(d, 2));
+}
+
+TEST(ListSchedule, WorkConservingNoIdleBeforeLastStart) {
+  // Greedy list scheduling never leaves a core idle while tasks wait.
+  const std::vector<double> d = {2, 2, 2, 2, 2, 2, 2};
+  const auto schedule = list_schedule(d, 3);
+  for (const auto& t : schedule) {
+    // With equal durations on 3 cores, task t starts at floor(t/3)*2.
+    EXPECT_DOUBLE_EQ(t.start_s, static_cast<double>(t.task / 3) * 2.0);
+  }
+}
+
+TEST(Gantt, RendersOneRowPerCore) {
+  const std::vector<double> d = {1, 1, 2};
+  const auto schedule = list_schedule(d, 2);
+  const std::string gantt = render_gantt(schedule, 2, 40);
+  EXPECT_EQ(std::count(gantt.begin(), gantt.end(), '\n'), 2);
+  EXPECT_NE(gantt.find("core   0 |"), std::string::npos);
+  EXPECT_NE(gantt.find('0'), std::string::npos);
+  EXPECT_NE(gantt.find('2'), std::string::npos);
+}
+
+TEST(Gantt, EmptyScheduleEmptyChart) {
+  EXPECT_TRUE(render_gantt({}, 4, 40).empty());
+}
+
+TEST(StragglerModel, DefaultsSane) {
+  StragglerModel s;
+  EXPECT_GE(s.fraction, 0.0);
+  EXPECT_LE(s.fraction, 1.0);
+  EXPECT_GE(s.max_extra, 0.0);
+}
+
+}  // namespace
+}  // namespace sdb::minispark

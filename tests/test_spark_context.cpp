@@ -1,0 +1,158 @@
+#include "minispark/spark_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace sdb::minispark {
+namespace {
+
+ClusterConfig quiet_config(u32 executors) {
+  ClusterConfig cfg;
+  cfg.executors = executors;
+  cfg.straggler.fraction = 0.0;
+  return cfg;
+}
+
+TEST(SparkContext, CollectRoundTrip) {
+  SparkContext ctx(quiet_config(4));
+  std::vector<int> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  auto rdd = ctx.parallelize(data, 7);
+  EXPECT_EQ(ctx.collect(*rdd), data);
+}
+
+TEST(SparkContext, CountAcrossPartitions) {
+  SparkContext ctx(quiet_config(2));
+  auto rdd = ctx.parallelize(std::vector<int>(1234, 1), 5);
+  EXPECT_EQ(ctx.count(*rdd), 1234u);
+}
+
+TEST(SparkContext, DefaultParallelismIsTotalCores) {
+  ClusterConfig cfg = quiet_config(4);
+  cfg.cores_per_executor = 2;
+  SparkContext ctx(cfg);
+  EXPECT_EQ(ctx.default_parallelism(), 8u);
+  auto rdd = ctx.parallelize(std::vector<int>(100, 1));
+  EXPECT_EQ(rdd->num_partitions(), 8u);
+}
+
+TEST(SparkContext, TransformPipelineThroughActions) {
+  SparkContext ctx(quiet_config(2));
+  std::vector<int> data(50);
+  std::iota(data.begin(), data.end(), 0);
+  auto rdd = ctx.parallelize(data, 4);
+  auto result = rdd->map([](const int& x) { return x * x; })
+                    ->filter([](const int& x) { return x % 2 == 0; });
+  const auto collected = ctx.collect(*result);
+  u64 count = 0;
+  for (const int x : data) {
+    if ((x * x) % 2 == 0) ++count;
+  }
+  EXPECT_EQ(collected.size(), count);
+}
+
+TEST(SparkContext, ForeachPartitionSeesEveryPartitionOnce) {
+  SparkContext ctx(quiet_config(3));
+  auto rdd = ctx.parallelize(std::vector<int>(30, 7), 6);
+  std::mutex mutex;
+  std::vector<u32> seen;
+  ctx.foreach_partition(*rdd, [&](u32 p, std::vector<int>&& data) {
+    const std::scoped_lock lock(mutex);
+    seen.push_back(p);
+    EXPECT_EQ(data.size(), 5u);
+  });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<u32>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(SparkContext, JobMetricsRecorded) {
+  SparkContext ctx(quiet_config(4));
+  auto rdd = ctx.parallelize(std::vector<int>(100, 1), 8);
+  ctx.count(*rdd);
+  const JobMetrics& job = ctx.last_job();
+  EXPECT_EQ(job.num_tasks, 8u);
+  EXPECT_EQ(job.tasks.size(), 8u);
+  EXPECT_GT(job.sim_executor_makespan_s, 0.0);
+  EXPECT_GE(job.sim_executor_total_s, job.sim_executor_makespan_s);
+  EXPECT_GT(job.sim_driver_s, 0.0);
+  EXPECT_EQ(ctx.jobs().size(), 1u);
+}
+
+TEST(SparkContext, MakespanShrinksWithMoreCores) {
+  // Same tasks, more simulated cores -> smaller simulated makespan. This is
+  // the mechanism behind every speedup figure.
+  auto run = [](u32 executors) {
+    SparkContext ctx(quiet_config(executors));
+    auto rdd = ctx.generate<int>(
+        [](u32) {
+          // Some counted work per task.
+          WorkCounters* active = counters::active();
+          (void)active;
+          counters::distance_evals(200000);
+          return std::vector<int>{1};
+        },
+        16, "work");
+    ctx.count(*rdd);
+    return ctx.last_job().sim_executor_makespan_s;
+  };
+  const double t1 = run(1);
+  const double t8 = run(8);
+  EXPECT_GT(t1, t8 * 4);  // near-linear for 16 equal tasks
+}
+
+TEST(SparkContext, BroadcastChargedOnceToNextJob) {
+  SparkContext ctx(quiet_config(4));
+  auto b = ctx.broadcast(std::string("payload"), 1'000'000);
+  EXPECT_EQ(b.value(), "payload");
+  auto rdd = ctx.parallelize(std::vector<int>(10, 1), 2);
+  ctx.count(*rdd);
+  EXPECT_EQ(ctx.last_job().broadcast_bytes, 1'000'000u);
+  ctx.count(*rdd);
+  EXPECT_EQ(ctx.last_job().broadcast_bytes, 0u);  // shipped already
+}
+
+TEST(SparkContext, ListScheduleMakespanLaws) {
+  // One core: makespan == sum. Many cores: makespan == max.
+  const std::vector<double> d = {3, 1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(list_schedule_makespan(d, 1), 14.0);
+  EXPECT_DOUBLE_EQ(list_schedule_makespan(d, 100), 5.0);
+  // FIFO onto 2 cores: ends at 3+4+5? Greedy earliest-free: c0:3, c1:1,
+  // then 4 -> c1 (free at 1, ends 5), 1 -> c0 (free 3, ends 4), 5 -> c0
+  // (free 4, ends 9). Makespan 9.
+  EXPECT_DOUBLE_EQ(list_schedule_makespan(d, 2), 9.0);
+  EXPECT_DOUBLE_EQ(list_schedule_makespan({}, 4), 0.0);
+}
+
+TEST(SparkContext, StragglerInflatesSomeTasks) {
+  ClusterConfig cfg = quiet_config(4);
+  cfg.straggler.fraction = 0.5;
+  cfg.straggler.max_extra = 1.0;
+  cfg.seed = 7;
+  SparkContext ctx(cfg);
+  auto rdd = ctx.generate<int>(
+      [](u32) {
+        counters::distance_evals(100000);
+        return std::vector<int>{1};
+      },
+      32, "work");
+  ctx.count(*rdd);
+  u32 straggled = 0;
+  for (const auto& t : ctx.last_job().tasks) straggled += t.straggled ? 1 : 0;
+  EXPECT_GT(straggled, 4u);
+  EXPECT_LT(straggled, 28u);
+}
+
+TEST(SparkContext, TaskExceptionPropagates) {
+  SparkContext ctx(quiet_config(2));
+  auto rdd = ctx.generate<int>(
+      [](u32 p) -> std::vector<int> {
+        if (p == 1) throw std::runtime_error("task failure");
+        return {1};
+      },
+      2, "boom");
+  EXPECT_THROW(ctx.count(*rdd), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sdb::minispark

@@ -1,0 +1,210 @@
+// End-to-end tests of the paper's pipeline on minispark.
+#include "core/spark_dbscan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/dbscan_seq.hpp"
+#include "core/quality.hpp"
+#include "spatial/kd_tree.hpp"
+#include "synth/generators.hpp"
+#include "synth/io.hpp"
+#include "util/rng.hpp"
+
+namespace sdb::dbscan {
+namespace {
+
+namespace fs = std::filesystem;
+
+minispark::ClusterConfig cluster(u32 executors) {
+  minispark::ClusterConfig cfg;
+  cfg.executors = executors;
+  cfg.straggler.fraction = 0.0;
+  return cfg;
+}
+
+PointSet blob_data(i64 n, u64 seed) {
+  Rng rng(seed);
+  synth::GaussianMixtureConfig cfg;
+  cfg.n = n;
+  cfg.dim = 2;
+  cfg.clusters = 4;
+  cfg.sigma = 0.5;
+  cfg.noise_fraction = 0.05;
+  cfg.box_side = 60.0;
+  return synth::gaussian_clusters(cfg, rng);
+}
+
+TEST(SparkDbscan, MatchesSequentialOnBlobs) {
+  const PointSet ps = blob_data(800, 5);
+  const KdTree tree(ps);
+  const DbscanParams params{1.0, 5};
+  const auto seq = dbscan_sequential(ps, tree, params);
+
+  minispark::SparkContext ctx(cluster(4));
+  SparkDbscanConfig cfg;
+  cfg.params = params;
+  cfg.partitions = 4;
+  SparkDbscan dbscan(ctx, cfg);
+  const auto report = dbscan.run(ps);
+
+  const auto eq = check_equivalence(ps, tree, params, seq.core_points,
+                                    seq.clustering, report.clustering);
+  EXPECT_TRUE(eq.equivalent) << eq.detail;
+}
+
+TEST(SparkDbscan, PhaseTimesPopulated) {
+  const PointSet ps = blob_data(500, 7);
+  minispark::SparkContext ctx(cluster(4));
+  SparkDbscanConfig cfg;
+  cfg.params = {1.0, 5};
+  cfg.partitions = 4;
+  SparkDbscan dbscan(ctx, cfg);
+  const auto report = dbscan.run(ps);
+  EXPECT_GT(report.sim_read_s, 0.0);
+  EXPECT_GT(report.sim_tree_s, 0.0);
+  EXPECT_GT(report.sim_broadcast_s, 0.0);
+  EXPECT_GT(report.sim_executor_s, 0.0);
+  EXPECT_GT(report.sim_merge_s, 0.0);
+  EXPECT_GT(report.sim_collect_s, 0.0);
+  EXPECT_GT(report.partial_clusters, 0u);
+  EXPECT_GT(report.broadcast_bytes, ps.byte_size());
+  EXPECT_GT(report.accumulator_bytes, 0u);
+  EXPECT_NEAR(report.sim_total_s(),
+              report.sim_driver_s() + report.sim_executor_s, 1e-12);
+  EXPECT_GT(report.wall_s, 0.0);
+}
+
+TEST(SparkDbscan, RunFromDfsMatchesInMemory) {
+  const PointSet ps = blob_data(400, 9);
+  const std::string root = (fs::temp_directory_path() / "sdb_e2e_dfs").string();
+  fs::remove_all(root);
+  dfs::MiniDfs dfs(root, 1 << 12);
+  dfs.write("/points.txt", synth::to_text(ps));
+
+  minispark::SparkContext ctx(cluster(2));
+  SparkDbscanConfig cfg;
+  cfg.params = {1.0, 5};
+  cfg.partitions = 2;
+  SparkDbscan dbscan(ctx, cfg);
+  const auto from_dfs = dbscan.run_from_dfs(dfs, "/points.txt");
+
+  minispark::SparkContext ctx2(cluster(2));
+  SparkDbscan dbscan2(ctx2, cfg);
+  const auto in_memory = dbscan2.run(ps);
+
+  // Same data, same config -> identical labels.
+  EXPECT_EQ(from_dfs.clustering.labels, in_memory.clustering.labels);
+  fs::remove_all(root);
+}
+
+TEST(SparkDbscan, MorePartitionsMorePartialClusters) {
+  const PointSet ps = blob_data(1500, 11);
+  const DbscanParams params{1.0, 5};
+  auto partials = [&](u32 parts) {
+    minispark::SparkContext ctx(cluster(parts));
+    SparkDbscanConfig cfg;
+    cfg.params = params;
+    cfg.partitions = parts;
+    SparkDbscan dbscan(ctx, cfg);
+    return dbscan.run(ps).partial_clusters;
+  };
+  EXPECT_LT(partials(1), partials(8));
+}
+
+TEST(SparkDbscan, ExecutorMakespanShrinksWithCores) {
+  const PointSet ps = blob_data(2000, 13);
+  const DbscanParams params{1.0, 5};
+  auto exec_time = [&](u32 parts) {
+    minispark::SparkContext ctx(cluster(parts));
+    SparkDbscanConfig cfg;
+    cfg.params = params;
+    cfg.partitions = parts;
+    SparkDbscan dbscan(ctx, cfg);
+    return dbscan.run(ps).sim_executor_s;
+  };
+  const double t1 = exec_time(1);
+  const double t8 = exec_time(8);
+  EXPECT_GT(t1 / t8, 2.0);
+}
+
+TEST(SparkDbscan, PruningBudgetStillFindsBigClusters) {
+  const PointSet ps = blob_data(1000, 15);
+  minispark::SparkContext ctx(cluster(4));
+  SparkDbscanConfig cfg;
+  cfg.params = {1.0, 5};
+  cfg.partitions = 4;
+  cfg.budget.max_neighbors = 32;  // pruning-branches mode
+  cfg.min_partial_cluster_size = 3;
+  SparkDbscan dbscan(ctx, cfg);
+  const auto report = dbscan.run(ps);
+  EXPECT_GE(report.clustering.num_clusters, 3u);
+  EXPECT_LE(report.clustering.num_clusters, 12u);
+}
+
+TEST(SparkDbscan, FaultInjectionDoesNotChangeResult) {
+  const PointSet ps = blob_data(600, 17);
+  const DbscanParams params{1.0, 5};
+
+  minispark::SparkContext clean_ctx(cluster(4));
+  SparkDbscanConfig cfg;
+  cfg.params = params;
+  cfg.partitions = 8;
+  SparkDbscan clean(clean_ctx, cfg);
+  const auto clean_report = clean.run(ps);
+
+  minispark::ClusterConfig faulty_cluster = cluster(4);
+  faulty_cluster.fault_injection_rate = 0.4;
+  faulty_cluster.max_task_attempts = 8;
+  minispark::SparkContext faulty_ctx(faulty_cluster);
+  SparkDbscan faulty(faulty_ctx, cfg);
+  const auto faulty_report = faulty.run(ps);
+
+  EXPECT_EQ(clean_report.clustering.labels, faulty_report.clustering.labels);
+  EXPECT_GT(faulty_ctx.last_job().failures_injected, 0u);
+}
+
+TEST(SparkDbscan, DeterministicAcrossRuns) {
+  const PointSet ps = blob_data(700, 19);
+  SparkDbscanConfig cfg;
+  cfg.params = {1.0, 5};
+  cfg.partitions = 4;
+  minispark::SparkContext ctx1(cluster(4));
+  minispark::SparkContext ctx2(cluster(4));
+  SparkDbscan d1(ctx1, cfg);
+  SparkDbscan d2(ctx2, cfg);
+  EXPECT_EQ(d1.run(ps).clustering.labels, d2.run(ps).clustering.labels);
+}
+
+TEST(PartialClusterSerialization, RoundTrip) {
+  LocalClusterResult r;
+  r.partition = 3;
+  PartialCluster pc;
+  pc.uid = PartialCluster::make_uid(3, 7);
+  pc.partition = 3;
+  pc.members = {10, 11, 12};
+  pc.seeds = {99, 1000};
+  r.clusters.push_back(pc);
+  r.core_points = {10, 11};
+  r.noise = {55};
+  const LocalClusterResult back = local_result_from_bytes(to_bytes(r));
+  EXPECT_EQ(back.partition, 3);
+  ASSERT_EQ(back.clusters.size(), 1u);
+  EXPECT_EQ(back.clusters[0].uid, pc.uid);
+  EXPECT_EQ(back.clusters[0].members, pc.members);
+  EXPECT_EQ(back.clusters[0].seeds, pc.seeds);
+  EXPECT_EQ(back.core_points, r.core_points);
+  EXPECT_EQ(back.noise, r.noise);
+}
+
+TEST(PartialClusterSerialization, ByteSizeTracksContents) {
+  PartialCluster small;
+  small.members = {1};
+  PartialCluster big;
+  big.members.assign(1000, 7);
+  EXPECT_LT(small.byte_size(), big.byte_size());
+}
+
+}  // namespace
+}  // namespace sdb::dbscan

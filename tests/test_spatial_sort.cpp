@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "geom/distance.hpp"
+#include "synth/generators.hpp"
+#include "util/rng.hpp"
+
+namespace sdb::synth {
+namespace {
+
+PointSet uniform(i64 n, int dim, u64 seed) {
+  Rng rng(seed);
+  UniformConfig cfg;
+  cfg.n = n;
+  cfg.dim = dim;
+  cfg.box_side = 100.0;
+  return uniform_points(cfg, rng);
+}
+
+TEST(SpatialSort, IsAPermutation) {
+  const PointSet ps = uniform(500, 3, 1);
+  const PointSet sorted = spatially_sorted(ps);
+  ASSERT_EQ(sorted.size(), ps.size());
+  ASSERT_EQ(sorted.dim(), ps.dim());
+  // Multisets of rows are equal.
+  auto rows = [](const PointSet& s) {
+    std::vector<std::vector<double>> r;
+    for (PointId i = 0; i < static_cast<PointId>(s.size()); ++i) {
+      r.emplace_back(s[i].begin(), s[i].end());
+    }
+    std::sort(r.begin(), r.end());
+    return r;
+  };
+  EXPECT_EQ(rows(ps), rows(sorted));
+}
+
+TEST(SpatialSort, Deterministic) {
+  const PointSet ps = uniform(300, 5, 2);
+  EXPECT_EQ(spatially_sorted(ps).raw(), spatially_sorted(ps).raw());
+}
+
+TEST(SpatialSort, ImprovesBlockLocality) {
+  // After sorting, consecutive index blocks must be spatially tighter:
+  // compare the mean distance between index-adjacent points.
+  const PointSet ps = uniform(2000, 10, 3);
+  const PointSet sorted = spatially_sorted(ps);
+  auto adjacency_cost = [](const PointSet& s) {
+    double total = 0.0;
+    for (PointId i = 0; i + 1 < static_cast<PointId>(s.size()); ++i) {
+      total += squared_distance(s[i], s[i + 1]);
+    }
+    return total;
+  };
+  EXPECT_LT(adjacency_cost(sorted), adjacency_cost(ps) * 0.6);
+}
+
+TEST(SpatialSort, TinyInputsUntouched) {
+  const PointSet ps = uniform(10, 2, 4);
+  const PointSet sorted = spatially_sorted(ps, 32);  // below leaf size
+  EXPECT_EQ(sorted.raw(), ps.raw());
+}
+
+TEST(SpatialSort, EmptyInput) {
+  PointSet ps(3);
+  const PointSet sorted = spatially_sorted(ps);
+  EXPECT_EQ(sorted.size(), 0u);
+}
+
+TEST(SpatialSort, DuplicatePointsSurvive) {
+  PointSet ps(2);
+  const double a[2] = {1, 1};
+  for (int i = 0; i < 100; ++i) ps.add(a);
+  const PointSet sorted = spatially_sorted(ps, 8);
+  EXPECT_EQ(sorted.size(), 100u);
+  for (PointId i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(sorted[i][0], 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace sdb::synth

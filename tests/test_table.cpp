@@ -1,0 +1,57 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdb {
+namespace {
+
+TEST(Table, AsciiAlignment) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| longer-name |"), std::string::npos);
+  // Every line has equal width.
+  size_t width = 0;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t eol = out.find('\n', pos);
+    if (eol == std::string::npos) break;
+    if (width == 0) width = eol - pos;
+    EXPECT_EQ(eol - pos, width);
+    pos = eol + 1;
+  }
+}
+
+TEST(Table, CsvEscaping) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"has\"quote", "multi\nline"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(TablePrinter::cell(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::cell(static_cast<i64>(-5)), "-5");
+  EXPECT_EQ(TablePrinter::cell(static_cast<u64>(7)), "7");
+}
+
+TEST(Table, RowCount) {
+  TablePrinter t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableDeath, ArityMismatchAborts) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "arity");
+}
+
+}  // namespace
+}  // namespace sdb

@@ -1,0 +1,69 @@
+#include "spatial/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace sdb {
+namespace {
+
+TEST(UnionFind, InitiallyDisjoint) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.set_count(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(uf.find(i), i);
+  EXPECT_FALSE(uf.same(0, 1));
+}
+
+TEST(UnionFind, UniteAndFind) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));  // already united
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_TRUE(uf.unite(0, 3));
+  EXPECT_TRUE(uf.same(1, 2));
+  EXPECT_FALSE(uf.same(1, 4));
+  EXPECT_EQ(uf.set_count(), 3u);  // {0,1,2,3}, {4}, {5}
+}
+
+TEST(UnionFind, TransitiveChain) {
+  UnionFind uf(100);
+  for (size_t i = 0; i + 1 < 100; ++i) uf.unite(i, i + 1);
+  EXPECT_EQ(uf.set_count(), 1u);
+  EXPECT_TRUE(uf.same(0, 99));
+}
+
+TEST(UnionFind, RandomAgainstNaive) {
+  // Property: agrees with a naive label-propagation implementation.
+  const size_t n = 200;
+  Rng rng(77);
+  UnionFind uf(n);
+  std::vector<size_t> naive(n);
+  for (size_t i = 0; i < n; ++i) naive[i] = i;
+  auto naive_root = [&](size_t x) {
+    while (naive[x] != x) x = naive[x];
+    return x;
+  };
+  for (int op = 0; op < 500; ++op) {
+    const size_t a = rng.uniform_index(n);
+    const size_t b = rng.uniform_index(n);
+    uf.unite(a, b);
+    naive[naive_root(a)] = naive_root(b);
+    const size_t c = rng.uniform_index(n);
+    const size_t d = rng.uniform_index(n);
+    EXPECT_EQ(uf.same(c, d), naive_root(c) == naive_root(d));
+  }
+}
+
+TEST(UnionFind, CountsMergeOps) {
+  WorkCounters wc;
+  {
+    ScopedCounters scope(&wc);
+    UnionFind uf(10);
+    uf.unite(0, 1);
+    uf.unite(1, 2);
+  }
+  EXPECT_GT(wc.merge_ops, 0u);
+}
+
+}  // namespace
+}  // namespace sdb
