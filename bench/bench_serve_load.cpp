@@ -1,0 +1,252 @@
+// Load harness for the serving subsystem (src/serve/).
+//
+// Pipeline: synthesize an n-point 2-D dataset -> batch-cluster it (seq
+// engine, exact) -> build a ClusterModel snapshot -> bootstrap a
+// ModelRegistry/QueryEngine -> drive open-loop synthetic query traffic and
+// report wall-clock throughput, latency percentiles (p50/p99/p999), cache
+// hit rate, and shed rate. Three phases:
+//
+//   capacity  — pure classify traffic with hot-key skew, big admission
+//               queue: measures sustainable queries/sec (the acceptance
+//               floor is 100k/s on a 100k-point model);
+//   mixed     — classify/lookup/insert blend: exercises the writer path
+//               concurrently with reads;
+//   overload  — tiny admission queue + unpaced submission: demonstrates
+//               backpressure (nonzero shed rate, bounded latency for the
+//               admitted requests).
+//
+// Unlike the paper-figure benches this one runs on the real wall clock —
+// it measures this host's serving capacity, not the simulated cluster.
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/dbscan_seq.hpp"
+#include "serve/cluster_model.hpp"
+#include "serve/query_engine.hpp"
+#include "spatial/kd_tree.hpp"
+#include "synth/generators.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace sdb;
+using namespace sdb::serve;
+
+namespace {
+
+struct TrafficMix {
+  double classify = 1.0;
+  double lookup = 0.0;
+  double insert = 0.0;
+};
+
+struct PhaseResult {
+  std::string name;
+  double wall_s = 0.0;
+  MetricsSnapshot metrics;
+};
+
+/// Open-loop generator: submits batches as fast as it can for `seconds`,
+/// with `hot_fraction` of classify queries drawn from a small hot set of
+/// repeated points (the skew that makes the LRU cache earn its keep).
+PhaseResult run_phase(const std::string& name, QueryEngine& engine,
+                      const PointSet& points, const TrafficMix& mix,
+                      double seconds, size_t batch_size, double hot_fraction,
+                      size_t hot_keys, u64 seed) {
+  Rng rng(seed);
+  // Pre-draw the hot set from real points so hot queries hit clusters.
+  std::vector<std::vector<double>> hot;
+  hot.reserve(hot_keys);
+  for (size_t k = 0; k < hot_keys; ++k) {
+    const PointId id =
+        static_cast<PointId>(rng.uniform_index(points.size()));
+    const auto p = points[id];
+    hot.emplace_back(p.begin(), p.end());
+  }
+
+  const MetricsSnapshot before = engine.metrics();
+  Stopwatch wall;
+  std::vector<Request> batch;
+  batch.reserve(batch_size);
+  while (wall.seconds() < seconds) {
+    batch.clear();
+    for (size_t i = 0; i < batch_size; ++i) {
+      Request req;
+      const double roll = rng.uniform();
+      if (roll < mix.classify) {
+        req.type = RequestType::kClassify;
+        if (rng.chance(hot_fraction)) {
+          req.point = hot[rng.uniform_index(hot.size())];
+        } else {
+          const PointId id =
+              static_cast<PointId>(rng.uniform_index(points.size()));
+          const auto p = points[id];
+          req.point.assign(p.begin(), p.end());
+          req.point[0] += rng.uniform(-0.01, 0.01);  // near-data cold query
+        }
+      } else if (roll < mix.classify + mix.lookup) {
+        req.type = RequestType::kLookup;
+        req.id = static_cast<PointId>(rng.uniform_index(points.size()));
+      } else {
+        req.type = RequestType::kInsert;
+        req.point = {rng.uniform(), rng.uniform()};
+      }
+      batch.push_back(std::move(req));
+    }
+    engine.try_submit_batch(std::move(batch));
+    batch = std::vector<Request>();
+    batch.reserve(batch_size);
+  }
+  engine.drain();
+
+  PhaseResult result;
+  result.name = name;
+  result.wall_s = wall.seconds();
+  // Report this phase's deltas, not cumulative engine totals.
+  MetricsSnapshot after = engine.metrics();
+  after.submitted -= before.submitted;
+  after.accepted -= before.accepted;
+  after.shed -= before.shed;
+  after.completed -= before.completed;
+  after.cache_hits -= before.cache_hits;
+  after.cache_misses -= before.cache_misses;
+  for (size_t t = 0; t < kRequestTypes; ++t) {
+    after.by_type[t] -= before.by_type[t];
+  }
+  for (int b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+    after.latency.counts[b] -= before.latency.counts[b];
+    after.classify_latency.counts[b] -= before.classify_latency.counts[b];
+  }
+  result.metrics = after;
+  return result;
+}
+
+std::vector<std::string> phase_row(const PhaseResult& r) {
+  const auto& m = r.metrics;
+  const double qps =
+      r.wall_s > 0 ? static_cast<double>(m.completed) / r.wall_s : 0.0;
+  const double hit_rate =
+      (m.cache_hits + m.cache_misses) > 0
+          ? static_cast<double>(m.cache_hits) /
+                static_cast<double>(m.cache_hits + m.cache_misses)
+          : 0.0;
+  return {r.name,
+          TablePrinter::cell(m.completed),
+          TablePrinter::cell(qps, 0),
+          TablePrinter::cell(m.classify_latency.quantile_micros(0.50), 2),
+          TablePrinter::cell(m.classify_latency.quantile_micros(0.99), 2),
+          TablePrinter::cell(m.classify_latency.quantile_micros(0.999), 2),
+          TablePrinter::cell(hit_rate, 3),
+          TablePrinter::cell(m.shed_rate(), 3)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.add_i64("points", 100'000, "model size (points)");
+  flags.add_f64("eps", 0.02, "DBSCAN eps for the model build");
+  flags.add_i64("minpts", 5, "DBSCAN minpts");
+  flags.add_i64("threads", 2, "query engine worker threads");
+  flags.add_i64("queue", 65536, "admission queue capacity (capacity/mixed)");
+  flags.add_i64("batch", 256, "requests per submitted batch");
+  flags.add_f64("seconds", 2.0, "wall seconds per phase");
+  flags.add_f64("hot_fraction", 0.9, "fraction of classify traffic on hot keys");
+  flags.add_i64("hot_keys", 64, "size of the hot key set");
+  flags.add_f64("core_sample", 1.0,
+                "core subsample fraction (DBSCAN++ serving knob)");
+  flags.add_i64("seed", 42, "rng seed");
+  flags.add_bool("csv", false, "also print CSV");
+  flags.parse(argc, argv);
+
+  const auto n = flags.i64_flag("points");
+  const u64 seed = static_cast<u64>(flags.i64_flag("seed"));
+  Rng rng(seed);
+
+  std::printf("generating %" PRId64 " 2-D points...\n", n);
+  const PointSet points = synth::blobs_2d(n, 12, 0.02, n / 20, rng);
+
+  std::printf("batch clustering (seq engine)...\n");
+  Stopwatch sw;
+  const KdTree tree(points);
+  const dbscan::DbscanParams params{flags.f64("eps"), flags.i64_flag("minpts")};
+  const auto seq = dbscan::dbscan_sequential(points, tree, params);
+  const double cluster_s = sw.restart();
+
+  std::vector<char> core_mask(points.size(), 0);
+  for (const PointId id : seq.core_points) {
+    core_mask[static_cast<size_t>(id)] = 1;
+  }
+  ClusterModel::Options model_options;
+  model_options.core_sample_fraction = flags.f64("core_sample");
+  model_options.sample_seed = seed;
+  const auto model = ClusterModel::build(points, seq.clustering, core_mask,
+                                         params, model_options);
+  const double build_s = sw.restart();
+  const auto snapshot_bytes = model->save();
+  std::printf(
+      "model: %zu points, %" PRIu64 " clusters, %" PRIu64
+      " core points (sample %.2f), snapshot %.1f MiB; cluster %.2fs build "
+      "%.2fs\n",
+      points.size(), model->num_clusters(), model->core_count(),
+      flags.f64("core_sample"),
+      static_cast<double>(snapshot_bytes.size()) / (1024.0 * 1024.0),
+      cluster_s, build_s);
+
+  // Serve through a registry so the mixed phase's inserts mutate a live
+  // clustering; bootstrap feeds the points through IncrementalDbscan (exact
+  // DBSCAN semantics, so the registry's snapshot matches the batch model up
+  // to border assignment).
+  ModelRegistry::Config reg_cfg;
+  reg_cfg.params = params;
+  reg_cfg.publish_every = 4096;  // insert traffic republishes at this cadence
+  reg_cfg.model_options = model_options;
+  ModelRegistry registry(reg_cfg, points.dim());
+  std::printf("bootstrapping registry (incremental re-cluster)...\n");
+  sw.restart();
+  registry.bootstrap(points);
+  std::printf("bootstrap took %.2fs\n", sw.seconds());
+  std::printf("registry ready: %zu active points, epoch %" PRIu64 "\n",
+              registry.active_points(), registry.epoch());
+
+  QueryEngine::Config engine_cfg;
+  engine_cfg.threads = static_cast<unsigned>(flags.i64_flag("threads"));
+  engine_cfg.queue_capacity = static_cast<size_t>(flags.i64_flag("queue"));
+  const auto batch = static_cast<size_t>(flags.i64_flag("batch"));
+  const double secs = flags.f64("seconds");
+  const double hot = flags.f64("hot_fraction");
+  const auto hot_keys = static_cast<size_t>(flags.i64_flag("hot_keys"));
+
+  TablePrinter table({"phase", "completed", "qps", "p50us", "p99us", "p999us",
+                      "cache_hit", "shed_rate"});
+
+  {
+    QueryEngine engine(registry, engine_cfg);
+    table.add_row(phase_row(run_phase("capacity", engine, points,
+                                      TrafficMix{1.0, 0.0, 0.0}, secs, batch,
+                                      hot, hot_keys, seed + 1)));
+  }
+  {
+    QueryEngine engine(registry, engine_cfg);
+    table.add_row(phase_row(run_phase("mixed", engine, points,
+                                      TrafficMix{0.90, 0.05, 0.05}, secs,
+                                      batch, hot, hot_keys, seed + 2)));
+  }
+  {
+    // Deliberate overload: admission queue far below what the generator
+    // produces -> the engine must shed (nonzero shed rate) while admitted
+    // requests keep bounded latency.
+    QueryEngine::Config overload_cfg = engine_cfg;
+    overload_cfg.queue_capacity = 512;
+    QueryEngine engine(registry, overload_cfg);
+    table.add_row(phase_row(run_phase("overload", engine, points,
+                                      TrafficMix{1.0, 0.0, 0.0}, secs, batch,
+                                      hot, hot_keys, seed + 3)));
+  }
+
+  table.print("serve load (wall clock)");
+  if (flags.boolean("csv")) std::fputs(table.to_csv().c_str(), stdout);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kdtree.dir/bench_ablation_kdtree.cpp.o"
+  "CMakeFiles/bench_ablation_kdtree.dir/bench_ablation_kdtree.cpp.o.d"
+  "bench_ablation_kdtree"
+  "bench_ablation_kdtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kdtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

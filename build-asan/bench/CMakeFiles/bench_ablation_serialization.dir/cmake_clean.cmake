@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_serialization.dir/bench_ablation_serialization.cpp.o"
+  "CMakeFiles/bench_ablation_serialization.dir/bench_ablation_serialization.cpp.o.d"
+  "bench_ablation_serialization"
+  "bench_ablation_serialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

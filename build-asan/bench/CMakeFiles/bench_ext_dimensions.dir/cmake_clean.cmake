@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dimensions.dir/bench_ext_dimensions.cpp.o"
+  "CMakeFiles/bench_ext_dimensions.dir/bench_ext_dimensions.cpp.o.d"
+  "bench_ext_dimensions"
+  "bench_ext_dimensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dimensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_interactive.dir/bench_ext_interactive.cpp.o"
+  "CMakeFiles/bench_ext_interactive.dir/bench_ext_interactive.cpp.o.d"
+  "bench_ext_interactive"
+  "bench_ext_interactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_interactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_pds_comparison.dir/bench_ext_pds_comparison.cpp.o"
+  "CMakeFiles/bench_ext_pds_comparison.dir/bench_ext_pds_comparison.cpp.o.d"
+  "bench_ext_pds_comparison"
+  "bench_ext_pds_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pds_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_mapreduce_vs_spark.dir/bench_fig7_mapreduce_vs_spark.cpp.o"
+  "CMakeFiles/bench_fig7_mapreduce_vs_spark.dir/bench_fig7_mapreduce_vs_spark.cpp.o.d"
+  "bench_fig7_mapreduce_vs_spark"
+  "bench_fig7_mapreduce_vs_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_mapreduce_vs_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

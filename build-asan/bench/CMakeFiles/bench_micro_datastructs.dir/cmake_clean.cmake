@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_datastructs.dir/bench_micro_datastructs.cpp.o"
+  "CMakeFiles/bench_micro_datastructs.dir/bench_micro_datastructs.cpp.o.d"
+  "bench_micro_datastructs"
+  "bench_micro_datastructs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_datastructs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_spatial.dir/bench_micro_spatial.cpp.o"
+  "CMakeFiles/bench_micro_spatial.dir/bench_micro_spatial.cpp.o.d"
+  "bench_micro_spatial"
+  "bench_micro_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serve_load.dir/bench_serve_load.cpp.o"
+  "CMakeFiles/bench_serve_load.dir/bench_serve_load.cpp.o.d"
+  "bench_serve_load"
+  "bench_serve_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serve_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

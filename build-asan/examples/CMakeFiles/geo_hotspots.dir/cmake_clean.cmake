@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_hotspots.dir/geo_hotspots.cpp.o"
+  "CMakeFiles/geo_hotspots.dir/geo_hotspots.cpp.o.d"
+  "geo_hotspots"
+  "geo_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

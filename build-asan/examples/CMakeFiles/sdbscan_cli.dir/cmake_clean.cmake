@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdbscan_cli.dir/sdbscan_cli.cpp.o"
+  "CMakeFiles/sdbscan_cli.dir/sdbscan_cli.cpp.o.d"
+  "sdbscan_cli"
+  "sdbscan_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdbscan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_anomaly.dir/sensor_anomaly.cpp.o"
+  "CMakeFiles/sensor_anomaly.dir/sensor_anomaly.cpp.o.d"
+  "sensor_anomaly"
+  "sensor_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/codec.cpp" "src/core/CMakeFiles/sdb_core.dir/codec.cpp.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/codec.cpp.o.d"
+  "/root/repo/src/core/dbscan.cpp" "src/core/CMakeFiles/sdb_core.dir/dbscan.cpp.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/dbscan.cpp.o.d"
+  "/root/repo/src/core/dbscan_seq.cpp" "src/core/CMakeFiles/sdb_core.dir/dbscan_seq.cpp.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/dbscan_seq.cpp.o.d"
+  "/root/repo/src/core/incremental.cpp" "src/core/CMakeFiles/sdb_core.dir/incremental.cpp.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/incremental.cpp.o.d"
+  "/root/repo/src/core/local_dbscan.cpp" "src/core/CMakeFiles/sdb_core.dir/local_dbscan.cpp.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/local_dbscan.cpp.o.d"
+  "/root/repo/src/core/merge.cpp" "src/core/CMakeFiles/sdb_core.dir/merge.cpp.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/merge.cpp.o.d"
+  "/root/repo/src/core/mr_dbscan.cpp" "src/core/CMakeFiles/sdb_core.dir/mr_dbscan.cpp.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/mr_dbscan.cpp.o.d"
+  "/root/repo/src/core/partial_cluster.cpp" "src/core/CMakeFiles/sdb_core.dir/partial_cluster.cpp.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/partial_cluster.cpp.o.d"
+  "/root/repo/src/core/partitioners.cpp" "src/core/CMakeFiles/sdb_core.dir/partitioners.cpp.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/partitioners.cpp.o.d"
+  "/root/repo/src/core/pds_dbscan.cpp" "src/core/CMakeFiles/sdb_core.dir/pds_dbscan.cpp.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/pds_dbscan.cpp.o.d"
+  "/root/repo/src/core/quality.cpp" "src/core/CMakeFiles/sdb_core.dir/quality.cpp.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/quality.cpp.o.d"
+  "/root/repo/src/core/spark_dbscan.cpp" "src/core/CMakeFiles/sdb_core.dir/spark_dbscan.cpp.o" "gcc" "src/core/CMakeFiles/sdb_core.dir/spark_dbscan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/spatial/CMakeFiles/sdb_spatial.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/sdb_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minispark/CMakeFiles/sdb_minispark.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mapreduce/CMakeFiles/sdb_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/synth/CMakeFiles/sdb_synth.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dfs/CMakeFiles/sdb_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_core.dir/codec.cpp.o"
+  "CMakeFiles/sdb_core.dir/codec.cpp.o.d"
+  "CMakeFiles/sdb_core.dir/dbscan.cpp.o"
+  "CMakeFiles/sdb_core.dir/dbscan.cpp.o.d"
+  "CMakeFiles/sdb_core.dir/dbscan_seq.cpp.o"
+  "CMakeFiles/sdb_core.dir/dbscan_seq.cpp.o.d"
+  "CMakeFiles/sdb_core.dir/incremental.cpp.o"
+  "CMakeFiles/sdb_core.dir/incremental.cpp.o.d"
+  "CMakeFiles/sdb_core.dir/local_dbscan.cpp.o"
+  "CMakeFiles/sdb_core.dir/local_dbscan.cpp.o.d"
+  "CMakeFiles/sdb_core.dir/merge.cpp.o"
+  "CMakeFiles/sdb_core.dir/merge.cpp.o.d"
+  "CMakeFiles/sdb_core.dir/mr_dbscan.cpp.o"
+  "CMakeFiles/sdb_core.dir/mr_dbscan.cpp.o.d"
+  "CMakeFiles/sdb_core.dir/partial_cluster.cpp.o"
+  "CMakeFiles/sdb_core.dir/partial_cluster.cpp.o.d"
+  "CMakeFiles/sdb_core.dir/partitioners.cpp.o"
+  "CMakeFiles/sdb_core.dir/partitioners.cpp.o.d"
+  "CMakeFiles/sdb_core.dir/pds_dbscan.cpp.o"
+  "CMakeFiles/sdb_core.dir/pds_dbscan.cpp.o.d"
+  "CMakeFiles/sdb_core.dir/quality.cpp.o"
+  "CMakeFiles/sdb_core.dir/quality.cpp.o.d"
+  "CMakeFiles/sdb_core.dir/spark_dbscan.cpp.o"
+  "CMakeFiles/sdb_core.dir/spark_dbscan.cpp.o.d"
+  "libsdb_core.a"
+  "libsdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

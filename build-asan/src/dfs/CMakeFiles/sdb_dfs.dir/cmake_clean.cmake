@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_dfs.dir/mini_dfs.cpp.o"
+  "CMakeFiles/sdb_dfs.dir/mini_dfs.cpp.o.d"
+  "libsdb_dfs.a"
+  "libsdb_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

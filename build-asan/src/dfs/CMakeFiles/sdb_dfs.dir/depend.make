@@ -1,0 +1,2 @@
+# Empty dependencies file for sdb_dfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_mapreduce.dir/mr_engine.cpp.o"
+  "CMakeFiles/sdb_mapreduce.dir/mr_engine.cpp.o.d"
+  "libsdb_mapreduce.a"
+  "libsdb_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_minispark.dir/metrics.cpp.o"
+  "CMakeFiles/sdb_minispark.dir/metrics.cpp.o.d"
+  "libsdb_minispark.a"
+  "libsdb_minispark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_minispark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_serve.dir/classify_cache.cpp.o"
+  "CMakeFiles/sdb_serve.dir/classify_cache.cpp.o.d"
+  "CMakeFiles/sdb_serve.dir/cluster_model.cpp.o"
+  "CMakeFiles/sdb_serve.dir/cluster_model.cpp.o.d"
+  "CMakeFiles/sdb_serve.dir/model_registry.cpp.o"
+  "CMakeFiles/sdb_serve.dir/model_registry.cpp.o.d"
+  "CMakeFiles/sdb_serve.dir/query_engine.cpp.o"
+  "CMakeFiles/sdb_serve.dir/query_engine.cpp.o.d"
+  "libsdb_serve.a"
+  "libsdb_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

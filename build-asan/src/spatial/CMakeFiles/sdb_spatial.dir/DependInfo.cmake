@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spatial/brute_force.cpp" "src/spatial/CMakeFiles/sdb_spatial.dir/brute_force.cpp.o" "gcc" "src/spatial/CMakeFiles/sdb_spatial.dir/brute_force.cpp.o.d"
+  "/root/repo/src/spatial/grid_index.cpp" "src/spatial/CMakeFiles/sdb_spatial.dir/grid_index.cpp.o" "gcc" "src/spatial/CMakeFiles/sdb_spatial.dir/grid_index.cpp.o.d"
+  "/root/repo/src/spatial/kd_tree.cpp" "src/spatial/CMakeFiles/sdb_spatial.dir/kd_tree.cpp.o" "gcc" "src/spatial/CMakeFiles/sdb_spatial.dir/kd_tree.cpp.o.d"
+  "/root/repo/src/spatial/r_tree.cpp" "src/spatial/CMakeFiles/sdb_spatial.dir/r_tree.cpp.o" "gcc" "src/spatial/CMakeFiles/sdb_spatial.dir/r_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/sdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

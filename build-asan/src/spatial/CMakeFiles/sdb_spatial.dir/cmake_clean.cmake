@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_spatial.dir/brute_force.cpp.o"
+  "CMakeFiles/sdb_spatial.dir/brute_force.cpp.o.d"
+  "CMakeFiles/sdb_spatial.dir/grid_index.cpp.o"
+  "CMakeFiles/sdb_spatial.dir/grid_index.cpp.o.d"
+  "CMakeFiles/sdb_spatial.dir/kd_tree.cpp.o"
+  "CMakeFiles/sdb_spatial.dir/kd_tree.cpp.o.d"
+  "CMakeFiles/sdb_spatial.dir/r_tree.cpp.o"
+  "CMakeFiles/sdb_spatial.dir/r_tree.cpp.o.d"
+  "libsdb_spatial.a"
+  "libsdb_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

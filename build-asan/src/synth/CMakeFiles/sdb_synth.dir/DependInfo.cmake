@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/generators.cpp" "src/synth/CMakeFiles/sdb_synth.dir/generators.cpp.o" "gcc" "src/synth/CMakeFiles/sdb_synth.dir/generators.cpp.o.d"
+  "/root/repo/src/synth/io.cpp" "src/synth/CMakeFiles/sdb_synth.dir/io.cpp.o" "gcc" "src/synth/CMakeFiles/sdb_synth.dir/io.cpp.o.d"
+  "/root/repo/src/synth/presets.cpp" "src/synth/CMakeFiles/sdb_synth.dir/presets.cpp.o" "gcc" "src/synth/CMakeFiles/sdb_synth.dir/presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/sdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_synth.dir/generators.cpp.o"
+  "CMakeFiles/sdb_synth.dir/generators.cpp.o.d"
+  "CMakeFiles/sdb_synth.dir/io.cpp.o"
+  "CMakeFiles/sdb_synth.dir/io.cpp.o.d"
+  "CMakeFiles/sdb_synth.dir/presets.cpp.o"
+  "CMakeFiles/sdb_synth.dir/presets.cpp.o.d"
+  "libsdb_synth.a"
+  "libsdb_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdb_util.dir/counters.cpp.o"
+  "CMakeFiles/sdb_util.dir/counters.cpp.o.d"
+  "CMakeFiles/sdb_util.dir/flags.cpp.o"
+  "CMakeFiles/sdb_util.dir/flags.cpp.o.d"
+  "CMakeFiles/sdb_util.dir/log.cpp.o"
+  "CMakeFiles/sdb_util.dir/log.cpp.o.d"
+  "CMakeFiles/sdb_util.dir/rng.cpp.o"
+  "CMakeFiles/sdb_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sdb_util.dir/serialize.cpp.o"
+  "CMakeFiles/sdb_util.dir/serialize.cpp.o.d"
+  "CMakeFiles/sdb_util.dir/table.cpp.o"
+  "CMakeFiles/sdb_util.dir/table.cpp.o.d"
+  "CMakeFiles/sdb_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/sdb_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/sdb_util.dir/varint.cpp.o"
+  "CMakeFiles/sdb_util.dir/varint.cpp.o.d"
+  "libsdb_util.a"
+  "libsdb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_balance.dir/test_balance.cpp.o"
+  "CMakeFiles/test_balance.dir/test_balance.cpp.o.d"
+  "test_balance"
+  "test_balance.pdb"
+  "test_balance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dbscan_seq.dir/test_dbscan_seq.cpp.o"
+  "CMakeFiles/test_dbscan_seq.dir/test_dbscan_seq.cpp.o.d"
+  "test_dbscan_seq"
+  "test_dbscan_seq.pdb"
+  "test_dbscan_seq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dbscan_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfs_failover.dir/test_dfs_failover.cpp.o"
+  "CMakeFiles/test_dfs_failover.dir/test_dfs_failover.cpp.o.d"
+  "test_dfs_failover"
+  "test_dfs_failover.pdb"
+  "test_dfs_failover[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfs_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfs_fuzz.dir/test_dfs_fuzz.cpp.o"
+  "CMakeFiles/test_dfs_fuzz.dir/test_dfs_fuzz.cpp.o.d"
+  "test_dfs_fuzz"
+  "test_dfs_fuzz.pdb"
+  "test_dfs_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfs_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dfs_integrity.cpp" "tests/CMakeFiles/test_dfs_integrity.dir/test_dfs_integrity.cpp.o" "gcc" "tests/CMakeFiles/test_dfs_integrity.dir/test_dfs_integrity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/sdb_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/serve/CMakeFiles/sdb_serve.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/synth/CMakeFiles/sdb_synth.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dfs/CMakeFiles/sdb_dfs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/minispark/CMakeFiles/sdb_minispark.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mapreduce/CMakeFiles/sdb_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/spatial/CMakeFiles/sdb_spatial.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/sdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

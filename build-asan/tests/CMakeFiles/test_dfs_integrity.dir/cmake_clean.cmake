@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfs_integrity.dir/test_dfs_integrity.cpp.o"
+  "CMakeFiles/test_dfs_integrity.dir/test_dfs_integrity.cpp.o.d"
+  "test_dfs_integrity"
+  "test_dfs_integrity.pdb"
+  "test_dfs_integrity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfs_integrity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equivalence_property.dir/test_equivalence_property.cpp.o"
+  "CMakeFiles/test_equivalence_property.dir/test_equivalence_property.cpp.o.d"
+  "test_equivalence_property"
+  "test_equivalence_property.pdb"
+  "test_equivalence_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equivalence_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

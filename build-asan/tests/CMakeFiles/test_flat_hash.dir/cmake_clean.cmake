@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flat_hash.dir/test_flat_hash.cpp.o"
+  "CMakeFiles/test_flat_hash.dir/test_flat_hash.cpp.o.d"
+  "test_flat_hash"
+  "test_flat_hash.pdb"
+  "test_flat_hash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flat_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

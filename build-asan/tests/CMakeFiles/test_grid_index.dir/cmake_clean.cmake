@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_index.dir/test_grid_index.cpp.o"
+  "CMakeFiles/test_grid_index.dir/test_grid_index.cpp.o.d"
+  "test_grid_index"
+  "test_grid_index.pdb"
+  "test_grid_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

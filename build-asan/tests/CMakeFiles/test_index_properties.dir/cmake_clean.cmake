@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_properties.dir/test_index_properties.cpp.o"
+  "CMakeFiles/test_index_properties.dir/test_index_properties.cpp.o.d"
+  "test_index_properties"
+  "test_index_properties.pdb"
+  "test_index_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

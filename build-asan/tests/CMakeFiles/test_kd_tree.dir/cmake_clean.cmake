@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kd_tree.dir/test_kd_tree.cpp.o"
+  "CMakeFiles/test_kd_tree.dir/test_kd_tree.cpp.o.d"
+  "test_kd_tree"
+  "test_kd_tree.pdb"
+  "test_kd_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kd_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_dbscan.dir/test_local_dbscan.cpp.o"
+  "CMakeFiles/test_local_dbscan.dir/test_local_dbscan.cpp.o.d"
+  "test_local_dbscan"
+  "test_local_dbscan.pdb"
+  "test_local_dbscan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_dbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

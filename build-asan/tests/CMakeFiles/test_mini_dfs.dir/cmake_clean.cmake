@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mini_dfs.dir/test_mini_dfs.cpp.o"
+  "CMakeFiles/test_mini_dfs.dir/test_mini_dfs.cpp.o.d"
+  "test_mini_dfs"
+  "test_mini_dfs.pdb"
+  "test_mini_dfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mini_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

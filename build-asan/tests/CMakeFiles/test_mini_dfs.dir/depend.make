@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mini_dfs.
+# This may be replaced when dependencies are built.

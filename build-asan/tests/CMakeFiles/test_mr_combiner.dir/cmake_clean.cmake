@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mr_combiner.dir/test_mr_combiner.cpp.o"
+  "CMakeFiles/test_mr_combiner.dir/test_mr_combiner.cpp.o.d"
+  "test_mr_combiner"
+  "test_mr_combiner.pdb"
+  "test_mr_combiner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mr_combiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

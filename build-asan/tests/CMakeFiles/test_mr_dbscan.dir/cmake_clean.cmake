@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mr_dbscan.dir/test_mr_dbscan.cpp.o"
+  "CMakeFiles/test_mr_dbscan.dir/test_mr_dbscan.cpp.o.d"
+  "test_mr_dbscan"
+  "test_mr_dbscan.pdb"
+  "test_mr_dbscan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mr_dbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mr_engine.dir/test_mr_engine.cpp.o"
+  "CMakeFiles/test_mr_engine.dir/test_mr_engine.cpp.o.d"
+  "test_mr_engine"
+  "test_mr_engine.pdb"
+  "test_mr_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mr_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

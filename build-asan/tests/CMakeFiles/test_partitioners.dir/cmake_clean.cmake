@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partitioners.dir/test_partitioners.cpp.o"
+  "CMakeFiles/test_partitioners.dir/test_partitioners.cpp.o.d"
+  "test_partitioners"
+  "test_partitioners.pdb"
+  "test_partitioners[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partitioners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

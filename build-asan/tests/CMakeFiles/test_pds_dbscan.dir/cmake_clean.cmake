@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pds_dbscan.dir/test_pds_dbscan.cpp.o"
+  "CMakeFiles/test_pds_dbscan.dir/test_pds_dbscan.cpp.o.d"
+  "test_pds_dbscan"
+  "test_pds_dbscan.pdb"
+  "test_pds_dbscan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pds_dbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quality_properties.dir/test_quality_properties.cpp.o"
+  "CMakeFiles/test_quality_properties.dir/test_quality_properties.cpp.o.d"
+  "test_quality_properties"
+  "test_quality_properties.pdb"
+  "test_quality_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quality_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

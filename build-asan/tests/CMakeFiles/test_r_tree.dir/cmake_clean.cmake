@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_r_tree.dir/test_r_tree.cpp.o"
+  "CMakeFiles/test_r_tree.dir/test_r_tree.cpp.o.d"
+  "test_r_tree"
+  "test_r_tree.pdb"
+  "test_r_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_r_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rdd.dir/test_rdd.cpp.o"
+  "CMakeFiles/test_rdd.dir/test_rdd.cpp.o.d"
+  "test_rdd"
+  "test_rdd.pdb"
+  "test_rdd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rdd_ops.dir/test_rdd_ops.cpp.o"
+  "CMakeFiles/test_rdd_ops.dir/test_rdd_ops.cpp.o.d"
+  "test_rdd_ops"
+  "test_rdd_ops.pdb"
+  "test_rdd_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rdd_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seed_strategies.dir/test_seed_strategies.cpp.o"
+  "CMakeFiles/test_seed_strategies.dir/test_seed_strategies.cpp.o.d"
+  "test_seed_strategies"
+  "test_seed_strategies.pdb"
+  "test_seed_strategies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seed_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serve_registry.dir/test_serve_registry.cpp.o"
+  "CMakeFiles/test_serve_registry.dir/test_serve_registry.cpp.o.d"
+  "test_serve_registry"
+  "test_serve_registry.pdb"
+  "test_serve_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serve_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shared_vars.dir/test_shared_vars.cpp.o"
+  "CMakeFiles/test_shared_vars.dir/test_shared_vars.cpp.o.d"
+  "test_shared_vars"
+  "test_shared_vars.pdb"
+  "test_shared_vars[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shared_vars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_clock.dir/test_sim_clock.cpp.o"
+  "CMakeFiles/test_sim_clock.dir/test_sim_clock.cpp.o.d"
+  "test_sim_clock"
+  "test_sim_clock.pdb"
+  "test_sim_clock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

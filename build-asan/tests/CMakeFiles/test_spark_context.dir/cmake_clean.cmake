@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spark_context.dir/test_spark_context.cpp.o"
+  "CMakeFiles/test_spark_context.dir/test_spark_context.cpp.o.d"
+  "test_spark_context"
+  "test_spark_context.pdb"
+  "test_spark_context[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spark_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spark_dbscan.dir/test_spark_dbscan.cpp.o"
+  "CMakeFiles/test_spark_dbscan.dir/test_spark_dbscan.cpp.o.d"
+  "test_spark_dbscan"
+  "test_spark_dbscan.pdb"
+  "test_spark_dbscan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spark_dbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spark_dbscan_variants.dir/test_spark_dbscan_variants.cpp.o"
+  "CMakeFiles/test_spark_dbscan_variants.dir/test_spark_dbscan_variants.cpp.o.d"
+  "test_spark_dbscan_variants"
+  "test_spark_dbscan_variants.pdb"
+  "test_spark_dbscan_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spark_dbscan_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

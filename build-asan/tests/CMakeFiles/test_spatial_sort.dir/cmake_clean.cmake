@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spatial_sort.dir/test_spatial_sort.cpp.o"
+  "CMakeFiles/test_spatial_sort.dir/test_spatial_sort.cpp.o.d"
+  "test_spatial_sort"
+  "test_spatial_sort.pdb"
+  "test_spatial_sort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spatial_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

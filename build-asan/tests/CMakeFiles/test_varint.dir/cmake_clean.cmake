@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_varint.dir/test_varint.cpp.o"
+  "CMakeFiles/test_varint.dir/test_varint.cpp.o.d"
+  "test_varint"
+  "test_varint.pdb"
+  "test_varint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_varint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

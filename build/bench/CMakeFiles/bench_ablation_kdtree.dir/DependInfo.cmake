@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/sdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/sdb_serve.dir/DependInfo.cmake"
   "/root/repo/build/src/synth/CMakeFiles/sdb_synth.dir/DependInfo.cmake"
   "/root/repo/build/src/dfs/CMakeFiles/sdb_dfs.dir/DependInfo.cmake"
   "/root/repo/build/src/minispark/CMakeFiles/sdb_minispark.dir/DependInfo.cmake"

@@ -190,7 +190,7 @@ examples/CMakeFiles/sdbscan_cli.dir/sdbscan_cli.cpp.o: \
  /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/iostream \
  /root/repo/src/core/../core/dbscan_seq.hpp \
  /root/repo/src/core/../core/dbscan.hpp /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
@@ -301,7 +301,14 @@ examples/CMakeFiles/sdbscan_cli.dir/sdbscan_cli.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
  /usr/include/c++/12/thread /root/repo/src/core/../geom/distance.hpp \
+ /root/repo/src/core/../serve/query_engine.hpp \
+ /root/repo/src/core/../serve/classify_cache.hpp /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/core/../serve/latency_histogram.hpp \
+ /root/repo/src/core/../serve/model_registry.hpp \
+ /root/repo/src/core/../core/incremental.hpp \
  /root/repo/src/core/../spatial/kd_tree.hpp \
+ /root/repo/src/core/../serve/cluster_model.hpp \
  /root/repo/src/core/../synth/generators.hpp \
  /root/repo/src/core/../synth/io.hpp \
  /root/repo/src/core/../util/flags.hpp

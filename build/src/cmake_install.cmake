@@ -82,3 +82,8 @@ if(NOT CMAKE_INSTALL_LOCAL_ONLY)
   include("/root/repo/build/src/core/cmake_install.cmake")
 endif()
 
+if(NOT CMAKE_INSTALL_LOCAL_ONLY)
+  # Include the install script for the subdirectory.
+  include("/root/repo/build/src/serve/cmake_install.cmake")
+endif()
+

@@ -8,10 +8,18 @@
 //   ./sdbscan_cli data.txt --estimate_eps            # 4-dist heuristic
 //   ./sdbscan_cli data.txt --engine seq|spark|mr
 //   ./sdbscan_cli --demo                             # no file needed
+//   ./sdbscan_cli data.txt --serve                   # then query via stdin
+//
+// --serve keeps the process alive after clustering and answers queries from
+// stdin against a live serving model (src/serve/): `classify x y ...`,
+// `label <id>`, `insert x y ...`, `remove <id>`, `summary`, `save <path>`,
+// `quit`. Inserts/removes update the clustering incrementally and republish
+// snapshots.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
 #include "core/dbscan_seq.hpp"
@@ -19,6 +27,7 @@
 #include "core/quality.hpp"
 #include "core/spark_dbscan.hpp"
 #include "geom/distance.hpp"
+#include "serve/query_engine.hpp"
 #include "spatial/kd_tree.hpp"
 #include "synth/generators.hpp"
 #include "synth/io.hpp"
@@ -40,6 +49,113 @@ double estimate_eps(const PointSet& points, size_t k) {
   return kdist[kdist.size() * 9 / 10];
 }
 
+/// --serve loop: build a live registry from the clustered points, answer
+/// line-oriented queries from stdin until EOF/quit. Returns exit status.
+int serve_loop(const PointSet& points, const dbscan::DbscanParams& params,
+               double core_sample) {
+  using namespace sdb::serve;
+  ModelRegistry::Config reg_cfg;
+  reg_cfg.params = params;
+  // Interactive sessions expect an insert/remove to be visible in the very
+  // next query, so republish after every mutation (a real deployment would
+  // raise this to amortize snapshot rebuilds — see bench_serve_load).
+  reg_cfg.publish_every = 1;
+  reg_cfg.model_options.core_sample_fraction = core_sample;
+  ModelRegistry registry(reg_cfg, points.dim());
+  std::fprintf(stderr, "serve: bootstrapping model over %zu points...\n",
+               points.size());
+  registry.bootstrap(points);
+  QueryEngine::Config eng_cfg;
+  eng_cfg.threads = 2;
+  QueryEngine engine(registry, eng_cfg);
+  {
+    const auto s = registry.model()->summary();
+    std::fprintf(stderr,
+                 "serve: ready — %llu clusters, %llu core points, epoch %llu. "
+                 "commands: classify|insert <coords...>, label|remove <id>, "
+                 "summary, save <path>, quit\n",
+                 static_cast<unsigned long long>(s.num_clusters),
+                 static_cast<unsigned long long>(s.core_points),
+                 static_cast<unsigned long long>(s.epoch));
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "summary") {
+      const auto s = registry.model()->summary();
+      std::printf("points=%llu clusters=%llu cores=%llu noise=%llu epoch=%llu\n",
+                  static_cast<unsigned long long>(s.total_points),
+                  static_cast<unsigned long long>(s.num_clusters),
+                  static_cast<unsigned long long>(s.core_points),
+                  static_cast<unsigned long long>(s.noise_points),
+                  static_cast<unsigned long long>(s.epoch));
+      continue;
+    }
+    if (cmd == "save") {
+      std::string path;
+      if (!(in >> path)) {
+        std::printf("err save needs a path\n");
+        continue;
+      }
+      registry.model()->save_file(path);
+      std::printf("ok saved %s\n", path.c_str());
+      continue;
+    }
+    Request req;
+    if (cmd == "classify" || cmd == "insert") {
+      req.type = cmd == "classify" ? RequestType::kClassify
+                                   : RequestType::kInsert;
+      double v = 0;
+      while (in >> v) req.point.push_back(v);
+    } else if (cmd == "label" || cmd == "remove") {
+      req.type = cmd == "label" ? RequestType::kLookup : RequestType::kRemove;
+      long long id = -1;
+      if (!(in >> id)) {
+        std::printf("err %s needs an id\n", cmd.c_str());
+        continue;
+      }
+      req.id = static_cast<PointId>(id);
+    } else {
+      std::printf("err unknown command '%s'\n", cmd.c_str());
+      continue;
+    }
+    const Reply reply = engine.execute(req);
+    switch (reply.status) {
+      case ReplyStatus::kOk:
+        if (req.type == RequestType::kInsert) {
+          std::printf("ok id=%lld epoch=%llu\n",
+                      static_cast<long long>(reply.id),
+                      static_cast<unsigned long long>(reply.epoch));
+        } else if (req.type == RequestType::kRemove) {
+          std::printf("ok removed=%lld\n", static_cast<long long>(reply.id));
+        } else {
+          std::printf("label=%lld epoch=%llu%s\n",
+                      static_cast<long long>(reply.label),
+                      static_cast<unsigned long long>(reply.epoch),
+                      reply.cache_hit ? " (cached)" : "");
+        }
+        break;
+      case ReplyStatus::kNotFound:
+        std::printf("err not found\n");
+        break;
+      case ReplyStatus::kInvalid:
+        std::printf("err invalid request (dimension or id)\n");
+        break;
+      case ReplyStatus::kOverloaded:
+        std::printf("err overloaded\n");
+        break;
+    }
+  }
+  const auto m = engine.metrics();
+  std::fprintf(stderr, "serve: done — %llu classify lookups served from cache\n",
+               static_cast<unsigned long long>(m.cache_hits));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,6 +167,10 @@ int main(int argc, char** argv) {
   flags.add_string("engine", "spark", "seq | spark | mr");
   flags.add_bool("demo", false, "cluster a built-in demo dataset");
   flags.add_bool("quiet", false, "suppress the stderr summary");
+  flags.add_bool("serve", false,
+                 "after clustering, answer queries from stdin (see header)");
+  flags.add_f64("core_sample", 1.0,
+                "serving core subsample fraction in (0,1] (DBSCAN++ knob)");
   flags.parse(argc, argv);
 
   // --- load points ---
@@ -112,6 +232,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown --engine '%s' (seq | spark | mr)\n",
                  engine.c_str());
     return 2;
+  }
+
+  if (flags.boolean("serve")) {
+    if (!flags.boolean("quiet")) {
+      const auto stats = dbscan::summarize(clustering);
+      std::fprintf(stderr,
+                   "sdbscan: clustered %zu points -> %llu clusters, "
+                   "%llu noise; entering serve mode\n",
+                   points.size(),
+                   static_cast<unsigned long long>(stats.clusters),
+                   static_cast<unsigned long long>(stats.noise));
+    }
+    return serve_loop(points, params, flags.f64("core_sample"));
   }
 
   // --- output: one label per input line ---

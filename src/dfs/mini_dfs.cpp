@@ -68,6 +68,10 @@ std::string MiniDfs::block_path(u64 block_id) const {
 
 const FileInfo& MiniDfs::write(const std::string& path,
                                const std::string& contents) {
+  // Re-create the block directory if it vanished since construction (e.g. an
+  // external cleanup of the root between ctor and write); otherwise every
+  // block write below would abort on a missing parent directory.
+  fs::create_directories(fs::path(root_) / "blocks");
   if (exists(path)) remove(path);
   FileInfo info;
   info.path = path;

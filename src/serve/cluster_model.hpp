@@ -1,0 +1,132 @@
+// ClusterModel — an immutable, queryable snapshot of a clustering.
+//
+// DBSCAN clusters are fully determined by their core points (the core-graph
+// view of Wang et al., "Theoretically-Efficient and Practical Parallel
+// DBSCAN"): a point belongs to cluster C iff it lies within eps of one of
+// C's core points. A snapshot therefore only needs the core points, their
+// labels, and a kd-tree over them to answer "which cluster would this new
+// point join?" in O(log n) — that query is `classify`.
+//
+// Following DBSCAN++ (Jang & Jiang), the snapshot can be built from a
+// *subsample* of the core points (`Options::core_sample_fraction`): a model
+// carrying f·|cores| points answers classify queries proportionally faster
+// and serializes proportionally smaller, at the cost of misclassifying
+// points near the eps-boundary of a cluster as noise. fraction=1 is exact.
+//
+// Models are immutable after construction — every accessor is const and
+// safe to call from any number of threads concurrently (the publication
+// protocol in ModelRegistry depends on this). Snapshots serialize through
+// the repo's BinaryWriter/BinaryReader; `load` validates structure and an
+// FNV-1a content checksum and reports malformed input by returning null
+// instead of aborting, so a serving process can survive a bad snapshot file.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dbscan.hpp"
+#include "geom/point_set.hpp"
+#include "spatial/kd_tree.hpp"
+
+namespace sdb::serve {
+
+class ClusterModel {
+ public:
+  struct Options {
+    /// Fraction of core points retained in the snapshot (DBSCAN++-style
+    /// accuracy/latency knob). 1.0 keeps every core point (exact classify).
+    double core_sample_fraction = 1.0;
+    /// Seed for the deterministic core subsample.
+    u64 sample_seed = 1;
+  };
+
+  /// Per-cluster aggregate stats computed at build time.
+  struct ClusterStats {
+    u64 size = 0;        ///< members (core + border) at snapshot time
+    u64 core_count = 0;  ///< core members (before subsampling)
+  };
+
+  struct Summary {
+    u64 total_points = 0;  ///< points covered by the snapshot (incl. noise)
+    u64 num_clusters = 0;
+    u64 core_points = 0;    ///< core points retained in the snapshot
+    u64 noise_points = 0;
+    int dim = 0;
+    double eps = 0.0;
+    i64 minpts = 0;
+    u64 epoch = 0;
+  };
+
+  /// Build a snapshot from any engine's output: the points, their labels,
+  /// a per-point core mask (core_mask[i] != 0 iff point i is core), and the
+  /// parameters the clustering was produced with. Points flagged core but
+  /// labeled noise are ignored (cannot happen in a valid DBSCAN result).
+  static std::shared_ptr<ClusterModel> build(
+      const PointSet& points, const dbscan::Clustering& clustering,
+      const std::vector<char>& core_mask, const dbscan::DbscanParams& params,
+      const Options& options);
+  static std::shared_ptr<ClusterModel> build(
+      const PointSet& points, const dbscan::Clustering& clustering,
+      const std::vector<char>& core_mask, const dbscan::DbscanParams& params);
+
+  /// Which cluster would `point` join? Finds the nearest retained core
+  /// point; within eps -> that core's cluster id, else kNoise. O(log cores).
+  [[nodiscard]] ClusterId classify(std::span<const double> point) const;
+
+  /// Label the snapshot recorded for point `id` (kNoise for noise/removed).
+  /// Aborts on ids outside [0, total_points) — callers validate with has().
+  [[nodiscard]] ClusterId label_of(PointId id) const;
+  [[nodiscard]] bool has(PointId id) const {
+    return id >= 0 && static_cast<u64>(id) < labels_.size();
+  }
+
+  [[nodiscard]] Summary summary() const;
+  [[nodiscard]] const ClusterStats& stats_of(ClusterId cluster) const;
+  /// Mean of the cluster's members, dim() doubles per cluster.
+  [[nodiscard]] std::span<const double> centroid_of(ClusterId cluster) const;
+
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] u64 num_clusters() const { return num_clusters_; }
+  [[nodiscard]] const dbscan::DbscanParams& params() const { return params_; }
+  [[nodiscard]] u64 core_count() const { return core_points_.size(); }
+
+  /// Publication epoch, stamped by ModelRegistry (0 for standalone models).
+  /// Not serialized — an epoch identifies a snapshot within one registry.
+  [[nodiscard]] u64 epoch() const { return epoch_; }
+  void set_epoch(u64 e) { epoch_ = e; }
+
+  /// --- binary snapshot (BinaryWriter/BinaryReader format + checksum) ---
+  [[nodiscard]] std::vector<char> save() const;
+  void save_file(const std::string& path) const;
+
+  /// Deserialize; returns null and sets `*error` (if non-null) on any
+  /// truncated, corrupted, or structurally invalid input. Never aborts.
+  static std::shared_ptr<ClusterModel> load(const std::vector<char>& buffer,
+                                            std::string* error = nullptr);
+  static std::shared_ptr<ClusterModel> load_file(const std::string& path,
+                                                 std::string* error = nullptr);
+
+  ClusterModel(const ClusterModel&) = delete;
+  ClusterModel& operator=(const ClusterModel&) = delete;
+
+ private:
+  ClusterModel() = default;
+  /// Rebuilds the kd-tree after the flat fields are populated.
+  void finalize();
+
+  int dim_ = 0;  // kept for dimension when there are zero core points
+  dbscan::DbscanParams params_;
+  u64 num_clusters_ = 0;
+  u64 epoch_ = 0;
+  std::vector<ClusterId> labels_;       // per original point id
+  PointSet core_points_;                // retained core coordinates
+  std::vector<PointId> core_ids_;       // original id of each retained core
+  std::vector<ClusterId> core_labels_;  // cluster of each retained core
+  std::vector<ClusterStats> cluster_stats_;
+  std::vector<double> centroids_;       // num_clusters * dim, row-major
+  std::unique_ptr<KdTree> tree_;        // over core_points_ (null if empty)
+};
+
+}  // namespace sdb::serve

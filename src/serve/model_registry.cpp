@@ -1,0 +1,95 @@
+#include "serve/model_registry.hpp"
+
+namespace sdb::serve {
+
+ModelRegistry::ModelRegistry(Config config, int dim)
+    : config_(config),
+      dim_(dim),
+      incremental_(
+          dbscan::IncrementalDbscan::Config{config.params,
+                                            config.rebuild_threshold},
+          dim) {
+  SDB_CHECK(dim > 0, "registry dimension must be positive");
+  // Publish an empty snapshot so model() is never null.
+  const std::scoped_lock lock(writer_mu_);
+  publish_locked();
+}
+
+PointId ModelRegistry::insert(std::span<const double> coords) {
+  const std::scoped_lock lock(writer_mu_);
+  const PointId id = incremental_.insert(coords);
+  ++mutations_;
+  ++since_publish_;
+  maybe_publish_locked();
+  return id;
+}
+
+bool ModelRegistry::try_remove(PointId id) {
+  const std::scoped_lock lock(writer_mu_);
+  if (id < 0 || static_cast<size_t>(id) >= incremental_.size() ||
+      incremental_.is_removed(id)) {
+    return false;
+  }
+  incremental_.remove(id);
+  ++mutations_;
+  ++since_publish_;
+  maybe_publish_locked();
+  return true;
+}
+
+void ModelRegistry::bootstrap(const PointSet& points) {
+  SDB_CHECK(points.dim() == dim_, "bootstrap: dimension mismatch");
+  const std::scoped_lock lock(writer_mu_);
+  for (PointId i = 0; i < static_cast<PointId>(points.size()); ++i) {
+    incremental_.insert(points[i]);
+    ++mutations_;
+  }
+  publish_locked();
+}
+
+u64 ModelRegistry::publish() {
+  const std::scoped_lock lock(writer_mu_);
+  return publish_locked();
+}
+
+void ModelRegistry::maybe_publish_locked() {
+  if (config_.publish_every > 0 && since_publish_ >= config_.publish_every) {
+    publish_locked();
+  }
+}
+
+u64 ModelRegistry::publish_locked() {
+  std::vector<char> core_mask(incremental_.size(), 0);
+  for (PointId id = 0; id < static_cast<PointId>(incremental_.size()); ++id) {
+    if (!incremental_.is_removed(id) && incremental_.is_core(id)) {
+      core_mask[static_cast<size_t>(id)] = 1;
+    }
+  }
+  std::shared_ptr<ClusterModel> model =
+      ClusterModel::build(incremental_.points(), incremental_.clustering(),
+                          core_mask, config_.params, config_.model_options);
+  const u64 e = epoch_.load(std::memory_order_relaxed) + 1;
+  model->set_epoch(e);
+  ++publishes_;
+  since_publish_ = 0;
+  current_.store(std::move(model), std::memory_order_release);
+  epoch_.store(e, std::memory_order_release);
+  return e;
+}
+
+u64 ModelRegistry::publishes() const {
+  const std::scoped_lock lock(writer_mu_);
+  return publishes_;
+}
+
+u64 ModelRegistry::mutations() const {
+  const std::scoped_lock lock(writer_mu_);
+  return mutations_;
+}
+
+size_t ModelRegistry::active_points() const {
+  const std::scoped_lock lock(writer_mu_);
+  return incremental_.active_size();
+}
+
+}  // namespace sdb::serve

@@ -1,0 +1,87 @@
+// ModelRegistry — RCU-style versioned publication of ClusterModel snapshots.
+//
+// The serving layer separates two worlds with very different rates:
+//   * readers (classify/lookup traffic, potentially millions/sec) grab the
+//     current snapshot with one atomic shared_ptr load and never wait for
+//     the writer — a reader holds its snapshot alive by refcount, exactly
+//     the RCU read-side critical section with shared_ptr as the grace
+//     period mechanism;
+//   * the writer applies inserts/removes through the exact-semantics
+//     IncrementalDbscan and, every `publish_every` mutations (the epoch
+//     cadence), builds a fresh immutable ClusterModel and publishes it with
+//     one atomic store. Old snapshots die when the last reader drops them.
+//
+// The swap itself is a pointer-sized atomic operation: readers between
+// epochs see either the old or the new snapshot in full, never a mix
+// (tests/test_serve_registry.cpp drives this under TSan via the `sanitize`
+// ctest label).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "core/incremental.hpp"
+#include "serve/cluster_model.hpp"
+
+namespace sdb::serve {
+
+class ModelRegistry {
+ public:
+  struct Config {
+    dbscan::DbscanParams params;
+    /// IncrementalDbscan kd-tree rebuild threshold (see incremental.hpp).
+    size_t rebuild_threshold = 256;
+    /// Publish a fresh snapshot every N mutations; 0 = manual publish()
+    /// only. Smaller = fresher models, more build work per mutation.
+    u64 publish_every = 64;
+    /// Snapshot build options (core subsampling knob).
+    ClusterModel::Options model_options;
+  };
+
+  ModelRegistry(Config config, int dim);
+
+  /// --- read side (wait-free w.r.t. the writer, any thread) ---
+  /// The current published snapshot; never null (an empty model is
+  /// published at construction).
+  [[nodiscard]] std::shared_ptr<const ClusterModel> model() const {
+    return current_.load(std::memory_order_acquire);
+  }
+  /// Epoch of the current snapshot; increments on every publish.
+  [[nodiscard]] u64 epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// --- write side (internally serialized; call from any thread) ---
+  /// Insert a point into the live clustering; returns its id. May publish
+  /// (epoch cadence).
+  PointId insert(std::span<const double> coords);
+  /// Remove a point; false if the id is unknown or already removed.
+  bool try_remove(PointId id);
+  /// Insert every point of `points` (bulk bootstrap), then publish once.
+  void bootstrap(const PointSet& points);
+  /// Build and publish a snapshot of the current state now; returns the new
+  /// epoch.
+  u64 publish();
+
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] u64 publishes() const;
+  [[nodiscard]] u64 mutations() const;
+  [[nodiscard]] size_t active_points() const;
+
+ private:
+  u64 publish_locked();
+  void maybe_publish_locked();
+
+  Config config_;
+  int dim_;
+  mutable std::mutex writer_mu_;  // guards incremental_ and the tallies
+  dbscan::IncrementalDbscan incremental_;
+  u64 mutations_ = 0;
+  u64 since_publish_ = 0;
+  u64 publishes_ = 0;
+  std::atomic<std::shared_ptr<const ClusterModel>> current_;
+  std::atomic<u64> epoch_{0};
+};
+
+}  // namespace sdb::serve

@@ -4,6 +4,8 @@
 // partitioning rests on.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 
 #include "dfs/mini_dfs.hpp"
@@ -16,7 +18,15 @@ namespace fs = std::filesystem;
 
 class DfsFuzz : public ::testing::TestWithParam<u64> {
  protected:
-  DfsFuzz() : root_((fs::temp_directory_path() / "sdb_dfs_fuzz").string()) {
+  // The root must be unique per seed AND per process: `ctest -j` runs each
+  // parameterized seed as its own process, and a shared root means one
+  // test's constructor remove_all() deletes another's live block files
+  // mid-run (the seed suite's historical Fail/abort).
+  DfsFuzz()
+      : root_((fs::temp_directory_path() /
+               ("sdb_dfs_fuzz_s" + std::to_string(GetParam()) + "_p" +
+                std::to_string(::getpid())))
+                  .string()) {
     fs::remove_all(root_);
   }
   ~DfsFuzz() override { fs::remove_all(root_); }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <mutex>
 #include <sstream>
 
 namespace sdb::mapreduce {

@@ -1,0 +1,366 @@
+// ModelRegistry + QueryEngine concurrency and behavior.
+//
+// The registry test is the RCU torture loop: N reader threads classify
+// against whatever snapshot is current while one writer inserts/removes and
+// publishes epochs. Every reader answer must be consistent with SOME
+// published snapshot — guaranteed here by re-asking the exact snapshot the
+// reader held (immutability means the recomputation must reproduce the
+// recorded answer even long after newer epochs replaced it). Run this
+// binary under TSan (cmake -DSDB_SANITIZE=thread, ctest -L sanitize) to
+// machine-check the read path for data races.
+#include "serve/model_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "serve/query_engine.hpp"
+#include "synth/generators.hpp"
+#include "util/rng.hpp"
+
+namespace sdb::serve {
+namespace {
+
+ModelRegistry::Config small_config(double eps = 0.08, i64 minpts = 4,
+                                   u64 publish_every = 16) {
+  ModelRegistry::Config cfg;
+  cfg.params = dbscan::DbscanParams{eps, minpts};
+  cfg.publish_every = publish_every;
+  return cfg;
+}
+
+TEST(ServeRegistry, StartsWithEmptySnapshot) {
+  ModelRegistry registry(small_config(), 2);
+  const auto model = registry.model();
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->summary().total_points, 0u);
+  EXPECT_EQ(registry.epoch(), 1u);  // the construction-time publish
+  const std::vector<double> q{0.1, 0.2};
+  EXPECT_EQ(model->classify(q), kNoise);
+}
+
+TEST(ServeRegistry, EpochCadencePublishes) {
+  ModelRegistry registry(small_config(0.08, 4, /*publish_every=*/8), 2);
+  const u64 start = registry.epoch();
+  Rng rng(5);
+  for (int i = 0; i < 17; ++i) {
+    const std::vector<double> p{rng.uniform(), rng.uniform()};
+    registry.insert(p);
+  }
+  // 17 mutations at cadence 8 -> exactly 2 automatic publishes.
+  EXPECT_EQ(registry.epoch(), start + 2);
+  const u64 manual = registry.publish();
+  EXPECT_EQ(manual, start + 3);
+  EXPECT_EQ(registry.model()->epoch(), manual);
+  EXPECT_EQ(registry.model()->summary().total_points, 17u);
+}
+
+TEST(ServeRegistry, BootstrapMatchesIncrementalSemantics) {
+  Rng rng(11);
+  const PointSet points = synth::blobs_2d(400, 3, 0.05, 40, rng);
+  ModelRegistry registry(small_config(0.05, 5, 0), 2);
+  registry.bootstrap(points);
+  const auto model = registry.model();
+  EXPECT_EQ(model->summary().total_points, points.size());
+  EXPECT_GT(model->summary().num_clusters, 0u);
+  EXPECT_GT(model->core_count(), 0u);
+}
+
+TEST(ServeRegistry, RemoveInvalidIdsRejected) {
+  ModelRegistry registry(small_config(), 2);
+  EXPECT_FALSE(registry.try_remove(-1));
+  EXPECT_FALSE(registry.try_remove(0));
+  const std::vector<double> p{0.0, 0.0};
+  const PointId id = registry.insert(p);
+  EXPECT_TRUE(registry.try_remove(id));
+  EXPECT_FALSE(registry.try_remove(id));  // already removed
+}
+
+// The satellite-task test: N readers, one mutating/publishing writer.
+TEST(ServeRegistry, ConcurrentReadersSeeConsistentSnapshots) {
+  constexpr int kReaders = 4;
+  constexpr int kQueriesPerReader = 2000;
+  constexpr int kWriterMutations = 600;
+
+  ModelRegistry registry(small_config(0.08, 4, /*publish_every=*/25), 2);
+  // Seed enough structure that classify answers are non-trivial.
+  {
+    Rng rng(23);
+    const PointSet seed_points = synth::blobs_2d(300, 3, 0.05, 30, rng);
+    registry.bootstrap(seed_points);
+  }
+
+  struct Observation {
+    std::shared_ptr<const ClusterModel> model;
+    std::vector<double> query;
+    ClusterId answer;
+  };
+
+  std::atomic<bool> writer_done{false};
+  std::vector<std::vector<Observation>> observations(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(100 + static_cast<u64>(r));
+      auto& obs = observations[static_cast<size_t>(r)];
+      obs.reserve(kQueriesPerReader);
+      u64 last_epoch = 0;
+      for (int q = 0; q < kQueriesPerReader; ++q) {
+        const std::shared_ptr<const ClusterModel> model = registry.model();
+        ASSERT_NE(model, nullptr);
+        // Epochs can only move forward for any single reader.
+        ASSERT_GE(model->epoch(), last_epoch);
+        last_epoch = model->epoch();
+        std::vector<double> query{rng.uniform(), rng.uniform()};
+        const ClusterId answer = model->classify(query);
+        // The answer must be valid for THIS snapshot.
+        ASSERT_TRUE(answer == kNoise ||
+                    (answer >= 0 &&
+                     static_cast<u64>(answer) < model->num_clusters()));
+        if (q % 16 == 0) {  // keep memory bounded; sample observations
+          obs.push_back({model, std::move(query), answer});
+        }
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    Rng rng(999);
+    std::vector<PointId> live;
+    for (int m = 0; m < kWriterMutations; ++m) {
+      if (!live.empty() && rng.chance(0.25)) {
+        const size_t pick = rng.uniform_index(live.size());
+        registry.try_remove(live[pick]);
+        live.erase(live.begin() + static_cast<long>(pick));
+      } else {
+        const std::vector<double> p{rng.uniform(), rng.uniform()};
+        live.push_back(registry.insert(p));
+      }
+    }
+    writer_done.store(true);
+  });
+
+  for (auto& t : readers) t.join();
+  writer.join();
+
+  // Replay: every recorded answer must be reproducible against the exact
+  // snapshot that produced it (torn/mutated snapshots would diverge).
+  u64 replayed = 0;
+  for (const auto& reader_obs : observations) {
+    for (const Observation& o : reader_obs) {
+      ASSERT_EQ(o.model->classify(o.query), o.answer);
+      ++replayed;
+    }
+  }
+  EXPECT_GT(replayed, 0u);
+  EXPECT_TRUE(writer_done.load());
+  EXPECT_GT(registry.publishes(), 1u);
+}
+
+// --- QueryEngine ---
+
+struct EngineFixture {
+  ModelRegistry registry;
+  EngineFixture() : registry(small_config(0.05, 5, 0), 2) {
+    Rng rng(7);
+    const PointSet points = synth::blobs_2d(500, 4, 0.05, 50, rng);
+    registry.bootstrap(points);
+  }
+};
+
+TEST(ServeEngine, ClassifyLookupInsertRemoveRoundTrip) {
+  EngineFixture fx;
+  QueryEngine::Config cfg;
+  cfg.threads = 2;
+  QueryEngine engine(fx.registry, cfg);
+
+  // Synchronous execute covers all four verbs.
+  Request classify;
+  classify.type = RequestType::kClassify;
+  classify.point = {0.5, 0.5};
+  const Reply c = engine.execute(classify);
+  EXPECT_EQ(c.status, ReplyStatus::kOk);
+
+  Request lookup;
+  lookup.type = RequestType::kLookup;
+  lookup.id = 0;
+  const Reply l = engine.execute(lookup);
+  EXPECT_EQ(l.status, ReplyStatus::kOk);
+  EXPECT_EQ(l.label, fx.registry.model()->label_of(0));
+
+  Request insert;
+  insert.type = RequestType::kInsert;
+  insert.point = {0.25, 0.25};
+  const Reply i = engine.execute(insert);
+  EXPECT_EQ(i.status, ReplyStatus::kOk);
+  EXPECT_GE(i.id, 0);
+
+  Request remove;
+  remove.type = RequestType::kRemove;
+  remove.id = i.id;
+  EXPECT_EQ(engine.execute(remove).status, ReplyStatus::kOk);
+  EXPECT_EQ(engine.execute(remove).status, ReplyStatus::kNotFound);
+
+  Request bad;
+  bad.type = RequestType::kClassify;
+  bad.point = {1.0, 2.0, 3.0};  // wrong dimension
+  EXPECT_EQ(engine.execute(bad).status, ReplyStatus::kInvalid);
+
+  // Well-formed but unknown id -> kNotFound; malformed (negative) -> kInvalid.
+  Request bad_lookup;
+  bad_lookup.type = RequestType::kLookup;
+  bad_lookup.id = 1'000'000;
+  EXPECT_EQ(engine.execute(bad_lookup).status, ReplyStatus::kNotFound);
+  bad_lookup.id = -7;
+  EXPECT_EQ(engine.execute(bad_lookup).status, ReplyStatus::kInvalid);
+}
+
+TEST(ServeEngine, AsyncSubmitDeliversReplies) {
+  EngineFixture fx;
+  QueryEngine::Config cfg;
+  cfg.threads = 2;
+  cfg.queue_capacity = 4096;
+  QueryEngine engine(fx.registry, cfg);
+
+  constexpr int kN = 500;
+  std::atomic<int> ok{0};
+  Rng rng(31);
+  for (int i = 0; i < kN; ++i) {
+    Request req;
+    req.type = RequestType::kClassify;
+    req.point = {rng.uniform(), rng.uniform()};
+    ASSERT_TRUE(engine.try_submit(std::move(req), [&](const Reply& reply) {
+      if (reply.status == ReplyStatus::kOk) ok.fetch_add(1);
+    }));
+  }
+  engine.drain();
+  EXPECT_EQ(ok.load(), kN);
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.accepted, static_cast<u64>(kN));
+  EXPECT_EQ(m.completed, static_cast<u64>(kN));
+  EXPECT_EQ(m.shed, 0u);
+  EXPECT_EQ(m.latency.total(), static_cast<u64>(kN));
+  EXPECT_GT(m.latency.quantile_micros(0.99),
+            0.0);  // histogram actually recorded
+}
+
+TEST(ServeEngine, BackpressureShedsWithOverloaded) {
+  EngineFixture fx;
+  QueryEngine::Config cfg;
+  cfg.threads = 1;
+  cfg.queue_capacity = 4;  // tiny queue to force shedding deterministically
+  QueryEngine engine(fx.registry, cfg);
+
+  // Block the single worker so the queue cannot drain.
+  std::atomic<bool> release{false};
+  Request gate;
+  gate.type = RequestType::kClassify;
+  gate.point = {0.5, 0.5};
+  ASSERT_TRUE(engine.try_submit(gate, [&](const Reply&) {
+    while (!release.load()) std::this_thread::yield();
+  }));
+
+  // Fill the remaining capacity, then everything further must shed.
+  int admitted = 0;
+  int shed = 0;
+  std::atomic<int> overloaded_replies{0};
+  for (int i = 0; i < 64; ++i) {
+    Request req;
+    req.type = RequestType::kClassify;
+    req.point = {0.1, 0.1};
+    const bool in = engine.try_submit(req, [&](const Reply& reply) {
+      if (reply.status == ReplyStatus::kOverloaded) {
+        overloaded_replies.fetch_add(1);
+      }
+    });
+    (in ? admitted : shed) += 1;
+  }
+  EXPECT_GT(shed, 0);
+  EXPECT_LE(admitted, 4);
+  EXPECT_EQ(overloaded_replies.load(), shed);
+  release.store(true);
+  engine.drain();
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.shed, static_cast<u64>(shed));
+  EXPECT_GT(m.shed_rate(), 0.0);
+}
+
+TEST(ServeEngine, CacheHitsOnRepeatedQueriesAndInvalidatesOnPublish) {
+  EngineFixture fx;
+  QueryEngine::Config cfg;
+  cfg.threads = 1;
+  QueryEngine engine(fx.registry, cfg);
+
+  Request req;
+  req.type = RequestType::kClassify;
+  req.point = {0.42, 0.42};
+  const Reply first = engine.execute(req);
+  EXPECT_FALSE(first.cache_hit);
+  const Reply second = engine.execute(req);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.label, first.label);
+
+  // A publish bumps the epoch; the cached entry must not serve stale data.
+  fx.registry.publish();
+  const Reply third = engine.execute(req);
+  EXPECT_FALSE(third.cache_hit);
+  EXPECT_EQ(third.epoch, first.epoch + 1);
+  EXPECT_EQ(third.label, first.label);  // model content unchanged
+
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.cache_hits, 1u);
+  EXPECT_EQ(m.cache_misses, 2u);
+}
+
+TEST(ServeEngine, BatchSubmitAdmitsUpToCapacity) {
+  EngineFixture fx;
+  QueryEngine::Config cfg;
+  cfg.threads = 1;
+  cfg.queue_capacity = 8;
+  QueryEngine engine(fx.registry, cfg);
+
+  // Admission of a batch is one atomic reservation, so with nothing in
+  // flight a 32-request batch against capacity 8 admits exactly 8.
+  std::vector<Request> batch(32);
+  for (auto& r : batch) {
+    r.type = RequestType::kClassify;
+    r.point = {0.3, 0.3};
+  }
+  std::atomic<int> done{0};
+  const size_t admitted = engine.try_submit_batch(
+      std::move(batch), [&](const Reply&) { done.fetch_add(1); });
+  EXPECT_EQ(admitted, 8u);
+  engine.drain();
+  EXPECT_EQ(done.load(), static_cast<int>(admitted));
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.shed, 32 - admitted);
+  EXPECT_EQ(m.completed, admitted);
+}
+
+TEST(ServeEngine, MutationsThroughEngineAdvanceEpochs) {
+  EngineFixture fx;
+  QueryEngine::Config cfg;
+  cfg.threads = 2;
+  QueryEngine engine(fx.registry, cfg);
+  const u64 epoch_before = fx.registry.epoch();
+
+  Rng rng(77);
+  for (int i = 0; i < 40; ++i) {
+    Request req;
+    req.type = RequestType::kInsert;
+    req.point = {rng.uniform(), rng.uniform()};
+    ASSERT_TRUE(engine.try_submit(std::move(req)));
+  }
+  engine.drain();
+  fx.registry.publish();
+  EXPECT_GT(fx.registry.epoch(), epoch_before);
+  EXPECT_EQ(fx.registry.model()->summary().total_points, 500u + 50u + 40u);
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.by_type[static_cast<size_t>(RequestType::kInsert)], 40u);
+  EXPECT_GT(m.work.distance_evals, 0u);  // insert work is accounted
+}
+
+}  // namespace
+}  // namespace sdb::serve
