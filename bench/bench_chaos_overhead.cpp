@@ -1,0 +1,128 @@
+// Are dormant fault-injection hooks free?
+//
+// SDB_INJECT(site) has three states:
+//   compiled out  — -DSDB_FAULT_INJECTION=OFF: the macro is the literal
+//                   `false`; cost is exactly zero by construction;
+//   dormant       — compiled in, no plan installed: one relaxed atomic load
+//                   and a null check;
+//   empty plan    — compiled in, a plan installed that names none of the
+//                   sites: the load, a mutex acquisition and a map miss.
+//
+// Two measurements:
+//   hook micro    — ns per SDB_INJECT call in a tight loop (dormant and
+//                   empty-plan states);
+//   pipeline      — median wall time of the full Spark DBSCAN pipeline,
+//                   dormant vs empty-plan, and the relative delta. The
+//                   acceptance bar is <= 1% pipeline overhead for dormant
+//                   hooks (and compiled-out hooks are free by construction).
+//
+// Run both configurations to see the compiled-out floor:
+//   cmake -B build -DSDB_FAULT_INJECTION=ON  && ./build/bench_chaos_overhead
+//   cmake -B build-off -DSDB_FAULT_INJECTION=OFF && ...
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/spark_dbscan.hpp"
+#include "fault/fault_plan.hpp"
+#include "synth/generators.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace sdb;
+using namespace sdb::dbscan;
+
+namespace {
+
+double hook_ns_per_call(u64 iterations) {
+  // volatile sink defeats dead-code elimination of the hook's result.
+  volatile u64 fired = 0;
+  Stopwatch sw;
+  for (u64 i = 0; i < iterations; ++i) {
+    if (SDB_INJECT("bench.overhead.site")) fired = fired + 1;
+  }
+  const double s = sw.seconds();
+  (void)fired;
+  return s / static_cast<double>(iterations) * 1e9;
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+double pipeline_median_wall_s(const PointSet& ps, u32 repeats) {
+  std::vector<double> walls;
+  for (u32 r = 0; r < repeats; ++r) {
+    minispark::ClusterConfig ccfg;
+    ccfg.executors = 4;
+    ccfg.straggler.fraction = 0.0;
+    minispark::SparkContext ctx(ccfg);
+    SparkDbscanConfig cfg;
+    cfg.params = {0.8, 5};
+    cfg.partitions = 4;
+    SparkDbscan dbscan(ctx, cfg);
+    Stopwatch sw;
+    const auto report = dbscan.run(ps);
+    walls.push_back(sw.seconds());
+    SDB_CHECK(report.clustering.num_clusters > 0, "pipeline produced nothing");
+  }
+  return median(std::move(walls));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.add_i64("n", 4000, "points in the pipeline dataset");
+  flags.add_i64("repeats", 9, "pipeline repetitions per state (median)");
+  flags.add_i64("hook_iters", 20'000'000, "tight-loop SDB_INJECT calls");
+  flags.parse(argc, argv);
+
+#ifdef SDB_FAULT_INJECTION
+  const char* compiled = "ON (dormant hook = relaxed atomic load)";
+#else
+  const char* compiled = "OFF (SDB_INJECT is the literal `false`)";
+#endif
+  std::printf("SDB_FAULT_INJECTION: %s\n\n", compiled);
+
+  const u64 hook_iters = static_cast<u64>(flags.i64_flag("hook_iters"));
+  std::printf("hook micro (%llu calls):\n",
+              static_cast<unsigned long long>(hook_iters));
+  std::printf("  dormant     %8.3f ns/call\n", hook_ns_per_call(hook_iters));
+  {
+    fault::ScopedFaultPlan empty("seed=1");
+    std::printf("  empty plan  %8.3f ns/call\n", hook_ns_per_call(hook_iters));
+  }
+
+  Rng rng(7);
+  synth::GaussianMixtureConfig gcfg;
+  gcfg.n = flags.i64_flag("n");
+  gcfg.dim = 2;
+  gcfg.clusters = 5;
+  gcfg.sigma = 0.5;
+  gcfg.noise_fraction = 0.05;
+  gcfg.box_side = 80.0;
+  const PointSet ps = synth::gaussian_clusters(gcfg, rng);
+  const u32 repeats = static_cast<u32>(flags.i64_flag("repeats"));
+
+  const double dormant_s = pipeline_median_wall_s(ps, repeats);
+  double empty_plan_s = 0.0;
+  {
+    fault::ScopedFaultPlan empty("seed=1");
+    empty_plan_s = pipeline_median_wall_s(ps, repeats);
+  }
+
+  const double overhead_pct = (empty_plan_s - dormant_s) / dormant_s * 100.0;
+  std::printf("\npipeline (n=%lld, median of %u):\n",
+              static_cast<long long>(gcfg.n), repeats);
+  std::printf("  dormant hooks     %9.4f s\n", dormant_s);
+  std::printf("  empty plan        %9.4f s   (%+.2f%% vs dormant)\n",
+              empty_plan_s, overhead_pct);
+  std::printf(
+      "\nacceptance: dormant hooks must cost <= 1%% pipeline wall time vs the\n"
+      "compiled-out build; compare against -DSDB_FAULT_INJECTION=OFF.\n");
+  return 0;
+}

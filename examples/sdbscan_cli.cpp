@@ -148,6 +148,9 @@ int serve_loop(const PointSet& points, const dbscan::DbscanParams& params,
       case ReplyStatus::kOverloaded:
         std::printf("err overloaded\n");
         break;
+      case ReplyStatus::kDegraded:
+        std::printf("err degraded (registry writer stalled; reads still serve)\n");
+        break;
     }
   }
   const auto m = engine.metrics();

@@ -33,6 +33,16 @@ MergeResult merge_partial_clusters(
       pcs.push_back(&pc);
     }
   }
+  // Canonicalize on cluster uid (partition, local index) so the merge is
+  // invariant to the ARRIVAL order of partial results: task retries,
+  // speculative re-execution and scheduling jitter permute `locals`, and
+  // everything below — member ownership, union-find indices, label ids,
+  // border-claim priority — keys off positions in this list
+  // (tests/test_merge.cpp OrderInvariantAcrossArrivalPermutations).
+  std::sort(pcs.begin(), pcs.end(),
+            [](const PartialCluster* a, const PartialCluster* b) {
+              return a->uid < b->uid;
+            });
   const size_t m = pcs.size();
   result.stats.partial_clusters = m;
   for (const auto* pc : pcs) {

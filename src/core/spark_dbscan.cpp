@@ -132,7 +132,10 @@ SparkDbscanReport SparkDbscan::run_impl(const PointSet& points,
         const u64 bytes = blob.size();
         std::vector<std::string> delta;
         delta.push_back(std::move(blob));
-        acc->add(std::move(delta), bytes);  // Algorithm 2 lines 26-28
+        // Algorithm 2 lines 26-28. Tagged by partition so re-executed and
+        // speculatively-duplicated tasks merge exactly once — the invariant
+        // that keeps the chaos suite's faulted runs equal to dbscan_seq.
+        acc->add_once(p, std::move(delta), bytes);
       },
       "dbscan-local-clustering");
 

@@ -2,6 +2,8 @@
 
 #include <filesystem>
 
+#include "fault/injection.hpp"
+#include "util/counters.hpp"
 #include "util/serialize.hpp"
 
 namespace sdb::dfs {
@@ -51,8 +53,14 @@ bool MiniDfs::datanode_alive(u32 node) const {
 void MiniDfs::check_replicas(const BlockInfo& block) const {
   bool first = true;
   for (const u32 replica : block.replicas) {
-    if (!dead_[replica]) {
-      if (!first) ++failovers_;  // the primary was dead; a later replica served
+    // An injected replica fault takes the primary out for this one read,
+    // exercising the same failover path as a really-dead datanode.
+    const bool injected_dead = first && SDB_INJECT("dfs.read.replica");
+    if (!dead_[replica] && !injected_dead) {
+      if (!first) {
+        ++failovers_;  // the primary was dead; a later replica served
+        counters::dfs_failovers(1);
+      }
       return;
     }
     first = false;
@@ -64,6 +72,49 @@ void MiniDfs::check_replicas(const BlockInfo& block) const {
 std::string MiniDfs::block_path(u64 block_id) const {
   return (fs::path(root_) / "blocks" / ("blk_" + std::to_string(block_id)))
       .string();
+}
+
+std::vector<char> MiniDfs::read_block_data(const BlockInfo& block) const {
+  RetryStats stats;
+  auto data = retry_call(
+      io_retry_, block.id,
+      [&]() -> std::vector<char> {
+        if (SDB_INJECT("dfs.read.fail")) {
+          throw DfsTransientError("injected read failure, block " +
+                                  std::to_string(block.id));
+        }
+        if (SDB_INJECT("dfs.read.slow")) ++slow_reads_;
+        return read_file(block_path(block.id));
+      },
+      &stats);
+  io_retries_ += stats.retries;
+  io_backoff_s_ += stats.backoff_s;
+  return data;
+}
+
+void MiniDfs::write_block_data(const BlockInfo& block,
+                               const std::vector<char>& data) {
+  RetryStats stats;
+  retry_call(
+      io_retry_, block.id,
+      [&] {
+        if (SDB_INJECT("dfs.write.torn")) {
+          // A real torn write: half the block lands on disk, then the
+          // datanode "dies". The retry must overwrite it completely —
+          // verify() confirms no torn block survives a successful write.
+          const std::vector<char> torn(data.begin(),
+                                       data.begin() + data.size() / 2);
+          write_file(block_path(block.id), torn);
+          ++torn_writes_;
+          throw DfsTransientError("injected torn write, block " +
+                                  std::to_string(block.id));
+        }
+        write_file(block_path(block.id), data);
+        return 0;
+      },
+      &stats);
+  io_retries_ += stats.retries;
+  io_backoff_s_ += stats.backoff_s;
 }
 
 const FileInfo& MiniDfs::write(const std::string& path,
@@ -88,7 +139,7 @@ const FileInfo& MiniDfs::write(const std::string& path,
     const std::vector<char> data(contents.begin() + static_cast<long>(offset),
                                  contents.begin() +
                                      static_cast<long>(offset + block.size));
-    write_file(block_path(block.id), data);
+    write_block_data(block, data);
     info.blocks.push_back(std::move(block));
   }
   // Zero-byte files still need a catalog entry.
@@ -113,7 +164,7 @@ std::string MiniDfs::read(const std::string& path) const {
   out.reserve(info.size);
   for (const BlockInfo& block : info.blocks) {
     check_replicas(block);
-    const std::vector<char> data = read_file(block_path(block.id));
+    const std::vector<char> data = read_block_data(block);
     out.append(data.data(), data.size());
   }
   return out;
@@ -124,8 +175,7 @@ std::string MiniDfs::read_block(const std::string& path,
   const FileInfo& info = stat(path);
   SDB_CHECK(block_index < info.blocks.size(), "block index out of range");
   check_replicas(info.blocks[block_index]);
-  const std::vector<char> data =
-      read_file(block_path(info.blocks[block_index].id));
+  const std::vector<char> data = read_block_data(info.blocks[block_index]);
   return std::string(data.data(), data.size());
 }
 

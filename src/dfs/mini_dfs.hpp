@@ -14,15 +14,33 @@
 //     k == 0) and reads past the block boundary to finish its last line,
 //     exactly as Hadoop's LineRecordReader does. One block == one input
 //     partition in minispark's textFile.
+//
+// Failure semantics (see DESIGN.md "Failure model & fault injection"):
+// transient block I/O failures — injected at the `dfs.read.fail`,
+// `dfs.read.slow`, `dfs.write.torn` and `dfs.read.replica` sites — are
+// recovered internally with bounded exponential-backoff retries
+// (util/retry.hpp); only a fault that survives every attempt escapes as
+// DfsTransientError. Whole-replica-set loss remains a hard abort, matching
+// HDFS below the replication factor.
 #pragma once
 
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "util/common.hpp"
+#include "util/retry.hpp"
 
 namespace sdb::dfs {
+
+/// A block operation that failed transiently (injected read error, torn
+/// write) and exhausted its retry budget. Distinct from the hard aborts
+/// (missing file, dead replica set), which keep SDB_CHECK semantics.
+class DfsTransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct BlockInfo {
   u64 id = 0;
@@ -81,6 +99,19 @@ class MiniDfs {
   /// Number of reads that had to skip a dead primary replica.
   [[nodiscard]] u64 failovers() const { return failovers_; }
 
+  /// --- transient-fault recovery (fault-injection observability) ---
+  /// Retry policy applied to every block read/write.
+  void set_io_retry(RetryPolicy policy) { io_retry_ = policy; }
+  [[nodiscard]] const RetryPolicy& io_retry() const { return io_retry_; }
+  /// Block operations that were retried after a transient failure.
+  [[nodiscard]] u64 io_retries() const { return io_retries_; }
+  /// Total backoff scheduled across all retries (simulated seconds).
+  [[nodiscard]] double io_backoff_s() const { return io_backoff_s_; }
+  /// Reads delayed by an injected slow-read fault.
+  [[nodiscard]] u64 slow_reads() const { return slow_reads_; }
+  /// Writes that tore mid-block and were rewritten by a retry.
+  [[nodiscard]] u64 torn_writes() const { return torn_writes_; }
+
   /// Verify every block of `path` against its stored checksum (HDFS's
   /// data-integrity scan). Returns the indices of corrupt blocks.
   [[nodiscard]] std::vector<size_t> verify(const std::string& path) const;
@@ -94,6 +125,12 @@ class MiniDfs {
   /// Enforce replica availability for a block read (counts failovers,
   /// aborts when every replica's datanode is dead).
   void check_replicas(const BlockInfo& block) const;
+  /// Physically read one block under the retry policy (injection sites
+  /// dfs.read.fail / dfs.read.slow).
+  [[nodiscard]] std::vector<char> read_block_data(const BlockInfo& block) const;
+  /// Physically write one block under the retry policy (injection site
+  /// dfs.write.torn writes a real partial file before failing the attempt).
+  void write_block_data(const BlockInfo& block, const std::vector<char>& data);
 
   std::string root_;
   u64 block_size_;
@@ -104,6 +141,11 @@ class MiniDfs {
   std::map<std::string, FileInfo> catalog_;
   std::vector<bool> dead_;            ///< per-datanode failure flags
   mutable u64 failovers_ = 0;
+  RetryPolicy io_retry_;
+  mutable u64 io_retries_ = 0;
+  mutable double io_backoff_s_ = 0.0;
+  mutable u64 slow_reads_ = 0;
+  u64 torn_writes_ = 0;
 };
 
 }  // namespace sdb::dfs

@@ -1,0 +1,146 @@
+// FaultPlan — deterministic, seeded fault-injection schedules.
+//
+// One plan describes, for each named injection site, *when* that site fires:
+//   * `p`      — per-hit probability, drawn from a site-private RNG stream
+//                derived from (plan seed, site name) so sites never perturb
+//                each other's sequences;
+//   * `every`  — fire deterministically on every Nth hit (1 = every hit);
+//   * `after`  — the site is dormant for its first `after` hits;
+//   * `budget` — maximum number of fires (unlimited when omitted) — the
+//                knob that keeps throwing sites below a pipeline's bounded
+//                retry limit.
+//
+// Every decision is recorded in an ordered fault log; `log_digest()` hashes
+// the fired (site, hit) sequence so a test can assert that replaying the
+// same spec string reproduces the byte-identical fault sequence. (Ordering
+// across threads is the caller's concern: chaos tests run the host pool with
+// one thread, which makes the whole log deterministic.)
+//
+// The plan serializes to/from a one-line spec string for repro in bug
+// reports and ctest logs:
+//
+//   seed=42;dfs.read.fail:p=0.1,budget=3;spark.task.fail:every=5,after=2
+//
+// Installation is process-wide: ScopedFaultPlan installs a plan for the
+// duration of a scope (tests), or FaultPlan::install for manual control.
+// Sites not mentioned in the installed plan never fire.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/injection.hpp"
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace sdb::fault {
+
+inline constexpr u64 kUnlimitedBudget = ~0ull;
+
+/// Per-site schedule. Probability and every/after compose: the site must be
+/// past `after`, pass the every-Nth gate (if set), pass the probability draw
+/// (if p < 1), and have budget left.
+struct SiteSpec {
+  std::string site;
+  double probability = 1.0;        ///< chance per eligible hit
+  u64 every = 0;                   ///< fire on every Nth eligible hit; 0 = off
+  u64 after = 0;                   ///< skip the first `after` hits entirely
+  u64 budget = kUnlimitedBudget;   ///< max fires
+};
+
+/// One fired fault, in program order.
+struct FaultEvent {
+  std::string site;
+  u64 hit = 0;   ///< 1-based hit index at the site when it fired
+  u64 fire = 0;  ///< 1-based fire index at the site
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(u64 seed = 0);
+
+  /// Movable (fresh mutex; the source must not be installed or in use).
+  FaultPlan(FaultPlan&& other) noexcept;
+  FaultPlan& operator=(FaultPlan&&) = delete;
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Parse a one-line spec: `seed=N;site:key=value,key=value;...`.
+  /// Keys: p (probability), every, after, budget. A bare `site` (no keys)
+  /// means p=1 (fire on every hit). Aborts on malformed specs.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Serialize back to the one-line spec grammar (parse(spec()).spec() is a
+  /// fixed point).
+  [[nodiscard]] std::string spec() const;
+
+  void add_site(SiteSpec spec);
+  [[nodiscard]] u64 seed() const { return seed_; }
+
+  /// The injection decision for one hit of `site`. Thread-safe; counts the
+  /// hit, consumes the site's RNG stream, appends to the log when it fires.
+  bool should_fire(std::string_view site);
+
+  // --- observation (thread-safe) ---
+  [[nodiscard]] u64 hits() const;                       ///< all sites
+  [[nodiscard]] u64 fires() const;                      ///< all sites
+  [[nodiscard]] u64 hits(std::string_view site) const;
+  [[nodiscard]] u64 fires(std::string_view site) const;
+  [[nodiscard]] std::vector<FaultEvent> log() const;
+  /// FNV-1a over the ordered fired (site, hit) sequence; equal digests ==
+  /// byte-identical fault sequences.
+  [[nodiscard]] u64 log_digest() const;
+
+  // --- process-wide installation ---
+  /// Install `plan` as the process-wide active plan (nullptr uninstalls).
+  /// The caller keeps ownership and must outlive the installation.
+  static void install(FaultPlan* plan);
+  [[nodiscard]] static FaultPlan* active();
+
+ private:
+  struct SiteState {
+    SiteSpec spec;
+    Rng rng;  ///< private stream: Rng(derive_seed(plan seed, site name))
+    u64 hits = 0;
+    u64 eligible_hits = 0;
+    u64 fires = 0;
+    explicit SiteState(SiteSpec s, u64 plan_seed)
+        : spec(std::move(s)), rng(derive_seed(plan_seed, spec.site)) {}
+  };
+
+  u64 seed_;
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState, std::less<>> sites_;
+  std::vector<FaultEvent> log_;
+  u64 total_hits_ = 0;  ///< includes hits at sites the plan does not name
+};
+
+/// RAII process-wide installation for tests:
+///   ScopedFaultPlan chaos("seed=7;dfs.read.fail:p=0.2,budget=3");
+///   ... run pipeline; faults fire ...
+///   chaos.plan().log_digest();
+/// Nesting replaces the active plan and restores the previous one on exit.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan plan)
+      : plan_(std::move(plan)), previous_(FaultPlan::active()) {
+    FaultPlan::install(&plan_);
+  }
+  explicit ScopedFaultPlan(const std::string& spec)
+      : ScopedFaultPlan(FaultPlan::parse(spec)) {}
+  ~ScopedFaultPlan() { FaultPlan::install(previous_); }
+
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+  [[nodiscard]] FaultPlan& plan() { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  FaultPlan* previous_;
+};
+
+}  // namespace sdb::fault

@@ -1,0 +1,52 @@
+// SDB_INJECT — the hook macro every fault-injection site compiles through.
+//
+// A site is a named point in production code where a fault *may* fire:
+//
+//   if (SDB_INJECT("dfs.read.fail")) throw DfsTransientError(...);
+//
+// The macro evaluates to a bool: "should the fault fire here, now?". The
+// decision belongs to the process-wide FaultPlan (fault/fault_plan.hpp);
+// the *effect* — throw, delay, drop an update, write a torn block — belongs
+// to the call site, so each layer expresses its own failure modes.
+//
+// Cost contract:
+//   * SDB_FAULT_INJECTION off  -> the macro is the literal constant `false`;
+//     the compiler dead-codes the whole fault arm. Zero overhead, proven by
+//     bench/bench_chaos_overhead.cpp.
+//   * on, no plan installed    -> one relaxed atomic load + null test.
+//   * on, plan installed       -> a mutex-guarded site lookup; only paid in
+//     chaos runs.
+//
+// This header is intentionally tiny (no <string>, no plan internals) so hot
+// headers can include it without dragging in the framework.
+#pragma once
+
+#include <string_view>
+
+namespace sdb::fault {
+
+/// Fast-path dispatcher behind SDB_INJECT. Returns true when the active
+/// FaultPlan schedules a fault for `site` on this hit. False when no plan is
+/// installed.
+bool maybe_inject(std::string_view site);
+
+/// Exception used by sites whose failure mode is "the operation failed
+/// transiently" (task throw, lost accumulator update, transient read error).
+/// Recovery layers (task retry loops, util/retry.hpp) treat it as retriable.
+class InjectedFault {
+ public:
+  explicit InjectedFault(std::string_view site) : site_(site) {}
+  [[nodiscard]] std::string_view site() const { return site_; }
+  [[nodiscard]] const char* what() const { return "sdb::fault::InjectedFault"; }
+
+ private:
+  std::string_view site_;  // sites are string literals; lifetime is static
+};
+
+}  // namespace sdb::fault
+
+#ifdef SDB_FAULT_INJECTION
+#define SDB_INJECT(site) (::sdb::fault::maybe_inject(site))
+#else
+#define SDB_INJECT(site) (false)
+#endif

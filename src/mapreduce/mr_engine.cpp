@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "fault/injection.hpp"
 #include "minispark/metrics.hpp"
 #include "util/serialize.hpp"
 #include "util/stopwatch.hpp"
@@ -75,47 +76,80 @@ std::vector<KV> MRJob::run(const std::vector<std::string>& input_splits) {
   const u32 reduce_tasks = config_.reduce_tasks;
 
   // ---- Map phase: run mapper, partition by key hash, sort, spill to disk.
+  // One attempt is the whole task; spills are truncating overwrites, so a
+  // retried or speculatively-duplicated attempt leaves identical state.
   std::vector<double> map_durations;
   map_durations.reserve(map_tasks);
+  auto run_map_attempt = [&](u32 m) {
+    if (SDB_INJECT("mr.map.fail")) throw fault::InjectedFault("mr.map.fail");
+    std::vector<std::vector<KV>> buckets(reduce_tasks);
+    const MRJob::Emit emit = [&](std::string key, std::string value) {
+      const u32 r = static_cast<u32>(key_hash(key) % reduce_tasks);
+      buckets[r].push_back(KV{std::move(key), std::move(value)});
+    };
+    mapper_(m, input_splits[m], emit);
+    for (u32 r = 0; r < reduce_tasks; ++r) {
+      std::sort(buckets[r].begin(), buckets[r].end(),
+                [](const KV& a, const KV& b) { return a.key < b.key; });
+      if (combiner_) {
+        // Map-side combine on the sorted bucket: group adjacent keys and
+        // replace each group with the combiner's output.
+        std::vector<KV> combined;
+        const MRJob::Emit emit = [&](std::string key, std::string value) {
+          combined.push_back(KV{std::move(key), std::move(value)});
+        };
+        size_t i = 0;
+        while (i < buckets[r].size()) {
+          size_t j = i;
+          std::vector<std::string> values;
+          while (j < buckets[r].size() &&
+                 buckets[r][j].key == buckets[r][i].key) {
+            values.push_back(std::move(buckets[r][j].value));
+            ++j;
+          }
+          combiner_(buckets[r][i].key, values, emit);
+          i = j;
+        }
+        buckets[r] = std::move(combined);
+      }
+      write_kv_run(spill_path(m, r), buckets[r]);
+    }
+  };
   for (u32 m = 0; m < map_tasks; ++m) {
     WorkCounters wc;
-    {
-      ScopedCounters scope(&wc);
-      std::vector<std::vector<KV>> buckets(reduce_tasks);
-      const MRJob::Emit emit = [&](std::string key, std::string value) {
-        const u32 r = static_cast<u32>(key_hash(key) % reduce_tasks);
-        buckets[r].push_back(KV{std::move(key), std::move(value)});
-      };
-      mapper_(m, input_splits[m], emit);
-      for (u32 r = 0; r < reduce_tasks; ++r) {
-        std::sort(buckets[r].begin(), buckets[r].end(),
-                  [](const KV& a, const KV& b) { return a.key < b.key; });
-        if (combiner_) {
-          // Map-side combine on the sorted bucket: group adjacent keys and
-          // replace each group with the combiner's output.
-          std::vector<KV> combined;
-          const MRJob::Emit emit = [&](std::string key, std::string value) {
-            combined.push_back(KV{std::move(key), std::move(value)});
-          };
-          size_t i = 0;
-          while (i < buckets[r].size()) {
-            size_t j = i;
-            std::vector<std::string> values;
-            while (j < buckets[r].size() &&
-                   buckets[r][j].key == buckets[r][i].key) {
-              values.push_back(std::move(buckets[r][j].value));
-              ++j;
-            }
-            combiner_(buckets[r][i].key, values, emit);
-            i = j;
+    RetryStats stats;
+    retry_call(
+        config_.task_retry, /*seed=*/m,
+        [&] {
+          WorkCounters attempt_wc;
+          {
+            ScopedCounters scope(&attempt_wc);
+            run_map_attempt(m);
           }
-          buckets[r] = std::move(combined);
-        }
-        write_kv_run(spill_path(m, r), buckets[r]);
-      }
+          wc = attempt_wc;  // only the surviving attempt's work is charged
+          return 0;
+        },
+        &stats);
+    metrics_.map_retries += stats.retries;
+    if (SDB_INJECT("mr.map.duplicate")) {
+      // Speculative execution: the same task runs again elsewhere; both
+      // copies spill, the later overwrite is byte-identical. The duplicate
+      // retries its own injected failures like any attempt.
+      RetryStats dup_stats;
+      retry_call(
+          config_.task_retry, /*seed=*/map_tasks + m,
+          [&] {
+            ScopedCounters scope(&wc);  // duplicate work is real, charge it
+            run_map_attempt(m);
+            return 0;
+          },
+          &dup_stats);
+      metrics_.map_retries += dup_stats.retries;
+      ++metrics_.duplicate_map_tasks;
     }
     metrics_.spill_bytes += wc.bytes_written;
-    map_durations.push_back(config_.task_overhead_s +
+    map_durations.push_back(config_.task_overhead_s * stats.attempts +
+                            stats.backoff_s +
                             config_.cost.compute_seconds(wc));
   }
   metrics_.map.tasks = map_tasks;
@@ -123,22 +157,41 @@ std::vector<KV> MRJob::run(const std::vector<std::string>& input_splits) {
   metrics_.map.sim_makespan_s =
       minispark::list_schedule_makespan(map_durations, config_.cores);
 
-  // ---- Shuffle + sort + reduce phase.
+  // ---- Shuffle + sort + reduce phase. Spills are deleted only after the
+  // whole job succeeds, so a failed reduce attempt can always re-read them
+  // (Hadoop keeps map output until the job commits, for exactly this
+  // reason).
   std::vector<KV> output;
   std::vector<double> reduce_durations;
   reduce_durations.reserve(reduce_tasks);
+  std::vector<std::string> spent_spills;
   double shuffle_s = 0.0;
   for (u32 r = 0; r < reduce_tasks; ++r) {
     WorkCounters wc;
     std::vector<KV> records;
+    double shuffle_backoff_s = 0.0;
     {
       ScopedCounters scope(&wc);
       // Remote read of every map task's spill for this partition. The disk
-      // read is physical; the network hop is priced via net_bytes.
+      // read is physical; the network hop is priced via net_bytes. A
+      // transient remote-read failure (site mr.shuffle.fail) is retried
+      // with backoff like a real fetch failure.
       for (u32 m = 0; m < map_tasks; ++m) {
         const std::string path = spill_path(m, r);
-        std::vector<KV> run = read_kv_run(path);
-        fs::remove(path);
+        RetryStats fetch_stats;
+        std::vector<KV> run = retry_call(
+            config_.task_retry,
+            /*seed=*/static_cast<u64>(m) * 1000003ull + r,
+            [&] {
+              if (SDB_INJECT("mr.shuffle.fail")) {
+                throw fault::InjectedFault("mr.shuffle.fail");
+              }
+              return read_kv_run(path);
+            },
+            &fetch_stats);
+        metrics_.shuffle_retries += fetch_stats.retries;
+        shuffle_backoff_s += fetch_stats.backoff_s;
+        spent_spills.push_back(path);
         for (auto& kv : run) records.push_back(std::move(kv));
       }
       u64 bytes = 0;
@@ -150,29 +203,50 @@ std::vector<KV> MRJob::run(const std::vector<std::string>& input_splits) {
       std::stable_sort(records.begin(), records.end(),
                        [](const KV& a, const KV& b) { return a.key < b.key; });
     }
-    shuffle_s += config_.cost.compute_seconds(wc);
+    shuffle_s += config_.cost.compute_seconds(wc) + shuffle_backoff_s;
 
     WorkCounters rc;
-    {
-      ScopedCounters scope(&rc);
-      const MRJob::Emit emit = [&](std::string key, std::string value) {
-        output.push_back(KV{std::move(key), std::move(value)});
-      };
-      size_t i = 0;
-      while (i < records.size()) {
-        size_t j = i;
-        std::vector<std::string> values;
-        while (j < records.size() && records[j].key == records[i].key) {
-          values.push_back(std::move(records[j].value));
-          ++j;
-        }
-        reducer_(records[i].key, values, emit);
-        i = j;
-      }
-    }
-    reduce_durations.push_back(config_.task_overhead_s +
+    RetryStats stats;
+    std::vector<KV> task_output;
+    retry_call(
+        config_.task_retry, /*seed=*/7919ull + r,
+        [&] {
+          // The injected failure fires before any record is consumed, so a
+          // retry sees `records` untouched (reducer runs move values out).
+          if (SDB_INJECT("mr.reduce.fail")) {
+            throw fault::InjectedFault("mr.reduce.fail");
+          }
+          task_output.clear();
+          WorkCounters attempt_rc;
+          {
+            ScopedCounters scope(&attempt_rc);
+            const MRJob::Emit emit = [&](std::string key, std::string value) {
+              task_output.push_back(KV{std::move(key), std::move(value)});
+            };
+            size_t i = 0;
+            while (i < records.size()) {
+              size_t j = i;
+              std::vector<std::string> values;
+              while (j < records.size() && records[j].key == records[i].key) {
+                values.push_back(std::move(records[j].value));
+                ++j;
+              }
+              reducer_(records[i].key, values, emit);
+              i = j;
+            }
+          }
+          rc = attempt_rc;
+          return 0;
+        },
+        &stats);
+    metrics_.reduce_retries += stats.retries;
+    for (auto& kv : task_output) output.push_back(std::move(kv));
+    reduce_durations.push_back(config_.task_overhead_s * stats.attempts +
+                               stats.backoff_s +
                                config_.cost.compute_seconds(rc));
   }
+  // Job commit: map outputs are no longer needed.
+  for (const std::string& path : spent_spills) fs::remove(path);
   metrics_.reduce.tasks = reduce_tasks;
   for (const double d : reduce_durations) {
     metrics_.reduce.sim_total_s += d;

@@ -14,6 +14,12 @@
 // Like minispark, execution is real and results exact; phase durations are
 // also accounted on the simulated cluster clock so the Spark/MapReduce
 // comparison (Figure 7) is apples-to-apples.
+// Failure semantics: map/reduce task attempts that fail (fault sites
+// mr.map.fail / mr.reduce.fail / mr.shuffle.fail) are re-executed under a
+// bounded backoff policy, exactly Hadoop's task-retry story. Re-execution
+// is idempotent: spills are truncating overwrites and are deleted only
+// after the whole job succeeds, and mr.map.duplicate speculatively runs a
+// map task twice to prove the output is execution-count-invariant.
 #pragma once
 
 #include <functional>
@@ -23,6 +29,7 @@
 
 #include "minispark/cost_model.hpp"
 #include "util/common.hpp"
+#include "util/retry.hpp"
 
 namespace sdb::mapreduce {
 
@@ -38,6 +45,11 @@ struct MRConfig {
   double job_startup_s = 2.5;
   /// Per-task JVM/launch overhead (Hadoop reuses JVMs poorly by default).
   double task_overhead_s = 0.15;
+
+  /// Bounded backoff applied to failed map/reduce attempts and shuffle
+  /// reads; retries re-pay the task overhead and their backoff is charged
+  /// to the task's simulated duration.
+  RetryPolicy task_retry;
 
   minispark::CostModel cost;  ///< shared op/disk/network pricing
 };
@@ -57,6 +69,10 @@ struct MRJobMetrics {
   u64 spill_bytes = 0;          ///< map-side bytes written to disk
   u64 shuffle_bytes = 0;        ///< bytes moved map->reduce
   double sim_total_s = 0.0;     ///< startup + map + shuffle + reduce
+  u32 map_retries = 0;          ///< failed map attempts that were re-run
+  u32 reduce_retries = 0;       ///< failed reduce attempts that were re-run
+  u32 shuffle_retries = 0;      ///< failed spill reads that were re-run
+  u32 duplicate_map_tasks = 0;  ///< speculative duplicate map executions
 };
 
 /// One key-value record. Values are opaque byte strings (the serialized

@@ -25,9 +25,19 @@ struct ClusterConfig {
 
   /// Fraction of task *attempts* that are injected to fail (fault-tolerance
   /// exercises). Failed tasks are recomputed from lineage up to
-  /// `max_task_attempts` times.
+  /// `max_task_attempts` times. The FaultPlan sites `spark.task.fail`,
+  /// `spark.task.hang`, `spark.acc.lost` and `spark.task.duplicate`
+  /// (fault/fault_plan.hpp) feed the same retry loop.
   double fault_injection_rate = 0.0;
   u32 max_task_attempts = 4;
+
+  /// Simulated duration of a task stalled by the `spark.task.hang` site.
+  double task_hang_s = 30.0;
+  /// Per-task timeout on the simulated clock: a hung task whose stall
+  /// reaches the timeout is declared dead by the driver and re-executed
+  /// (speculative-execution semantics). 0 = no timeout — a hang just makes
+  /// the task slow (a straggler).
+  double task_timeout_s = 10.0;
 
   /// Seed for straggler sampling and fault injection.
   u64 seed = 42;

@@ -26,6 +26,8 @@ struct JobMetrics {
   u32 num_stages = 1;      ///< narrow-only lineage -> always 1 here
   u32 lineage_depth = 0;
   u32 failures_injected = 0;
+  u32 timeouts = 0;          ///< task attempts declared dead by the timeout
+  u32 duplicated_tasks = 0;  ///< speculative duplicate executions injected
 
   double wall_s = 0.0;
 

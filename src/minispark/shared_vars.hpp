@@ -16,7 +16,9 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <set>
 
+#include "fault/injection.hpp"
 #include "util/common.hpp"
 #include "util/counters.hpp"
 
@@ -56,9 +58,46 @@ class Accumulator {
   /// Fold `delta` into the accumulator. `bytes` is the serialized size of
   /// the delta, charged to the calling task's network counter (accumulator
   /// updates ride the task-completion message in Spark).
+  ///
+  /// Fault site `spark.acc.lost`: the update message is dropped in flight —
+  /// the delta is NOT applied and fault::InjectedFault propagates to the
+  /// task runner, which treats the task attempt as failed and re-executes
+  /// it (the update rides the task-completion message, so a lost update IS
+  /// a failed task from the driver's point of view).
   void add(T delta, u64 bytes) {
+    if (SDB_INJECT("spark.acc.lost")) {
+      {
+        const std::scoped_lock lock(mutex_);
+        ++lost_updates_;
+      }
+      throw fault::InjectedFault("spark.acc.lost");
+    }
     counters::net_bytes(bytes);
     const std::scoped_lock lock(mutex_);
+    merge_(value_, std::move(delta));
+    total_bytes_ += bytes;
+    ++updates_;
+  }
+
+  /// Idempotent add: at most one update per `tag` is ever applied, no matter
+  /// how many task attempts or speculative duplicates deliver it. Tag with
+  /// the task/partition id to make re-execution and duplicate execution
+  /// exact — Spark's own accumulator dedup for actions. A dropped duplicate
+  /// still pays its network bytes (the message was shipped, then ignored).
+  void add_once(u64 tag, T delta, u64 bytes) {
+    if (SDB_INJECT("spark.acc.lost")) {
+      {
+        const std::scoped_lock lock(mutex_);
+        ++lost_updates_;
+      }
+      throw fault::InjectedFault("spark.acc.lost");
+    }
+    counters::net_bytes(bytes);
+    const std::scoped_lock lock(mutex_);
+    if (!applied_tags_.insert(tag).second) {
+      ++duplicates_ignored_;
+      return;
+    }
     merge_(value_, std::move(delta));
     total_bytes_ += bytes;
     ++updates_;
@@ -69,13 +108,26 @@ class Accumulator {
   [[nodiscard]] T& mutable_value() { return value_; }
   [[nodiscard]] u64 total_bytes() const { return total_bytes_; }
   [[nodiscard]] u64 updates() const { return updates_; }
+  /// Updates dropped by the `spark.acc.lost` fault site.
+  [[nodiscard]] u64 lost_updates() const {
+    const std::scoped_lock lock(mutex_);
+    return lost_updates_;
+  }
+  /// Tagged updates ignored because their tag was already applied.
+  [[nodiscard]] u64 duplicates_ignored() const {
+    const std::scoped_lock lock(mutex_);
+    return duplicates_ignored_;
+  }
 
  private:
   T value_;
   Merge merge_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
+  std::set<u64> applied_tags_;
   u64 total_bytes_ = 0;
   u64 updates_ = 0;
+  u64 lost_updates_ = 0;
+  u64 duplicates_ignored_ = 0;
 };
 
 /// Convenience numeric sum accumulator.

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "dfs/mini_dfs.hpp"
+#include "fault/injection.hpp"
 #include "minispark/cluster_config.hpp"
 #include "minispark/metrics.hpp"
 #include "minispark/rdd.hpp"
@@ -116,22 +117,58 @@ class SparkContext {
         TaskMetrics tm;
         tm.partition = p;
         Stopwatch wall;
+        double stall_sim_s = 0.0;  // hang stalls + timeout waits
         for (u32 attempt = 1;; ++attempt) {
           tm.attempts = attempt;
-          if (attempt < cfg_.max_task_attempts &&
-              inject_fault(job.job_id, p, attempt)) {
+          const bool can_retry = attempt < cfg_.max_task_attempts;
+          if (can_retry && (inject_fault(job.job_id, p, attempt) ||
+                            SDB_INJECT("spark.task.fail"))) {
             // Simulated task loss: lineage makes recomputation trivially
             // correct, so "recovery" is literally running compute again.
             const std::scoped_lock lock(metrics_mutex);
             ++job.failures_injected;
             continue;
           }
+          if (SDB_INJECT("spark.task.hang")) {
+            // The task stalls on the simulated clock. With a timeout
+            // configured, the driver declares the attempt dead once the
+            // stall reaches it and re-executes from lineage; otherwise the
+            // task is merely a straggler.
+            if (can_retry && cfg_.task_timeout_s > 0.0 &&
+                cfg_.task_hang_s >= cfg_.task_timeout_s) {
+              stall_sim_s += cfg_.task_timeout_s;  // time burned waiting
+              const std::scoped_lock lock(metrics_mutex);
+              ++job.timeouts;
+              continue;
+            }
+            stall_sim_s += cfg_.task_hang_s;
+          }
           WorkCounters wc;
-          {
+          bool attempt_ok = true;
+          try {
             ScopedCounters scope(&wc);
             std::vector<T> data = rdd.materialize(p);
             results[p] = fn(p, std::move(data));
+            if (SDB_INJECT("spark.task.duplicate")) {
+              // Speculative duplicate: the whole task runs a second time
+              // (both copies' work is physical). Exactness relies on
+              // deterministic lineage plus idempotent accumulator merge
+              // (Accumulator::add_once) — verified by the chaos suite.
+              std::vector<T> dup = rdd.materialize(p);
+              results[p] = fn(p, std::move(dup));
+              const std::scoped_lock lock(metrics_mutex);
+              ++job.duplicated_tasks;
+            }
+          } catch (const fault::InjectedFault&) {
+            // An in-task fault (e.g. a lost accumulator update) fails the
+            // attempt; the driver re-executes from lineage. Exhausted
+            // attempts propagate — faults beyond the retry budget are real.
+            attempt_ok = false;
+            if (!can_retry) throw;
+            const std::scoped_lock lock(metrics_mutex);
+            ++job.failures_injected;
           }
+          if (!attempt_ok) continue;
           tm.counters = wc;
           break;
         }
@@ -140,8 +177,8 @@ class SparkContext {
                      cfg_.cost.compute_seconds(tm.counters) +
                      cfg_.cost.transfer_seconds(result_bytes_per_task);
         const double factor = straggle_factor(job.job_id, p);
-        tm.straggled = factor > 1.0;
-        sim *= factor;
+        tm.straggled = factor > 1.0 || stall_sim_s > 0.0;
+        sim = sim * factor + stall_sim_s;
         tm.sim_s = sim;
         tm.locality_hit = locality_hit(rdd, p);
         {

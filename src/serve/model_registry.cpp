@@ -1,5 +1,7 @@
 #include "serve/model_registry.hpp"
 
+#include "fault/injection.hpp"
+
 namespace sdb::serve {
 
 ModelRegistry::ModelRegistry(Config config, int dim)
@@ -13,6 +15,15 @@ ModelRegistry::ModelRegistry(Config config, int dim)
   // Publish an empty snapshot so model() is never null.
   const std::scoped_lock lock(writer_mu_);
   publish_locked();
+}
+
+bool ModelRegistry::write_available() {
+  if (stalled_.load(std::memory_order_acquire) ||
+      SDB_INJECT("serve.registry.stall")) {
+    stall_rejections_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
 }
 
 PointId ModelRegistry::insert(std::span<const double> coords) {

@@ -53,6 +53,20 @@ class ModelRegistry {
   }
 
   /// --- write side (internally serialized; call from any thread) ---
+  /// True when the writer can accept a mutation right now. False while the
+  /// writer is stalled — set_stalled(true) (ops drain, maintenance) or an
+  /// injected `serve.registry.stall` fault — in which case callers should
+  /// degrade gracefully: keep serving reads from the current snapshot and
+  /// reject mutations with a backpressure signal instead of blocking
+  /// (serve::ReplyStatus::kDegraded). Each refusal is counted.
+  [[nodiscard]] bool write_available();
+  void set_stalled(bool stalled) {
+    stalled_.store(stalled, std::memory_order_release);
+  }
+  [[nodiscard]] u64 stall_rejections() const {
+    return stall_rejections_.load(std::memory_order_relaxed);
+  }
+
   /// Insert a point into the live clustering; returns its id. May publish
   /// (epoch cadence).
   PointId insert(std::span<const double> coords);
@@ -82,6 +96,8 @@ class ModelRegistry {
   u64 publishes_ = 0;
   std::atomic<std::shared_ptr<const ClusterModel>> current_;
   std::atomic<u64> epoch_{0};
+  std::atomic<bool> stalled_{false};
+  std::atomic<u64> stall_rejections_{0};
 };
 
 }  // namespace sdb::serve

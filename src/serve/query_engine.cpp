@@ -111,6 +111,15 @@ Reply QueryEngine::execute(const Request& request) {
         reply.status = ReplyStatus::kInvalid;
         return reply;
       }
+      // Graceful degradation: a stalled registry writer must not block a
+      // worker thread (that would cascade into shed reads). Refuse the
+      // mutation with an explicit signal; reads keep flowing from the last
+      // published snapshot.
+      if (!registry_.write_available()) {
+        reply.status = ReplyStatus::kDegraded;
+        reply.epoch = registry_.epoch();
+        return reply;
+      }
       reply.id = registry_.insert(request.point);
       reply.epoch = registry_.epoch();
       reply.status = ReplyStatus::kOk;
@@ -118,6 +127,11 @@ Reply QueryEngine::execute(const Request& request) {
     }
     case RequestType::kRemove: {
       reply.id = request.id;
+      if (!registry_.write_available()) {
+        reply.status = ReplyStatus::kDegraded;
+        reply.epoch = registry_.epoch();
+        return reply;
+      }
       reply.status = registry_.try_remove(request.id) ? ReplyStatus::kOk
                                                       : ReplyStatus::kNotFound;
       reply.epoch = registry_.epoch();
@@ -160,6 +174,9 @@ void QueryEngine::complete(const Request& request, const Reply& reply,
   if (reply.status == ReplyStatus::kInvalid) {
     invalid_.fetch_add(1, std::memory_order_relaxed);
   }
+  if (reply.status == ReplyStatus::kDegraded) {
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 MetricsSnapshot QueryEngine::metrics() const {
@@ -169,6 +186,7 @@ MetricsSnapshot QueryEngine::metrics() const {
   m.shed = shed_.load(std::memory_order_relaxed);
   m.completed = completed_.load(std::memory_order_relaxed);
   m.invalid = invalid_.load(std::memory_order_relaxed);
+  m.degraded = degraded_.load(std::memory_order_relaxed);
   m.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   m.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   for (size_t t = 0; t < kRequestTypes; ++t) {

@@ -45,6 +45,8 @@ enum class ReplyStatus : u32 {
   kOverloaded,  ///< shed at admission (backpressure)
   kNotFound,    ///< remove of an unknown/already-removed id
   kInvalid,     ///< malformed request (bad dimension, bad id)
+  kDegraded,    ///< registry writer stalled: mutation refused, reads (from
+                ///< the last published snapshot) unaffected
 };
 
 struct Request {
@@ -67,6 +69,7 @@ struct MetricsSnapshot {
   u64 shed = 0;       ///< rejected at admission
   u64 completed = 0;
   u64 invalid = 0;
+  u64 degraded = 0;   ///< mutations refused while the registry writer stalled
   u64 cache_hits = 0;
   u64 cache_misses = 0;
   std::array<u64, kRequestTypes> by_type{};
@@ -136,6 +139,7 @@ class QueryEngine {
   std::atomic<u64> shed_{0};
   std::atomic<u64> completed_{0};
   std::atomic<u64> invalid_{0};
+  std::atomic<u64> degraded_{0};
   std::atomic<u64> cache_hits_{0};
   std::atomic<u64> cache_misses_{0};
   std::array<std::atomic<u64>, kRequestTypes> by_type_{};

@@ -31,6 +31,7 @@ struct WorkCounters {
   u64 bytes_written = 0;     ///< bytes written to (mini-)DFS or spill files
   u64 net_bytes = 0;         ///< bytes shipped executor<->driver (network)
   u64 codec_bytes = 0;       ///< bytes pushed through (de)serialization CPU
+  u64 dfs_failovers = 0;     ///< reads that skipped a dead primary replica
 
   WorkCounters& operator+=(const WorkCounters& o) {
     distance_evals += o.distance_evals;
@@ -44,6 +45,7 @@ struct WorkCounters {
     bytes_written += o.bytes_written;
     net_bytes += o.net_bytes;
     codec_bytes += o.codec_bytes;
+    dfs_failovers += o.dfs_failovers;
     return *this;
   }
 
@@ -90,6 +92,9 @@ inline void net_bytes(u64 n) {
 }
 inline void codec_bytes(u64 n) {
   if (WorkCounters* c = active()) c->codec_bytes += n;
+}
+inline void dfs_failovers(u64 n) {
+  if (WorkCounters* c = active()) c->dfs_failovers += n;
 }
 
 }  // namespace counters

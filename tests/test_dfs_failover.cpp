@@ -6,6 +6,8 @@
 #include <filesystem>
 
 #include "dfs/mini_dfs.hpp"
+#include "fault/fault_plan.hpp"
+#include "util/counters.hpp"
 
 namespace sdb::dfs {
 namespace {
@@ -73,6 +75,88 @@ TEST_F(DfsFailoverTest, TextSplitsAlsoFailOver) {
   }
   EXPECT_EQ(reassembled, content);
 }
+
+TEST_F(DfsFailoverTest, PartialReplicaLossOneHealthyReplicaServesAndCounts) {
+  // Regression: lose replicas down to a SINGLE healthy one and the read
+  // must still succeed, with every skipped dead primary accounted both in
+  // the MiniDfs failover tally and in the thread-local WorkCounters metric
+  // (so the cost model sees failover reads on the executor data path).
+  MiniDfs dfs(root_, 8, /*datanodes=*/4, /*replication=*/3);
+  const std::string content(24, 'z');  // 3 blocks: replicas {0,1,2},{1,2,3},{2,3,0}
+  dfs.write("/f", content);
+  // Block 0 keeps exactly one healthy replica (node 2).
+  dfs.fail_datanode(0);
+  dfs.fail_datanode(1);
+  EXPECT_EQ(dfs.failovers(), 0u);
+  WorkCounters wc;
+  {
+    ScopedCounters scope(&wc);
+    EXPECT_EQ(dfs.read("/f"), content);
+  }
+  // Blocks 0 and 1 both had dead primaries; block 2's primary (node 2) is
+  // alive. The counters metric mirrors the DFS-side tally exactly.
+  EXPECT_EQ(dfs.failovers(), 2u);
+  EXPECT_EQ(wc.dfs_failovers, 2u);
+  // Reads outside a counter scope still fail over (metric is best-effort).
+  EXPECT_EQ(dfs.read_block("/f", 0), content.substr(0, 8));
+  EXPECT_EQ(dfs.failovers(), 3u);
+  EXPECT_EQ(wc.dfs_failovers, 2u);
+}
+
+#ifdef SDB_FAULT_INJECTION
+TEST_F(DfsFailoverTest, InjectedReadFaultsAreRetriedToSuccess) {
+  MiniDfs dfs(root_, 8, 4, 3);
+  const std::string content(32, 'r');
+  dfs.write("/f", content);
+  fault::ScopedFaultPlan chaos(
+      "seed=31;dfs.read.fail:p=0.5,budget=3;dfs.read.slow:every=2,budget=4");
+  EXPECT_EQ(dfs.read("/f"), content);  // recovery is internal
+  EXPECT_EQ(dfs.io_retries(), chaos.plan().fires("dfs.read.fail"));
+  EXPECT_GT(dfs.io_retries(), 0u);
+  EXPECT_GT(dfs.io_backoff_s(), 0.0);
+  EXPECT_GT(dfs.slow_reads(), 0u);
+}
+
+TEST_F(DfsFailoverTest, InjectedReadFaultBeyondRetryBudgetEscapes) {
+  MiniDfs dfs(root_, 8, 4, 3);
+  dfs.write("/f", "payload");
+  RetryPolicy tight;
+  tight.max_attempts = 2;
+  dfs.set_io_retry(tight);
+  fault::ScopedFaultPlan chaos("seed=32;dfs.read.fail");  // every attempt
+  EXPECT_THROW((void)dfs.read("/f"), DfsTransientError);
+}
+
+TEST_F(DfsFailoverTest, TornWriteIsRewrittenByRetry) {
+  MiniDfs dfs(root_, 8, 4, 3);
+  const std::string content(24, 'w');
+  {
+    fault::ScopedFaultPlan chaos("seed=33;dfs.write.torn:every=2,budget=2");
+    dfs.write("/f", content);
+    EXPECT_EQ(dfs.torn_writes(), 2u);
+  }
+  // Every block checksum-verifies and reads back whole: the torn halves
+  // were overwritten by the retried full-block writes.
+  EXPECT_TRUE(dfs.verify("/f").empty());
+  EXPECT_EQ(dfs.read("/f"), content);
+}
+
+TEST_F(DfsFailoverTest, InjectedReplicaFaultUsesTheFailoverPath) {
+  MiniDfs dfs(root_, 8, 4, 3);
+  const std::string content(16, 'q');
+  dfs.write("/f", content);  // all datanodes healthy
+  fault::ScopedFaultPlan chaos("seed=34;dfs.read.replica:budget=1");
+  WorkCounters wc;
+  {
+    ScopedCounters scope(&wc);
+    EXPECT_EQ(dfs.read("/f"), content);
+  }
+  // The injected dead-primary is indistinguishable from a real one to the
+  // accounting: same failover tally, same counters metric.
+  EXPECT_EQ(dfs.failovers(), 1u);
+  EXPECT_EQ(wc.dfs_failovers, 1u);
+}
+#endif  // SDB_FAULT_INJECTION
 
 TEST_F(DfsFailoverTest, ReplicationOneIsFragile) {
   MiniDfs dfs(root_, 8, 4, 1);

@@ -1,0 +1,198 @@
+// FaultPlan unit tests: spec grammar round-trip, per-site schedule semantics
+// (p / every / after / budget), stream independence between sites, ordered
+// fault log + replay digest, and the process-wide installation contract
+// behind SDB_INJECT.
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sdb::fault {
+namespace {
+
+TEST(FaultPlanSpec, ParseSerializeFixedPoint) {
+  const std::string spec =
+      "seed=42;dfs.read.fail:p=0.1,budget=3;spark.task.fail:every=5,after=2";
+  FaultPlan plan = FaultPlan::parse(spec);
+  EXPECT_EQ(plan.seed(), 42u);
+  // parse(spec()).spec() is a fixed point of the grammar.
+  const std::string round1 = plan.spec();
+  const std::string round2 = FaultPlan::parse(round1).spec();
+  EXPECT_EQ(round1, round2);
+  // The canonical form preserves every schedule field.
+  EXPECT_NE(round1.find("seed=42"), std::string::npos);
+  EXPECT_NE(round1.find("dfs.read.fail"), std::string::npos);
+  EXPECT_NE(round1.find("budget=3"), std::string::npos);
+  EXPECT_NE(round1.find("every=5"), std::string::npos);
+  EXPECT_NE(round1.find("after=2"), std::string::npos);
+}
+
+TEST(FaultPlanSpec, BareSiteMeansAlwaysFire) {
+  FaultPlan plan = FaultPlan::parse("seed=1;site.a");
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(plan.should_fire("site.a"));
+  EXPECT_EQ(plan.fires("site.a"), 10u);
+}
+
+TEST(FaultPlanSpec, ProbabilityRoundTripsExactly) {
+  FaultPlan plan = FaultPlan::parse("seed=9;s:p=0.123456789012345");
+  FaultPlan replay = FaultPlan::parse(plan.spec());
+  // Bit-exact probability round-trip: both plans make identical draws.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(plan.should_fire("s"), replay.should_fire("s")) << "hit " << i;
+  }
+}
+
+TEST(FaultPlanSpec, MalformedSpecAborts) {
+  EXPECT_DEATH((void)FaultPlan::parse("seed=42;s:p=notanumber"), "");
+  EXPECT_DEATH((void)FaultPlan::parse("seed=42;s:bogus_key=1"), "");
+}
+
+TEST(FaultPlanSchedule, UnnamedSitesNeverFire) {
+  FaultPlan plan = FaultPlan::parse("seed=3;named.site");
+  EXPECT_FALSE(plan.should_fire("other.site"));
+  EXPECT_EQ(plan.fires(), 0u);
+  EXPECT_EQ(plan.hits(), 1u);  // the hit is still counted globally
+  EXPECT_EQ(plan.hits("other.site"), 0u);
+}
+
+TEST(FaultPlanSchedule, EveryNthFiresDeterministically) {
+  FaultPlan plan = FaultPlan::parse("seed=5;s:every=3");
+  std::vector<int> fired_hits;
+  for (int hit = 1; hit <= 12; ++hit) {
+    if (plan.should_fire("s")) fired_hits.push_back(hit);
+  }
+  EXPECT_EQ(fired_hits, (std::vector<int>{3, 6, 9, 12}));
+}
+
+TEST(FaultPlanSchedule, AfterSkipsEarlyHits) {
+  FaultPlan plan = FaultPlan::parse("seed=5;s:after=4");
+  for (int hit = 1; hit <= 4; ++hit) EXPECT_FALSE(plan.should_fire("s"));
+  EXPECT_TRUE(plan.should_fire("s"));  // hit 5 is the first eligible hit
+}
+
+TEST(FaultPlanSchedule, BudgetBoundsTotalFires) {
+  FaultPlan plan = FaultPlan::parse("seed=5;s:budget=2");
+  u64 fires = 0;
+  for (int i = 0; i < 50; ++i) fires += plan.should_fire("s") ? 1 : 0;
+  EXPECT_EQ(fires, 2u);
+  EXPECT_EQ(plan.fires("s"), 2u);
+  EXPECT_EQ(plan.hits("s"), 50u);
+}
+
+TEST(FaultPlanSchedule, ProbabilityIsSeededAndReproducible) {
+  auto run = [](u64 seed) {
+    FaultPlan plan(seed);
+    plan.add_site({.site = "s", .probability = 0.3});
+    std::vector<bool> decisions;
+    for (int i = 0; i < 100; ++i) decisions.push_back(plan.should_fire("s"));
+    return decisions;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+  // p=0.3 over 100 draws fires a plausible number of times.
+  const auto d = run(7);
+  const auto fires = std::count(d.begin(), d.end(), true);
+  EXPECT_GT(fires, 10);
+  EXPECT_LT(fires, 60);
+}
+
+TEST(FaultPlanSchedule, SitesHavePrivateRngStreams) {
+  // Interleaving hits at a second site must not perturb the first site's
+  // firing sequence — each site draws from its own derived stream.
+  auto run = [](bool interleave) {
+    FaultPlan plan(11);
+    plan.add_site({.site = "a", .probability = 0.5});
+    plan.add_site({.site = "b", .probability = 0.5});
+    std::vector<bool> a_decisions;
+    for (int i = 0; i < 100; ++i) {
+      if (interleave) (void)plan.should_fire("b");
+      a_decisions.push_back(plan.should_fire("a"));
+    }
+    return a_decisions;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(FaultPlanLog, RecordsOrderedFiresAndDigestMatchesOnReplay) {
+  const std::string spec = "seed=21;a:p=0.4;b:every=2";
+  auto run = [&spec] {
+    FaultPlan plan = FaultPlan::parse(spec);
+    for (int i = 0; i < 40; ++i) {
+      (void)plan.should_fire("a");
+      (void)plan.should_fire("b");
+    }
+    return std::pair<std::vector<FaultEvent>, u64>(plan.log(),
+                                                   plan.log_digest());
+  };
+  const auto [log1, digest1] = run();
+  const auto [log2, digest2] = run();
+  ASSERT_FALSE(log1.empty());
+  ASSERT_EQ(log1.size(), log2.size());
+  for (size_t i = 0; i < log1.size(); ++i) {
+    EXPECT_EQ(log1[i].site, log2[i].site);
+    EXPECT_EQ(log1[i].hit, log2[i].hit);
+    EXPECT_EQ(log1[i].fire, log2[i].fire);
+  }
+  EXPECT_EQ(digest1, digest2);
+  // A different seed produces a different fault sequence (with overwhelming
+  // probability over 40 probabilistic draws).
+  FaultPlan other = FaultPlan::parse("seed=22;a:p=0.4;b:every=2");
+  for (int i = 0; i < 40; ++i) {
+    (void)other.should_fire("a");
+    (void)other.should_fire("b");
+  }
+  EXPECT_NE(digest1, other.log_digest());
+}
+
+TEST(FaultPlanInstall, ScopedInstallAndNestingRestores) {
+  EXPECT_EQ(FaultPlan::active(), nullptr);
+  {
+    ScopedFaultPlan outer("seed=1;x");
+    EXPECT_EQ(FaultPlan::active(), &outer.plan());
+    {
+      ScopedFaultPlan inner("seed=2;y");
+      EXPECT_EQ(FaultPlan::active(), &inner.plan());
+    }
+    EXPECT_EQ(FaultPlan::active(), &outer.plan());
+  }
+  EXPECT_EQ(FaultPlan::active(), nullptr);
+}
+
+TEST(FaultPlanInstall, MaybeInjectRoutesToActivePlan) {
+  // No plan installed: hooks never fire.
+  EXPECT_FALSE(maybe_inject("x"));
+  {
+    ScopedFaultPlan chaos("seed=4;x;y:budget=1");
+    EXPECT_TRUE(maybe_inject("x"));
+    EXPECT_TRUE(maybe_inject("y"));
+    EXPECT_FALSE(maybe_inject("y"));  // budget exhausted
+    EXPECT_FALSE(maybe_inject("unlisted"));
+    EXPECT_EQ(chaos.plan().hits(), 4u);
+  }
+  EXPECT_FALSE(maybe_inject("x"));
+}
+
+#ifdef SDB_FAULT_INJECTION
+TEST(FaultPlanInstall, InjectMacroFiresWhenCompiledIn) {
+  ScopedFaultPlan chaos("seed=6;macro.site");
+  EXPECT_TRUE(SDB_INJECT("macro.site"));
+  EXPECT_FALSE(SDB_INJECT("other.site"));
+}
+#else
+TEST(FaultPlanInstall, InjectMacroIsFalseWhenCompiledOut) {
+  ScopedFaultPlan chaos("seed=6;macro.site");
+  EXPECT_FALSE(SDB_INJECT("macro.site"));
+  EXPECT_EQ(chaos.plan().hits(), 0u);  // macro did not even hit the plan
+}
+#endif
+
+TEST(FaultPlanInstall, InjectedFaultCarriesSiteName) {
+  const InjectedFault fault("spark.task.fail");
+  EXPECT_EQ(fault.site(), "spark.task.fail");
+  EXPECT_NE(fault.what(), nullptr);  // generic tag; site() carries the name
+}
+
+}  // namespace
+}  // namespace sdb::fault

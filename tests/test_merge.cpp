@@ -167,5 +167,74 @@ TEST(Merge, CountersPopulated) {
   EXPECT_GT(merged.counters.merge_ops, 0u);
 }
 
+// Relabel clusters by order of first appearance so two labelings can be
+// compared up to cluster-id renaming (the id assignment is an artifact of
+// processing order; the partition of points is the semantic content).
+std::vector<ClusterId> canonical_labels(const Clustering& clustering) {
+  std::vector<ClusterId> mapping(clustering.num_clusters, -1);
+  std::vector<ClusterId> out;
+  out.reserve(clustering.labels.size());
+  ClusterId next = 0;
+  for (const ClusterId l : clustering.labels) {
+    if (l == kNoise) {
+      out.push_back(kNoise);
+      continue;
+    }
+    if (mapping[static_cast<size_t>(l)] < 0) {
+      mapping[static_cast<size_t>(l)] = next++;
+    }
+    out.push_back(mapping[static_cast<size_t>(l)]);
+  }
+  return out;
+}
+
+// Property (the idempotent-accumulator contract's other half): the driver
+// merge must not care in which order partial results arrive. Task retries,
+// speculative duplicates and scheduling jitter all permute accumulator
+// arrival order, so any order sensitivity here would turn a recovered run
+// into a silently different clustering.
+TEST(Merge, OrderInvariantAcrossArrivalPermutations) {
+  Rng data_rng(321);
+  synth::GaussianMixtureConfig gcfg;
+  gcfg.n = 600;
+  gcfg.dim = 2;
+  gcfg.clusters = 4;
+  gcfg.sigma = 0.4;
+  gcfg.noise_fraction = 0.08;
+  gcfg.box_side = 35.0;
+  const PointSet ps = synth::gaussian_clusters(gcfg, data_rng);
+  const DbscanParams params{0.8, 5};
+  const KdTree tree(ps);
+
+  constexpr u32 kPartitions = 6;
+  const Partitioning partitioning =
+      make_partitioning(PartitionerKind::kBlock, ps, kPartitions, 77);
+  LocalDbscanConfig local_cfg;
+  local_cfg.params = params;
+  local_cfg.seed_strategy = SeedStrategy::kAllForeign;
+  std::vector<LocalClusterResult> locals;
+  for (u32 p = 0; p < kPartitions; ++p) {
+    locals.push_back(local_dbscan(ps, tree, partitioning,
+                                  static_cast<PartitionId>(p), local_cfg));
+  }
+
+  for (const auto strategy :
+       {MergeStrategy::kUnionFind, MergeStrategy::kPaperSinglePass}) {
+    MergeOptions opt;
+    opt.strategy = strategy;
+    const auto baseline =
+        canonical_labels(merge_partial_clusters(locals, ps.size(), opt)
+                             .clustering);
+    for (u64 seed = 1; seed <= 50; ++seed) {
+      std::vector<LocalClusterResult> shuffled = locals;
+      Rng rng(seed);
+      rng.shuffle(shuffled);
+      const auto merged = merge_partial_clusters(shuffled, ps.size(), opt);
+      EXPECT_EQ(canonical_labels(merged.clustering), baseline)
+          << "strategy=" << static_cast<int>(strategy) << " seed=" << seed;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sdb::dbscan

@@ -1,0 +1,105 @@
+// util/retry.hpp: bounded retry with exponential backoff + seeded jitter —
+// the recovery primitive behind MiniDfs block I/O and MapReduce task retry.
+#include "util/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sdb {
+namespace {
+
+TEST(Retry, FirstAttemptSuccessMakesNoRetries) {
+  RetryStats stats;
+  const int result = retry_call(RetryPolicy{}, 1, [] { return 7; }, &stats);
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.backoff_s, 0.0);
+}
+
+TEST(Retry, TransientFailuresAreRetriedUntilSuccess) {
+  int calls = 0;
+  RetryStats stats;
+  const int result = retry_call(
+      RetryPolicy{}, 2,
+      [&calls] {
+        if (++calls < 3) throw std::runtime_error("transient");
+        return calls;
+      },
+      &stats);
+  EXPECT_EQ(result, 3);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_GT(stats.backoff_s, 0.0);
+}
+
+TEST(Retry, PermanentFailureRethrowsAfterMaxAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  RetryStats stats;
+  EXPECT_THROW(retry_call(
+                   policy, 3,
+                   [&calls]() -> int {
+                     ++calls;
+                     throw std::runtime_error("permanent");
+                   },
+                   &stats),
+               std::runtime_error);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3u);
+}
+
+TEST(Retry, BackoffGrowsExponentiallyAndIsCapped) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 0.010;
+  policy.multiplier = 2.0;
+  policy.max_backoff_s = 0.030;
+  policy.jitter = 0.0;  // deterministic schedule
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(backoff_seconds(policy, 1, rng), 0.010);
+  EXPECT_DOUBLE_EQ(backoff_seconds(policy, 2, rng), 0.020);
+  EXPECT_DOUBLE_EQ(backoff_seconds(policy, 3, rng), 0.030);  // capped
+  EXPECT_DOUBLE_EQ(backoff_seconds(policy, 9, rng), 0.030);  // still capped
+}
+
+TEST(Retry, JitterStaysWithinConfiguredBand) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 0.100;
+  policy.jitter = 0.25;
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const double b = backoff_seconds(policy, 1, rng);
+    EXPECT_GE(b, 0.100 * 0.75);
+    EXPECT_LE(b, 0.100 * 1.25);
+  }
+}
+
+TEST(Retry, ScheduleIsReproducibleGivenSeed) {
+  auto total_backoff = [](u64 seed) {
+    RetryStats stats;
+    int calls = 0;
+    RetryPolicy policy;
+    policy.max_attempts = 6;
+    (void)retry_call(
+        policy, seed,
+        [&calls] {
+          if (++calls < 6) throw std::runtime_error("transient");
+          return 0;
+        },
+        &stats);
+    return stats.backoff_s;
+  };
+  EXPECT_DOUBLE_EQ(total_backoff(5), total_backoff(5));
+  EXPECT_NE(total_backoff(5), total_backoff(6));
+}
+
+TEST(Retry, ZeroAttemptPolicyAborts) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  EXPECT_DEATH((void)retry_call(policy, 1, [] { return 0; }), "");
+}
+
+}  // namespace
+}  // namespace sdb

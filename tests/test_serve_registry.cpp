@@ -15,6 +15,7 @@
 #include <atomic>
 #include <thread>
 
+#include "fault/fault_plan.hpp"
 #include "serve/query_engine.hpp"
 #include "synth/generators.hpp"
 #include "util/rng.hpp"
@@ -54,6 +55,42 @@ TEST(ServeRegistry, EpochCadencePublishes) {
   EXPECT_EQ(manual, start + 3);
   EXPECT_EQ(registry.model()->epoch(), manual);
   EXPECT_EQ(registry.model()->summary().total_points, 17u);
+}
+
+TEST(ServeRegistry, EpochSemanticsAtCadenceBoundaries) {
+  // Table-driven boundary sweep: for each cadence c, drive exactly 0, c-1,
+  // c and c+1 mutations and pin down (a) how many automatic publishes
+  // happened, (b) that the published snapshot contains exactly the first
+  // floor(m/c)*c mutations — no torn snapshot exposing a partial epoch —
+  // and (c) that staleness is bounded by one epoch (< c mutations).
+  for (const u64 cadence : {u64{1}, u64{4}, u64{8}, u64{64}}) {
+    for (const u64 offset : {u64{0}, cadence - 1, cadence, cadence + 1}) {
+      const u64 mutations = offset;
+      ModelRegistry registry(small_config(0.08, 4, cadence), 2);
+      const u64 start = registry.epoch();  // construction-time publish
+      Rng rng(100 + cadence);
+      for (u64 i = 0; i < mutations; ++i) {
+        const std::vector<double> p{rng.uniform(), rng.uniform()};
+        registry.insert(p);
+      }
+      const u64 expected_publishes = mutations / cadence;
+      EXPECT_EQ(registry.epoch(), start + expected_publishes)
+          << "cadence=" << cadence << " mutations=" << mutations;
+      const auto snapshot = registry.model();
+      // The snapshot a reader grabs is the one the epoch counter names.
+      EXPECT_EQ(snapshot->epoch(), registry.epoch());
+      // No torn epoch: the snapshot holds exactly the mutations of its
+      // epoch boundary, never a prefix of an unpublished batch.
+      EXPECT_EQ(snapshot->summary().total_points,
+                expected_publishes * cadence)
+          << "cadence=" << cadence << " mutations=" << mutations;
+      // Staleness beyond one epoch is impossible by construction.
+      EXPECT_LT(mutations - snapshot->summary().total_points, cadence);
+      // Catching up manually publishes the remainder.
+      registry.publish();
+      EXPECT_EQ(registry.model()->summary().total_points, mutations);
+    }
+  }
 }
 
 TEST(ServeRegistry, BootstrapMatchesIncrementalSemantics) {
@@ -338,6 +375,75 @@ TEST(ServeEngine, BatchSubmitAdmitsUpToCapacity) {
   EXPECT_EQ(m.shed, 32 - admitted);
   EXPECT_EQ(m.completed, admitted);
 }
+
+TEST(ServeEngine, StalledWriterDegradesMutationsButServesReads) {
+  EngineFixture fx;
+  QueryEngine::Config cfg;
+  cfg.threads = 1;
+  QueryEngine engine(fx.registry, cfg);
+  const u64 mutations_before = fx.registry.mutations();
+  const u64 epoch_before = fx.registry.epoch();
+
+  fx.registry.set_stalled(true);
+
+  // Mutations are refused with the backpressure signal, not blocked. Go
+  // through the async path so the degraded metric is recorded (execute()
+  // is the metric-free synchronous path).
+  Request insert;
+  insert.type = RequestType::kInsert;
+  insert.point = {0.5, 0.5};
+  std::atomic<int> degraded_replies{0};
+  u64 degraded_epoch = 0;
+  ASSERT_TRUE(engine.try_submit(insert, [&](const Reply& reply) {
+    if (reply.status == ReplyStatus::kDegraded) {
+      degraded_replies.fetch_add(1);
+      degraded_epoch = reply.epoch;
+    }
+  }));
+  Request remove;
+  remove.type = RequestType::kRemove;
+  remove.id = 0;
+  ASSERT_TRUE(engine.try_submit(remove, [&](const Reply& reply) {
+    if (reply.status == ReplyStatus::kDegraded) degraded_replies.fetch_add(1);
+  }));
+  engine.drain();
+  EXPECT_EQ(degraded_replies.load(), 2);
+  EXPECT_EQ(degraded_epoch, epoch_before);  // the epoch still being served
+
+  // Reads keep serving from the last published snapshot.
+  Request classify;
+  classify.type = RequestType::kClassify;
+  classify.point = {0.5, 0.5};
+  EXPECT_EQ(engine.execute(classify).status, ReplyStatus::kOk);
+  Request lookup;
+  lookup.type = RequestType::kLookup;
+  lookup.id = 0;
+  EXPECT_EQ(engine.execute(lookup).status, ReplyStatus::kOk);
+
+  EXPECT_EQ(fx.registry.mutations(), mutations_before);  // nothing applied
+  EXPECT_EQ(fx.registry.stall_rejections(), 2u);
+  EXPECT_EQ(engine.metrics().degraded, 2u);
+
+  // Recovery: un-stall and the same mutation goes through.
+  fx.registry.set_stalled(false);
+  EXPECT_EQ(engine.execute(insert).status, ReplyStatus::kOk);
+}
+
+#ifdef SDB_FAULT_INJECTION
+TEST(ServeEngine, InjectedRegistryStallDegradesExactlyPerBudget) {
+  EngineFixture fx;
+  QueryEngine::Config cfg;
+  cfg.threads = 1;
+  QueryEngine engine(fx.registry, cfg);
+  fault::ScopedFaultPlan chaos("seed=41;serve.registry.stall:budget=1");
+  Request insert;
+  insert.type = RequestType::kInsert;
+  insert.point = {0.4, 0.4};
+  EXPECT_EQ(engine.execute(insert).status, ReplyStatus::kDegraded);
+  EXPECT_EQ(engine.execute(insert).status, ReplyStatus::kOk);  // budget spent
+  EXPECT_EQ(fx.registry.stall_rejections(), 1u);
+}
+#endif  // SDB_FAULT_INJECTION
 
 TEST(ServeEngine, MutationsThroughEngineAdvanceEpochs) {
   EngineFixture fx;
