@@ -1,0 +1,182 @@
+// What does crash consistency cost when nothing crashes?
+//
+// Durability is opt-in (--checkpoint-dir / wal_dir), so the interesting
+// number is the overhead of turning it on during a healthy run:
+//
+//   job checkpoint — median wall time of the Spark and MapReduce DBSCAN
+//                    pipelines with checkpointing off vs on (each repeat
+//                    uses a fresh checkpoint dir, so every partition record
+//                    is staged, fsync'd by the filesystem's own policy, and
+//                    renamed);
+//   registry WAL   — ns per ModelRegistry::insert with the write-ahead log
+//                    off vs on (append + flush per mutation, publish marker
+//                    every `publish_every`);
+//   recovery       — wall time to reopen a registry over a WAL of N
+//                    committed mutations (replay cost), and after compact()
+//                    (snapshot-load cost) — the two restart paths.
+//
+// The checkpoint path adds one small file write per partition to a pipeline
+// that already ships the same blob through the accumulator, so the expected
+// overhead is a few percent; the WAL path adds a flushed append per
+// mutation, which is the textbook durability tax.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/mr_dbscan.hpp"
+#include "core/spark_dbscan.hpp"
+#include "serve/model_registry.hpp"
+#include "synth/generators.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace sdb;
+using namespace sdb::dbscan;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+fs::path scratch_root() {
+  return fs::temp_directory_path() /
+         ("sdb_bench_durability_" + std::to_string(::getpid()));
+}
+
+double spark_median_wall_s(const PointSet& ps, u32 repeats,
+                           bool checkpointed) {
+  std::vector<double> walls;
+  for (u32 r = 0; r < repeats; ++r) {
+    const fs::path dir = scratch_root() / ("spark_" + std::to_string(r));
+    minispark::ClusterConfig ccfg;
+    ccfg.executors = 4;
+    ccfg.straggler.fraction = 0.0;
+    minispark::SparkContext ctx(ccfg);
+    SparkDbscanConfig cfg;
+    cfg.params = {0.8, 5};
+    cfg.partitions = 8;
+    if (checkpointed) cfg.checkpoint_dir = dir.string();
+    SparkDbscan dbscan(ctx, cfg);
+    Stopwatch sw;
+    const auto report = dbscan.run(ps);
+    walls.push_back(sw.seconds());
+    SDB_CHECK(report.clustering.num_clusters > 0, "pipeline produced nothing");
+    fs::remove_all(dir);
+  }
+  return median(std::move(walls));
+}
+
+double mr_median_wall_s(const PointSet& ps, u32 repeats, bool checkpointed) {
+  std::vector<double> walls;
+  for (u32 r = 0; r < repeats; ++r) {
+    const fs::path dir = scratch_root() / ("mr_" + std::to_string(r));
+    MRDbscanConfig cfg;
+    cfg.params = {0.8, 5};
+    cfg.partitions = 8;
+    cfg.mr.work_dir = (dir / "work").string();
+    if (checkpointed) cfg.checkpoint_dir = (dir / "ckpt").string();
+    Stopwatch sw;
+    const auto report = mr_dbscan(ps, cfg);
+    walls.push_back(sw.seconds());
+    SDB_CHECK(report.clustering.num_clusters > 0, "pipeline produced nothing");
+    fs::remove_all(dir);
+  }
+  return median(std::move(walls));
+}
+
+double registry_insert_ns(u64 inserts, bool durable, const fs::path& dir) {
+  serve::ModelRegistry::Config cfg;
+  cfg.params = {1.5, 3};
+  cfg.publish_every = 64;
+  if (durable) cfg.wal_dir = dir.string();
+  serve::ModelRegistry registry(cfg, 2);
+  Rng rng(11);
+  Stopwatch sw;
+  for (u64 i = 0; i < inserts; ++i) {
+    const double coords[2] = {rng.uniform(0.0, 100.0),
+                              rng.uniform(0.0, 100.0)};
+    registry.insert(coords);
+  }
+  return sw.seconds() / static_cast<double>(inserts) * 1e9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.add_i64("n", 4000, "points in the pipeline dataset");
+  flags.add_i64("repeats", 7, "pipeline repetitions per state (median)");
+  flags.add_i64("inserts", 3000, "registry mutations for the WAL micro");
+  flags.parse(argc, argv);
+
+  fs::remove_all(scratch_root());
+  fs::create_directories(scratch_root());
+
+  Rng rng(7);
+  synth::GaussianMixtureConfig gcfg;
+  gcfg.n = flags.i64_flag("n");
+  gcfg.dim = 2;
+  gcfg.clusters = 5;
+  gcfg.sigma = 0.5;
+  gcfg.noise_fraction = 0.05;
+  gcfg.box_side = 80.0;
+  const PointSet ps = synth::gaussian_clusters(gcfg, rng);
+  const u32 repeats = static_cast<u32>(flags.i64_flag("repeats"));
+
+  std::printf("job checkpoint (n=%lld, 8 partitions, median of %u):\n",
+              static_cast<long long>(gcfg.n), repeats);
+  const double spark_off = spark_median_wall_s(ps, repeats, false);
+  const double spark_on = spark_median_wall_s(ps, repeats, true);
+  std::printf("  spark  off %9.4f s   on %9.4f s   (%+.2f%%)\n", spark_off,
+              spark_on, (spark_on - spark_off) / spark_off * 100.0);
+  const double mr_off = mr_median_wall_s(ps, repeats, false);
+  const double mr_on = mr_median_wall_s(ps, repeats, true);
+  std::printf("  mr     off %9.4f s   on %9.4f s   (%+.2f%%)\n", mr_off,
+              mr_on, (mr_on - mr_off) / mr_off * 100.0);
+
+  const u64 inserts = static_cast<u64>(flags.i64_flag("inserts"));
+  const fs::path wal_dir = scratch_root() / "wal";
+  std::printf("\nregistry WAL (%llu inserts, publish_every=64):\n",
+              static_cast<unsigned long long>(inserts));
+  const double mem_ns = registry_insert_ns(inserts, false, wal_dir);
+  const double wal_ns = registry_insert_ns(inserts, true, wal_dir);
+  std::printf("  in-memory  %9.1f ns/insert\n", mem_ns);
+  std::printf("  with WAL   %9.1f ns/insert  (%.2fx)\n", wal_ns,
+              wal_ns / mem_ns);
+
+  // Restart paths: replay the full log, then compact and reload via the
+  // snapshot — the log-length-proportional vs state-proportional recovery.
+  {
+    serve::ModelRegistry::Config cfg;
+    cfg.params = {1.5, 3};
+    cfg.publish_every = 64;
+    cfg.wal_dir = wal_dir.string();
+    Stopwatch replay;
+    serve::ModelRegistry recovered(cfg, 2);
+    const double replay_s = replay.seconds();
+    std::printf("\nrecovery (same WAL dir):\n");
+    std::printf("  log replay      %9.4f s  (%llu records)\n", replay_s,
+                static_cast<unsigned long long>(recovered.wal_replayed()));
+    recovered.compact();
+    Stopwatch snap;
+    serve::ModelRegistry from_snapshot(cfg, 2);
+    std::printf("  snapshot load   %9.4f s  (%llu records replayed)\n",
+                snap.seconds(),
+                static_cast<unsigned long long>(from_snapshot.wal_replayed()));
+  }
+
+  fs::remove_all(scratch_root());
+  std::printf(
+      "\nacceptance: healthy-run checkpoint overhead stays in the low single\n"
+      "digits %%; the WAL tax is per-mutation and bounded by compact().\n");
+  return 0;
+}

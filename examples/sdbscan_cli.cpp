@@ -52,7 +52,7 @@ double estimate_eps(const PointSet& points, size_t k) {
 /// --serve loop: build a live registry from the clustered points, answer
 /// line-oriented queries from stdin until EOF/quit. Returns exit status.
 int serve_loop(const PointSet& points, const dbscan::DbscanParams& params,
-               double core_sample) {
+               double core_sample, const std::string& wal_dir) {
   using namespace sdb::serve;
   ModelRegistry::Config reg_cfg;
   reg_cfg.params = params;
@@ -61,10 +61,22 @@ int serve_loop(const PointSet& points, const dbscan::DbscanParams& params,
   // raise this to amortize snapshot rebuilds — see bench_serve_load).
   reg_cfg.publish_every = 1;
   reg_cfg.model_options.core_sample_fraction = core_sample;
+  reg_cfg.wal_dir = wal_dir;  // empty = no durability
   ModelRegistry registry(reg_cfg, points.dim());
-  std::fprintf(stderr, "serve: bootstrapping model over %zu points...\n",
-               points.size());
-  registry.bootstrap(points);
+  if (!wal_dir.empty() && registry.wal_replayed() > 0) {
+    // The replayed log already contains the bootstrap inserts from the
+    // previous incarnation — bootstrapping again would double every point.
+    std::fprintf(stderr,
+                 "serve: recovered epoch %llu from WAL (%llu mutations "
+                 "replayed, %llu uncommitted discarded); skipping bootstrap\n",
+                 static_cast<unsigned long long>(registry.epoch()),
+                 static_cast<unsigned long long>(registry.wal_replayed()),
+                 static_cast<unsigned long long>(registry.wal_discarded()));
+  } else {
+    std::fprintf(stderr, "serve: bootstrapping model over %zu points...\n",
+                 points.size());
+    registry.bootstrap(points);
+  }
   QueryEngine::Config eng_cfg;
   eng_cfg.threads = 2;
   QueryEngine engine(registry, eng_cfg);
@@ -174,6 +186,16 @@ int main(int argc, char** argv) {
                  "after clustering, answer queries from stdin (see header)");
   flags.add_f64("core_sample", 1.0,
                 "serving core subsample fraction in (0,1] (DBSCAN++ knob)");
+  flags.add_string("checkpoint-dir", "",
+                   "crash-consistent job checkpoint directory (spark/mr "
+                   "engines); partial results survive a driver death");
+  flags.add_bool("resume", false,
+                 "with --checkpoint-dir: recover committed partition results "
+                 "from a previous crashed run and compute only the rest");
+  flags.add_string("wal-dir", "",
+                   "with --serve: registry write-ahead-log directory; a "
+                   "restarted server replays it and republishes the last "
+                   "committed epoch");
   flags.parse(argc, argv);
 
   // --- load points ---
@@ -221,15 +243,37 @@ int main(int argc, char** argv) {
     dbscan::SparkDbscanConfig cfg;
     cfg.params = params;
     cfg.partitions = partitions;
+    cfg.checkpoint_dir = flags.string("checkpoint-dir");
+    cfg.resume = flags.boolean("resume");
     dbscan::SparkDbscan dbscan(ctx, cfg);
-    clustering = dbscan.run(points).clustering;
+    const auto report = dbscan.run(points);
+    if (!cfg.checkpoint_dir.empty() && !flags.boolean("quiet")) {
+      std::fprintf(stderr,
+                   "sdbscan: checkpoint %s — resumed %llu partitions, "
+                   "executed %llu\n",
+                   cfg.checkpoint_dir.c_str(),
+                   static_cast<unsigned long long>(report.resumed_partitions),
+                   static_cast<unsigned long long>(report.executed_partitions));
+    }
+    clustering = report.clustering;
   } else if (engine == "mr") {
     dbscan::MRDbscanConfig cfg;
     cfg.params = params;
     cfg.partitions = partitions;
     cfg.mr.work_dir =
         (std::filesystem::temp_directory_path() / "sdbscan_cli_mr").string();
-    clustering = dbscan::mr_dbscan(points, cfg).clustering;
+    cfg.checkpoint_dir = flags.string("checkpoint-dir");
+    cfg.resume = flags.boolean("resume");
+    const auto report = dbscan::mr_dbscan(points, cfg);
+    if (!cfg.checkpoint_dir.empty() && !flags.boolean("quiet")) {
+      std::fprintf(stderr,
+                   "sdbscan: checkpoint %s — resumed %llu partitions, "
+                   "executed %llu\n",
+                   cfg.checkpoint_dir.c_str(),
+                   static_cast<unsigned long long>(report.resumed_partitions),
+                   static_cast<unsigned long long>(report.executed_partitions));
+    }
+    clustering = report.clustering;
     std::filesystem::remove_all(cfg.mr.work_dir);
   } else {
     std::fprintf(stderr, "unknown --engine '%s' (seq | spark | mr)\n",
@@ -247,7 +291,8 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(stats.clusters),
                    static_cast<unsigned long long>(stats.noise));
     }
-    return serve_loop(points, params, flags.f64("core_sample"));
+    return serve_loop(points, params, flags.f64("core_sample"),
+                      flags.string("wal-dir"));
   }
 
   // --- output: one label per input line ---

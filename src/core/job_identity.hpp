@@ -1,0 +1,71 @@
+// Deterministic job fingerprints for checkpoint/resume.
+//
+// A checkpoint is only safe to resume if the restarted job is *the same
+// job*: same input bytes, same eps/minpts, same partitioning, same merge
+// semantics, same wire codec. The fingerprint folds every parameter that
+// can change a partition's LocalClusterResult (or its serialized bytes)
+// into one FNV-1a digest; JobCheckpoint embeds it in every record and
+// discards records whose fingerprint differs, so a stale checkpoint
+// directory can never contaminate a different run.
+#pragma once
+
+#include "core/codec.hpp"
+#include "core/dbscan.hpp"
+#include "core/local_dbscan.hpp"
+#include "core/merge.hpp"
+#include "core/partitioners.hpp"
+#include "geom/point_set.hpp"
+
+namespace sdb::dbscan {
+
+namespace detail {
+
+inline u64 fnv1a_append(u64 h, const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <typename T>
+u64 fnv1a_value(u64 h, const T& v) {
+  return fnv1a_append(h, &v, sizeof(v));
+}
+
+}  // namespace detail
+
+/// FNV-1a over the dataset's raw coordinate bytes + dimensionality. The
+/// expensive term of the fingerprint (one pass over n*d doubles).
+inline u64 dataset_digest(const PointSet& points) {
+  u64 h = 1469598103934665603ull;
+  const int dim = points.dim();
+  h = detail::fnv1a_value(h, dim);
+  h = detail::fnv1a_append(h, points.raw().data(),
+                           points.raw().size() * sizeof(double));
+  return h;
+}
+
+/// The deterministic identity of one distributed-DBSCAN job. `engine`
+/// separates spark from mr checkpoints sharing a directory; `seed` is the
+/// partitioner seed (the only stochastic input to a partition's result).
+inline u64 job_fingerprint(std::string_view engine, u64 dataset,
+                           const DbscanParams& params,
+                           PartitionerKind partitioner, u32 partitions,
+                           u64 seed, SeedStrategy seed_strategy,
+                           MergeStrategy merge_strategy, Codec codec) {
+  u64 h = dataset;
+  h = detail::fnv1a_append(h, engine.data(), engine.size());
+  h = detail::fnv1a_value(h, params.eps);
+  h = detail::fnv1a_value(h, params.minpts);
+  h = detail::fnv1a_value(h, partitioner);
+  h = detail::fnv1a_value(h, partitions);
+  h = detail::fnv1a_value(h, seed);
+  h = detail::fnv1a_value(h, seed_strategy);
+  h = detail::fnv1a_value(h, merge_strategy);
+  h = detail::fnv1a_value(h, codec);
+  return h;
+}
+
+}  // namespace sdb::dbscan

@@ -1,5 +1,9 @@
 #include "core/mr_dbscan.hpp"
 
+#include <memory>
+
+#include "core/job_identity.hpp"
+#include "minispark/job_checkpoint.hpp"
 #include "spatial/kd_tree.hpp"
 #include "util/stopwatch.hpp"
 
@@ -8,6 +12,29 @@ namespace sdb::dbscan {
 MRDbscanReport mr_dbscan(const PointSet& points, const MRDbscanConfig& config) {
   Stopwatch wall;
   MRDbscanReport report;
+
+  // --- Durability: recover committed map outputs, map only the rest.
+  // The reducer folds recovered blobs in with freshly-shuffled ones; the
+  // uid-canonical merge makes the resumed labeling byte-identical to an
+  // uninterrupted run.
+  std::unique_ptr<minispark::JobCheckpoint> ckpt;
+  std::vector<u32> recovered_parts;
+  if (!config.checkpoint_dir.empty()) {
+    report.job_fingerprint = job_fingerprint(
+        "mr", dataset_digest(points), config.params, config.partitioner,
+        config.partitions, config.seed, config.seed_strategy,
+        config.merge_strategy, config.codec);
+    ckpt = std::make_unique<minispark::JobCheckpoint>(
+        config.checkpoint_dir, report.job_fingerprint, config.resume);
+    recovered_parts = ckpt->completed();
+  }
+  std::vector<u32> pending;
+  for (u32 p = 0; p < config.partitions; ++p) {
+    if (ckpt != nullptr && ckpt->has(p)) continue;
+    pending.push_back(p);
+  }
+  report.resumed_partitions = recovered_parts.size();
+  report.executed_partitions = pending.size();
 
   // Shared read-only state: in Hadoop this ships via the distributed cache
   // and every task re-reads it from local disk; that read is charged inside
@@ -20,8 +47,9 @@ MRDbscanReport mr_dbscan(const PointSet& points, const MRDbscanConfig& config) {
   local_config.seed_strategy = config.seed_strategy;
   const u64 cache_bytes = tree.byte_size() + partitioning.byte_size();
 
-  std::vector<LocalClusterResult> locals(config.partitions);
+  std::vector<LocalClusterResult> locals(pending.size());
 
+  minispark::JobCheckpoint* ckpt_ptr = ckpt.get();
   mapreduce::MRJob::Mapper mapper =
       [&](u32 task, const std::string& split, const mapreduce::MRJob::Emit& emit) {
         // Distributed-cache load: dataset + kd-tree from local disk.
@@ -30,18 +58,31 @@ MRDbscanReport mr_dbscan(const PointSet& points, const MRDbscanConfig& config) {
         LocalClusterResult local =
             local_dbscan(points, tree, partitioning, partition, local_config);
         locals[task] = local;  // kept for reporting only
-        emit("partial", encode(local, config.codec));
+        std::string blob = encode(local, config.codec);
+        // Commit the map output before it enters the shuffle: Hadoop's map
+        // outputs survive task death the same way (materialized spills).
+        if (ckpt_ptr != nullptr) {
+          ckpt_ptr->save(static_cast<u32>(partition), blob);
+        }
+        emit("partial", std::move(blob));
       };
 
   MergeOptions merge_options;
   merge_options.strategy = config.merge_strategy;
   MergeResult merged;
+  // Decoded checkpoint blobs join the shuffled values in the reducer.
+  // Decoded eagerly: commit() below deletes the records.
+  std::vector<LocalClusterResult> recovered_locals;
+  recovered_locals.reserve(recovered_parts.size());
+  for (const u32 p : recovered_parts) {
+    recovered_locals.push_back(decode(ckpt->load(p), config.codec));
+  }
   mapreduce::MRJob::Reducer reducer =
       [&](const std::string& key, std::vector<std::string>& values,
           const mapreduce::MRJob::Emit& emit) {
         SDB_CHECK(key == "partial", "unexpected reduce key: " + key);
-        std::vector<LocalClusterResult> collected;
-        collected.reserve(values.size());
+        std::vector<LocalClusterResult> collected = recovered_locals;
+        collected.reserve(collected.size() + values.size());
         for (const std::string& blob : values) {
           collected.push_back(decode(blob, config.codec));
         }
@@ -53,24 +94,38 @@ MRDbscanReport mr_dbscan(const PointSet& points, const MRDbscanConfig& config) {
         emit("labels", std::string(buf.data(), buf.size()));
       };
 
-  mapreduce::MRConfig mr_config = config.mr;
-  mr_config.reduce_tasks = 1;  // the merge is global, like the Spark driver
-  mapreduce::MRJob job(mr_config, "mr-dbscan", std::move(mapper),
-                       std::move(reducer));
+  if (pending.empty()) {
+    // Everything already checkpointed: no map tasks to run, so skip the job
+    // (and its startup cost) and merge the recovered outputs directly.
+    merged =
+        merge_partial_clusters(recovered_locals, points.size(), merge_options);
+  } else {
+    mapreduce::MRConfig mr_config = config.mr;
+    mr_config.reduce_tasks = 1;  // the merge is global, like the Spark driver
+    mapreduce::MRJob job(mr_config, "mr-dbscan", std::move(mapper),
+                         std::move(reducer));
 
-  std::vector<std::string> splits;
-  splits.reserve(config.partitions);
-  for (u32 p = 0; p < config.partitions; ++p) {
-    splits.push_back(std::to_string(p));
+    std::vector<std::string> splits;
+    splits.reserve(pending.size());
+    for (const u32 p : pending) {
+      splits.push_back(std::to_string(p));
+    }
+    const std::vector<mapreduce::KV> output = job.run(splits);
+    SDB_CHECK(output.size() == 1 && output[0].key == "labels",
+              "mr-dbscan job produced unexpected output");
+    report.job = job.metrics();
   }
-  const std::vector<mapreduce::KV> output = job.run(splits);
-  SDB_CHECK(output.size() == 1 && output[0].key == "labels",
-            "mr-dbscan job produced unexpected output");
+  if (ckpt != nullptr) {
+    report.checkpoint_saves = ckpt->saves();
+    ckpt->commit();
+  }
 
   report.clustering = std::move(merged.clustering);
   report.merge_stats = merged.stats;
-  report.job = job.metrics();
   for (const auto& local : locals) {
+    report.partial_clusters += local.clusters.size();
+  }
+  for (const auto& local : recovered_locals) {
     report.partial_clusters += local.clusters.size();
   }
   report.sim_total_s = report.job.sim_total_s;

@@ -30,6 +30,15 @@ struct MRDbscanConfig {
   Codec codec = Codec::kRaw;
   u64 seed = 42;
   mapreduce::MRConfig mr;  ///< engine knobs (work dir, cores, overheads)
+  /// Directory for crash-consistent job checkpoints (empty = durability
+  /// off). Each map task's partial-cluster blob is committed to disk as it
+  /// is produced (see minispark/job_checkpoint.hpp).
+  std::string checkpoint_dir;
+  /// With checkpoint_dir set: recover committed map outputs left by a
+  /// previous (crashed) run of the same job fingerprint, map only the
+  /// missing partitions, and feed both into the reduce-side merge. false
+  /// wipes prior state and checkpoints from scratch.
+  bool resume = false;
 };
 
 struct MRDbscanReport {
@@ -39,6 +48,12 @@ struct MRDbscanReport {
   u64 partial_clusters = 0;
   double sim_total_s = 0.0;  ///< startup + map + shuffle + reduce
   double wall_s = 0.0;
+
+  // --- durability (checkpoint_dir set) ---
+  u64 job_fingerprint = 0;       ///< deterministic job identity
+  u64 resumed_partitions = 0;    ///< map outputs recovered from the checkpoint
+  u64 executed_partitions = 0;   ///< map tasks run by this job
+  u64 checkpoint_saves = 0;      ///< records committed by this run
 };
 
 /// Run the MapReduce DBSCAN over an in-memory dataset.

@@ -1,5 +1,7 @@
 #include "core/spark_dbscan.hpp"
 
+#include "core/job_identity.hpp"
+#include "minispark/job_checkpoint.hpp"
 #include "spatial/brute_force.hpp"
 #include "spatial/kd_tree.hpp"
 #include "spatial/r_tree.hpp"
@@ -76,6 +78,29 @@ SparkDbscanReport SparkDbscan::run_impl(const PointSet& points,
   const u32 partitions = config_.partitions > 0 ? config_.partitions
                                                 : ctx_.default_parallelism();
 
+  // --- Durability: open the job checkpoint and recover committed results.
+  // Partitions with a committed record are never re-executed; their blobs
+  // rejoin the merge below, and the uid-canonical merge order makes the
+  // resumed labeling byte-identical to an uninterrupted run.
+  std::unique_ptr<minispark::JobCheckpoint> ckpt;
+  std::vector<u32> recovered_parts;
+  if (!config_.checkpoint_dir.empty()) {
+    report.job_fingerprint = job_fingerprint(
+        "spark", dataset_digest(points), config_.params, config_.partitioner,
+        partitions, config_.seed, config_.seed_strategy,
+        config_.merge_strategy, config_.codec);
+    ckpt = std::make_unique<minispark::JobCheckpoint>(
+        config_.checkpoint_dir, report.job_fingerprint, config_.resume);
+    recovered_parts = ckpt->completed();
+  }
+  std::vector<u32> pending;
+  for (u32 p = 0; p < partitions; ++p) {
+    if (ckpt != nullptr && ckpt->has(p)) continue;
+    pending.push_back(p);
+  }
+  report.resumed_partitions = recovered_parts.size();
+  report.executed_partitions = pending.size();
+
   // --- Driver: build kd-tree (priced from its measured work). ---
   auto state = std::make_shared<BroadcastState>();
   state->points = &points;
@@ -116,43 +141,60 @@ SparkDbscanReport SparkDbscan::run_impl(const PointSet& points,
   // The RDD carries partition indices only; the data plane is the broadcast
   // (the paper pushes Point RDDs, but executors never exchange them — the
   // kd-tree broadcast already holds every coordinate, so shipping the RDD
-  // contents is pure overhead we charge to the read phase).
-  auto rdd = ctx_.generate<u32>(
-      [](u32 p) { return std::vector<u32>{p}; }, partitions, "partitions");
-
+  // contents is pure overhead we charge to the read phase). On a resumed
+  // run the RDD spans only the partitions the checkpoint is missing.
+  const std::vector<u32> work = pending;
   const Codec codec = config_.codec;
-  ctx_.foreach_partition(
-      *rdd,
-      [&broadcast, &acc, codec](u32 p, std::vector<u32>&&) {
-        const BroadcastState& st = *broadcast.value();
-        LocalClusterResult local =
-            local_dbscan(*st.points, *st.tree, st.partitioning,
-                         static_cast<PartitionId>(p), st.local_config);
-        std::string blob = encode(local, codec);
-        const u64 bytes = blob.size();
-        std::vector<std::string> delta;
-        delta.push_back(std::move(blob));
-        // Algorithm 2 lines 26-28. Tagged by partition so re-executed and
-        // speculatively-duplicated tasks merge exactly once — the invariant
-        // that keeps the chaos suite's faulted runs equal to dbscan_seq.
-        acc->add_once(p, std::move(delta), bytes);
-      },
-      "dbscan-local-clustering");
+  acc->begin_job(report.job_fingerprint);
+  minispark::JobCheckpoint* ckpt_ptr = ckpt.get();
+  if (!pending.empty()) {
+    auto rdd = ctx_.generate<u32>(
+        [&work](u32 i) { return std::vector<u32>{work[i]}; },
+        static_cast<u32>(work.size()), "partitions");
+    ctx_.foreach_partition(
+        *rdd,
+        [&broadcast, &acc, codec, ckpt_ptr](u32, std::vector<u32>&& data) {
+          const u32 p = data.at(0);
+          const BroadcastState& st = *broadcast.value();
+          LocalClusterResult local =
+              local_dbscan(*st.points, *st.tree, st.partitioning,
+                           static_cast<PartitionId>(p), st.local_config);
+          std::string blob = encode(local, codec);
+          const u64 bytes = blob.size();
+          std::vector<std::string> delta;
+          delta.push_back(blob);
+          // Algorithm 2 lines 26-28. Tagged by partition so re-executed and
+          // speculatively-duplicated tasks merge exactly once — the invariant
+          // that keeps the chaos suite's faulted runs equal to dbscan_seq.
+          acc->add_once(p, std::move(delta), bytes);
+          // Persist only after the accumulator accepted the result: a record
+          // on disk always corresponds to an applied update.
+          if (ckpt_ptr != nullptr) ckpt_ptr->save(p, blob);
+        },
+        "dbscan-local-clustering");
 
-  const minispark::JobMetrics& job = ctx_.last_job();
-  report.sim_executor_s = job.sim_executor_makespan_s;
-  report.sim_executor_total_s = job.sim_executor_total_s;
+    const minispark::JobMetrics& job = ctx_.last_job();
+    report.sim_executor_s = job.sim_executor_makespan_s;
+    report.sim_executor_total_s = job.sim_executor_total_s;
+  }
   report.sim_broadcast_s =
       ctx_.config().cost.broadcast_seconds(broadcast_bytes, ctx_.config().executors);
   report.accumulator_bytes = acc->total_bytes();
   report.sim_collect_s = ctx_.config().cost.transfer_seconds(acc->total_bytes());
+  if (ckpt != nullptr) report.checkpoint_saves = ckpt->saves();
 
   // --- Driver: decode the wire blobs, then merge (lines 30-31). ---
+  // Recovered blobs and freshly computed ones decode through the same path;
+  // merge_partial_clusters sorts partial clusters into uid-canonical order,
+  // so the mixed arrival order cannot perturb the labeling.
   std::vector<LocalClusterResult> locals;
   {
     WorkCounters decode_wc;
     ScopedCounters scope(&decode_wc);
-    locals.reserve(acc->value().size());
+    locals.reserve(acc->value().size() + recovered_parts.size());
+    for (const u32 p : recovered_parts) {
+      locals.push_back(decode(ckpt->load(p), codec));
+    }
     for (const std::string& blob : acc->value()) {
       locals.push_back(decode(blob, codec));
     }
@@ -169,6 +211,11 @@ SparkDbscanReport SparkDbscan::run_impl(const PointSet& points,
   report.sim_merge_s = ctx_.config().cost.compute_seconds(merged.counters);
   report.merge_stats = merged.stats;
   report.clustering = std::move(merged.clustering);
+
+  // Job consumed: release the accumulator dedup tags and the checkpoint
+  // records (the merged result supersedes them).
+  acc->commit_job();
+  if (ckpt != nullptr) ckpt->commit();
 
   report.wall_s = wall.seconds();
   return report;

@@ -50,6 +50,16 @@ struct SparkDbscanConfig {
   /// (Section IV.B serialization discussion; see core/codec.hpp).
   Codec codec = Codec::kRaw;
   u64 seed = 42;
+  /// Directory for crash-consistent job checkpoints (empty = durability
+  /// off). Each accepted partition result is committed to disk as it
+  /// arrives (see minispark/job_checkpoint.hpp), so a driver death loses at
+  /// most the in-flight partitions.
+  std::string checkpoint_dir;
+  /// With checkpoint_dir set: recover committed partition results left by a
+  /// previous (crashed) run of the same job fingerprint, execute only the
+  /// missing partitions, and resume the merge. false wipes prior state and
+  /// checkpoints from scratch.
+  bool resume = false;
 };
 
 struct SparkDbscanReport {
@@ -70,6 +80,12 @@ struct SparkDbscanReport {
   u64 partial_clusters = 0;      ///< m (the Figure 6 right-axis series)
   u64 broadcast_bytes = 0;
   u64 accumulator_bytes = 0;
+
+  // --- durability (checkpoint_dir set) ---
+  u64 job_fingerprint = 0;       ///< deterministic job identity
+  u64 resumed_partitions = 0;    ///< results recovered from the checkpoint
+  u64 executed_partitions = 0;   ///< results computed by this run
+  u64 checkpoint_saves = 0;      ///< records committed by this run
 
   /// Driver time as the paper splits it: everything not in executors.
   [[nodiscard]] double sim_driver_s() const {

@@ -1,5 +1,8 @@
 #include "dfs/mini_dfs.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 
 #include "fault/injection.hpp"
@@ -21,18 +24,25 @@ u64 fnv1a(const char* data, size_t size) {
   return h;
 }
 
+constexpr u64 kManifestMagic = 0x5344424d414e4946ull;  // "SDBMANIF"
+
 }  // namespace
 
 MiniDfs::MiniDfs(std::string root, u64 block_size, u32 datanodes,
-                 u32 replication)
+                 u32 replication, Durability durability)
     : root_(std::move(root)),
       block_size_(block_size),
       datanodes_(datanodes),
       replication_(std::min(replication, datanodes)),
+      durability_(durability),
       dead_(datanodes, false) {
   SDB_CHECK(block_size_ > 0, "block size must be positive");
   SDB_CHECK(datanodes_ > 0, "need at least one datanode");
   fs::create_directories(fs::path(root_) / "blocks");
+  if (durability_ == Durability::kDurable) {
+    load_manifest();
+    gc_orphans();
+  }
 }
 
 void MiniDfs::fail_datanode(u32 node) {
@@ -89,11 +99,23 @@ std::vector<char> MiniDfs::read_block_data(const BlockInfo& block) const {
       &stats);
   io_retries_ += stats.retries;
   io_backoff_s_ += stats.backoff_s;
+  // fsync-order enforcement: a block whose bytes do not match its manifest
+  // entry (torn write, external truncation) must never be read back as a
+  // short-but-valid file. Retrying cannot heal physical corruption, so the
+  // mismatch escapes immediately.
+  if (data.size() != block.size ||
+      fnv1a(data.data(), data.size()) != block.checksum) {
+    throw DfsTransientError("torn/corrupt block " + std::to_string(block.id) +
+                            ": " + std::to_string(data.size()) + " bytes vs " +
+                            std::to_string(block.size) + " in manifest");
+  }
   return data;
 }
 
 void MiniDfs::write_block_data(const BlockInfo& block,
                                const std::vector<char>& data) {
+  const std::string final_path = block_path(block.id);
+  const std::string tmp = final_path + ".tmp";
   RetryStats stats;
   retry_call(
       io_retry_, block.id,
@@ -104,15 +126,24 @@ void MiniDfs::write_block_data(const BlockInfo& block,
           // verify() confirms no torn block survives a successful write.
           const std::vector<char> torn(data.begin(),
                                        data.begin() + data.size() / 2);
-          write_file(block_path(block.id), torn);
+          write_file(tmp, torn);
           ++torn_writes_;
           throw DfsTransientError("injected torn write, block " +
                                   std::to_string(block.id));
         }
-        write_file(block_path(block.id), data);
+        if (SDB_INJECT("dfs.crash.mid_block")) {
+          // Crash at byte k: a prefix reaches the kernel, then the process
+          // dies. The tmp file is never renamed, so recovery GCs it.
+          const std::vector<char> torn(data.begin(),
+                                       data.begin() + data.size() / 2);
+          write_file(tmp, torn);
+          fault::trigger_crash("dfs.crash.mid_block");
+        }
+        write_file(tmp, data);
         return 0;
       },
       &stats);
+  fs::rename(tmp, final_path);
   io_retries_ += stats.retries;
   io_backoff_s_ += stats.backoff_s;
 }
@@ -123,7 +154,16 @@ const FileInfo& MiniDfs::write(const std::string& path,
   // external cleanup of the root between ctor and write); otherwise every
   // block write below would abort on a missing parent directory.
   fs::create_directories(fs::path(root_) / "blocks");
-  if (exists(path)) remove(path);
+  // Stage the new version first: the previous version's blocks stay on disk
+  // (and, in durable mode, published in the manifest) until the new catalog
+  // entry publishes, so a crash anywhere in this function leaves exactly one
+  // committed version readable.
+  std::vector<u64> superseded;
+  if (const auto it = catalog_.find(path); it != catalog_.end()) {
+    for (const BlockInfo& block : it->second.blocks) {
+      superseded.push_back(block.id);
+    }
+  }
   FileInfo info;
   info.path = path;
   info.size = contents.size();
@@ -142,9 +182,18 @@ const FileInfo& MiniDfs::write(const std::string& path,
     write_block_data(block, data);
     info.blocks.push_back(std::move(block));
   }
+  // All blocks staged and renamed into place; dying here must leave the OLD
+  // version readable (the new blocks are orphans until the manifest says
+  // otherwise).
+  SDB_CRASH_POINT("dfs.crash.before_publish");
   // Zero-byte files still need a catalog entry.
   auto [it, inserted] = catalog_.insert_or_assign(path, std::move(info));
   (void)inserted;
+  save_manifest();
+  // Only after the publish point may the superseded version's blocks die.
+  for (const u64 id : superseded) {
+    fs::remove(block_path(id));
+  }
   return it->second;
 }
 
@@ -238,10 +287,131 @@ std::vector<size_t> MiniDfs::verify(const std::string& path) const {
 void MiniDfs::remove(const std::string& path) {
   const auto it = catalog_.find(path);
   SDB_CHECK(it != catalog_.end(), "no such DFS file: " + path);
+  std::vector<u64> ids;
   for (const BlockInfo& block : it->second.blocks) {
-    fs::remove(block_path(block.id));
+    ids.push_back(block.id);
   }
   catalog_.erase(it);
+  // Publish the removal before deleting bytes: a crash in between leaves
+  // orphaned blocks (GC'd at next open), never a manifest pointing at
+  // deleted data.
+  save_manifest();
+  for (const u64 id : ids) {
+    fs::remove(block_path(id));
+  }
+}
+
+std::string MiniDfs::manifest_path() const {
+  return (fs::path(root_) / "manifest").string();
+}
+
+void MiniDfs::save_manifest() {
+  if (durability_ != Durability::kDurable) return;
+  BinaryWriter w;
+  w.write_u64(kManifestMagic);
+  w.write_u64(next_block_id_);
+  w.write_u32(next_replica_);
+  w.write_u64(catalog_.size());
+  for (const auto& [path, info] : catalog_) {
+    w.write_string(path);
+    w.write_u64(info.size);
+    w.write_u64(info.blocks.size());
+    for (const BlockInfo& block : info.blocks) {
+      w.write_u64(block.id);
+      w.write_u64(block.size);
+      w.write_u64(block.checksum);
+      w.write_u64(block.replicas.size());
+      for (const u32 r : block.replicas) w.write_u32(r);
+    }
+  }
+  w.write_u64(fnv1a(w.buffer().data(), w.buffer().size()));
+  const std::string tmp = manifest_path() + ".tmp";
+  write_file(tmp, w.buffer());
+  // The rename IS the commit point: dying on either side of it leaves a
+  // valid manifest (the previous one, or the one just staged).
+  SDB_CRASH_POINT("dfs.crash.manifest_rename");
+  fs::rename(tmp, manifest_path());
+}
+
+bool MiniDfs::load_manifest() {
+  if (!fs::exists(manifest_path())) return false;
+  const std::vector<char> buf = read_file(manifest_path());
+  if (buf.size() < 4 * sizeof(u64)) return false;
+  const size_t payload = buf.size() - sizeof(u64);
+  u64 trailer = 0;
+  std::memcpy(&trailer, buf.data() + payload, sizeof(u64));
+  if (trailer != fnv1a(buf.data(), payload)) return false;
+  BinaryReader r(buf.data(), payload);
+  if (r.read_u64() != kManifestMagic) return false;
+  next_block_id_ = r.read_u64();
+  next_replica_ = r.read_u32() % std::max<u32>(1, datanodes_);
+  const u64 nfiles = r.read_u64();
+  for (u64 f = 0; f < nfiles; ++f) {
+    FileInfo info;
+    info.path = r.read_string();
+    info.size = r.read_u64();
+    const u64 nblocks = r.read_u64();
+    bool intact = true;
+    for (u64 b = 0; b < nblocks; ++b) {
+      BlockInfo block;
+      block.id = r.read_u64();
+      block.size = r.read_u64();
+      block.checksum = r.read_u64();
+      const u64 nreplicas = r.read_u64();
+      for (u64 i = 0; i < nreplicas; ++i) {
+        block.replicas.push_back(r.read_u32() % std::max<u32>(1, datanodes_));
+      }
+      // Verify the physical bytes against the manifest entry — a file with
+      // any torn or missing block never recovers.
+      if (intact) {
+        const std::string bp = block_path(block.id);
+        if (!fs::exists(bp)) {
+          intact = false;
+        } else {
+          const std::vector<char> data = read_file(bp);
+          intact = data.size() == block.size &&
+                   fnv1a(data.data(), data.size()) == block.checksum;
+        }
+      }
+      next_block_id_ = std::max(next_block_id_, block.id + 1);
+      info.blocks.push_back(std::move(block));
+    }
+    if (intact) {
+      ++recovered_files_;
+      catalog_.insert_or_assign(info.path, std::move(info));
+    } else {
+      ++dropped_files_;
+    }
+  }
+  return true;
+}
+
+void MiniDfs::gc_orphans() {
+  std::vector<char> referenced;  // indexed by block id (dense, small)
+  for (const auto& [path, info] : catalog_) {
+    for (const BlockInfo& block : info.blocks) {
+      if (block.id >= referenced.size()) referenced.resize(block.id + 1, 0);
+      referenced[block.id] = 1;
+    }
+  }
+  const fs::path blocks_dir = fs::path(root_) / "blocks";
+  std::vector<fs::path> doomed;
+  for (const auto& entry : fs::directory_iterator(blocks_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.ends_with(".tmp")) {
+      doomed.push_back(entry.path());
+      continue;
+    }
+    if (name.rfind("blk_", 0) != 0) continue;
+    char* end = nullptr;
+    const u64 id = std::strtoull(name.c_str() + 4, &end, 10);
+    if (end == nullptr || *end != '\0') continue;
+    if (id >= referenced.size() || !referenced[id]) doomed.push_back(entry.path());
+  }
+  for (const fs::path& p : doomed) {
+    fs::remove(p);
+    ++orphans_collected_;
+  }
 }
 
 }  // namespace sdb::dfs

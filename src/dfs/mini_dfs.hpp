@@ -22,6 +22,18 @@
 // (util/retry.hpp); only a fault that survives every attempt escapes as
 // DfsTransientError. Whole-replica-set loss remains a hard abort, matching
 // HDFS below the replication factor.
+//
+// Durability (DESIGN.md "Durability & recovery"): in Durability::kDurable
+// mode every write is an atomic publish — blocks are staged as tmp files
+// and renamed into place, then the namenode catalog is serialized to a
+// checksummed manifest (manifest.tmp + rename). A process killed at any
+// byte of that sequence (crash points `dfs.crash.mid_block`,
+// `dfs.crash.before_publish`, `dfs.crash.manifest_rename`) leaves either
+// the old committed version or the new one, never a torn mix: reopening the
+// root replays the last published manifest, drops files whose blocks fail
+// their checksums, and garbage-collects orphaned/tmp blocks. Reads verify
+// block size + checksum against the manifest entry, so a torn block can
+// never be read back as a short-but-valid file.
 #pragma once
 
 #include <map>
@@ -55,14 +67,24 @@ struct FileInfo {
   std::vector<BlockInfo> blocks;
 };
 
+/// Whether the namenode catalog survives the process.
+enum class Durability {
+  kEphemeral,  ///< catalog lives in memory only (the pre-durability mode)
+  kDurable,    ///< catalog published to a checksummed on-disk manifest
+};
+
 class MiniDfs {
  public:
   /// `root` is a real directory used for block storage (created if absent).
   /// `block_size` is the HDFS block size (default 1 MiB — scaled down from
   /// HDFS's 128 MiB in proportion to our scaled-down datasets).
   /// `datanodes`/`replication` drive the simulated replica placement.
+  /// With Durability::kDurable, a manifest already present under `root` is
+  /// recovered: its files become readable again, torn or missing blocks
+  /// drop their file, and unreferenced blocks are garbage-collected.
   explicit MiniDfs(std::string root, u64 block_size = 1u << 20,
-                   u32 datanodes = 8, u32 replication = 3);
+                   u32 datanodes = 8, u32 replication = 3,
+                   Durability durability = Durability::kEphemeral);
 
   /// Create (or overwrite) a logical file with the given contents.
   const FileInfo& write(const std::string& path, const std::string& contents);
@@ -119,9 +141,28 @@ class MiniDfs {
   [[nodiscard]] u64 block_size() const { return block_size_; }
   [[nodiscard]] u32 datanodes() const { return datanodes_; }
   [[nodiscard]] const std::string& root() const { return root_; }
+  [[nodiscard]] Durability durability() const { return durability_; }
+
+  /// --- durable-mode recovery observability ---
+  /// Files recovered intact from the manifest at construction.
+  [[nodiscard]] u64 recovered_files() const { return recovered_files_; }
+  /// Manifested files dropped at recovery (a block missing, short or
+  /// failing its checksum — a write that never finished publishing).
+  [[nodiscard]] u64 dropped_files() const { return dropped_files_; }
+  /// Orphaned block/tmp files garbage-collected at recovery.
+  [[nodiscard]] u64 orphans_collected() const { return orphans_collected_; }
 
  private:
   [[nodiscard]] std::string block_path(u64 block_id) const;
+  [[nodiscard]] std::string manifest_path() const;
+  /// Serialize the catalog and atomically publish it (durable mode only;
+  /// a no-op in kEphemeral mode).
+  void save_manifest();
+  /// Load + verify the manifest and every referenced block; returns false
+  /// when no (valid) manifest exists.
+  bool load_manifest();
+  /// Delete tmp files and blocks the recovered catalog does not reference.
+  void gc_orphans();
   /// Enforce replica availability for a block read (counts failovers,
   /// aborts when every replica's datanode is dead).
   void check_replicas(const BlockInfo& block) const;
@@ -136,8 +177,12 @@ class MiniDfs {
   u64 block_size_;
   u32 datanodes_;
   u32 replication_;
+  Durability durability_ = Durability::kEphemeral;
   u64 next_block_id_ = 0;
   u32 next_replica_ = 0;
+  u64 recovered_files_ = 0;
+  u64 dropped_files_ = 0;
+  u64 orphans_collected_ = 0;
   std::map<std::string, FileInfo> catalog_;
   std::vector<bool> dead_;            ///< per-datanode failure flags
   mutable u64 failovers_ = 0;

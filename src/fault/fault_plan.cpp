@@ -1,5 +1,7 @@
 #include "fault/fault_plan.hpp"
 
+#include <csignal>
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -72,6 +74,34 @@ bool maybe_inject(std::string_view site) {
   FaultPlan* plan = g_active.load(std::memory_order_relaxed);
   if (plan == nullptr) return false;
   return plan->should_fire(site);
+}
+
+namespace {
+
+/// Default crash semantics: the process dies the way `kill -9` kills it —
+/// no stack unwinding, no atexit, no buffered-stdio flush. Whatever bytes
+/// the kernel already has are all a restarted process will ever see.
+[[noreturn]] void sigkill_handler(std::string_view /*site*/) {
+  ::raise(SIGKILL);
+  std::_Exit(137);  // unreachable unless SIGKILL is somehow not delivered
+}
+
+std::atomic<CrashHandler> g_crash_handler{&sigkill_handler};
+
+}  // namespace
+
+CrashHandler set_crash_handler(CrashHandler handler) {
+  if (handler == nullptr) handler = &sigkill_handler;
+  return g_crash_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+void trigger_crash(std::string_view site) {
+  g_crash_handler.load(std::memory_order_acquire)(site);
+  SDB_CHECK(false, "crash handler returned for site " + std::string(site));
+}
+
+void crash_point(std::string_view site) {
+  if (maybe_inject(site)) trigger_crash(site);
 }
 
 FaultPlan::FaultPlan(u64 seed) : seed_(seed) {}

@@ -30,6 +30,37 @@ namespace sdb::fault {
 /// installed.
 bool maybe_inject(std::string_view site);
 
+/// --- crash points (process-death injection) ---
+///
+/// A crash point marks a byte-exact place where a process may die: between
+/// the torn half of a write and its completion, between a tmp file and its
+/// rename, between a rename and its manifest publish. When the active plan
+/// schedules the site, the crash handler runs — by default raise(SIGKILL),
+/// so the process dies exactly as `kill -9` would, leaving whatever bytes
+/// already reached the filesystem. The kill-recover harness
+/// (tests/test_crash_recovery.cpp) fork()s a child, arms a plan naming
+/// crash sites, and asserts the restarted pipeline recovers.
+///
+/// Unit tests that want to observe the torn state in-process install a
+/// handler that throws instead (set_crash_handler); production code treats a
+/// returning/throwing crash point as "the process died here" and must not
+/// attempt cleanup past it.
+using CrashHandler = void (*)(std::string_view site);
+
+/// Install a crash handler (nullptr restores the default SIGKILL handler).
+/// Returns the previous handler so tests can restore it.
+CrashHandler set_crash_handler(CrashHandler handler);
+
+/// Fire-check for a crash point: when the active plan schedules `site`,
+/// invoke the crash handler (which normally never returns).
+void crash_point(std::string_view site);
+
+/// Invoke the crash handler unconditionally. For sites that must stage the
+/// torn state first: decide with SDB_INJECT, write the partial bytes, then
+/// call trigger_crash. Aborts if the handler returns — code past a crash is
+/// unreachable by contract.
+void trigger_crash(std::string_view site);
+
 /// Exception used by sites whose failure mode is "the operation failed
 /// transiently" (task throw, lost accumulator update, transient read error).
 /// Recovery layers (task retry loops, util/retry.hpp) treat it as retriable.
@@ -47,6 +78,8 @@ class InjectedFault {
 
 #ifdef SDB_FAULT_INJECTION
 #define SDB_INJECT(site) (::sdb::fault::maybe_inject(site))
+#define SDB_CRASH_POINT(site) (::sdb::fault::crash_point(site))
 #else
 #define SDB_INJECT(site) (false)
+#define SDB_CRASH_POINT(site) ((void)0)
 #endif

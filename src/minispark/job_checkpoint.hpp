@@ -1,0 +1,91 @@
+// JobCheckpoint — crash-consistent persistence of a job's accepted
+// per-partition results.
+//
+// The paper's driver is a single point of failure: every partial cluster
+// flows through one accumulator and one merge pass, so a driver death at
+// 90% of a run used to lose everything. A JobCheckpoint makes the accepted
+// partial-result set durable as it accumulates: each partition's serialized
+// blob is written to its own checksummed record file with an atomic
+// tmp-write + rename, keyed by a deterministic job fingerprint (dataset
+// hash, eps, minpts, partitioner, seed, ... — see core/job_identity.hpp).
+// On restart, the driver opens the same directory, recovers every record
+// whose fingerprint and checksum verify, schedules only the missing
+// partitions, and resumes the merge — `merge_partial_clusters`' uid-
+// canonical ordering guarantees the resumed result is byte-identical to an
+// uninterrupted run.
+//
+// Crash consistency: a record is either fully committed (renamed into
+// place, checksum valid) or invisible. Records torn by a crash — at the
+// `ckpt.crash.mid_write`, `ckpt.crash.before_rename` or
+// `ckpt.crash.after_rename` points — are discarded at recovery, never
+// half-read. Records written under a different fingerprint (the directory
+// was reused for another job) are discarded and deleted.
+//
+// The store is content-agnostic: blobs are opaque byte strings, so the same
+// class checkpoints Spark accumulator payloads and MapReduce map outputs.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace sdb::minispark {
+
+class JobCheckpoint {
+ public:
+  /// Open (creating if absent) the checkpoint directory for the job
+  /// identified by `fingerprint`, recovering every committed record that
+  /// carries the same fingerprint. `resume == false` wipes any prior state
+  /// instead of recovering it (a fresh run that only wants durability).
+  JobCheckpoint(std::string dir, u64 fingerprint, bool resume = true);
+
+  /// Partition already has a committed record (recovered or saved).
+  [[nodiscard]] bool has(u32 partition) const;
+
+  /// Sorted partitions with committed records.
+  [[nodiscard]] std::vector<u32> completed() const;
+
+  /// The committed blob for `partition`. Aborts if absent.
+  [[nodiscard]] std::string load(u32 partition) const;
+
+  /// Durably commit `blob` as partition `partition`'s result. Atomic:
+  /// either the whole record publishes or recovery sees nothing.
+  /// Idempotent — re-saving a partition overwrites (task re-execution and
+  /// speculative duplicates write identical bytes from deterministic
+  /// lineage). Thread-safe.
+  void save(u32 partition, const std::string& blob);
+
+  /// The job finished and its result was consumed: delete every record.
+  /// A fresh run of the same job starts from zero rather than trivially
+  /// "resuming" a completed one.
+  void commit();
+
+  [[nodiscard]] u64 fingerprint() const { return fingerprint_; }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  // --- observability ---
+  /// Records recovered intact at open.
+  [[nodiscard]] u64 recovered() const { return recovered_; }
+  /// Record files discarded at open (torn, checksum mismatch, or a
+  /// different job's fingerprint).
+  [[nodiscard]] u64 discarded() const { return discarded_; }
+  /// Records committed by save() in this process.
+  [[nodiscard]] u64 saves() const { return saves_; }
+
+ private:
+  [[nodiscard]] std::string record_path(u32 partition) const;
+  void recover(bool resume);
+
+  std::string dir_;
+  u64 fingerprint_;
+  mutable std::mutex mu_;
+  std::map<u32, std::string> blobs_;  ///< committed records, by partition
+  u64 recovered_ = 0;
+  u64 discarded_ = 0;
+  u64 saves_ = 0;
+};
+
+}  // namespace sdb::minispark

@@ -103,6 +103,32 @@ class Accumulator {
     ++updates_;
   }
 
+  /// Scope the add_once dedup tags to one job. Entering a different scope
+  /// clears the tags recorded under the previous one, so the tag set is
+  /// bounded by a single job's partition count instead of growing across
+  /// every job (resumed or otherwise) that reuses this accumulator.
+  void begin_job(u64 job_fingerprint) {
+    const std::scoped_lock lock(mutex_);
+    if (job_scope_ != job_fingerprint) {
+      applied_tags_.clear();
+      job_scope_ = job_fingerprint;
+    }
+  }
+
+  /// The job's result has been consumed by the driver: drop the dedup tags
+  /// (late duplicate deliveries of a committed job are impossible — the
+  /// barrier already passed).
+  void commit_job() {
+    const std::scoped_lock lock(mutex_);
+    applied_tags_.clear();
+  }
+
+  /// Currently-live dedup tags (observability for the scoping contract).
+  [[nodiscard]] size_t pending_tags() const {
+    const std::scoped_lock lock(mutex_);
+    return applied_tags_.size();
+  }
+
   /// Driver-side read.
   [[nodiscard]] const T& value() const { return value_; }
   [[nodiscard]] T& mutable_value() { return value_; }
@@ -124,6 +150,7 @@ class Accumulator {
   Merge merge_;
   mutable std::mutex mutex_;
   std::set<u64> applied_tags_;
+  u64 job_scope_ = 0;
   u64 total_bytes_ = 0;
   u64 updates_ = 0;
   u64 lost_updates_ = 0;

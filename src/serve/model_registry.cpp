@@ -1,6 +1,7 @@
 #include "serve/model_registry.hpp"
 
 #include "fault/injection.hpp"
+#include "util/serialize.hpp"
 
 namespace sdb::serve {
 
@@ -12,9 +13,104 @@ ModelRegistry::ModelRegistry(Config config, int dim)
                                             config.rebuild_threshold},
           dim) {
   SDB_CHECK(dim > 0, "registry dimension must be positive");
-  // Publish an empty snapshot so model() is never null.
   const std::scoped_lock lock(writer_mu_);
+  if (!config_.wal_dir.empty()) {
+    wal_ = std::make_unique<RegistryWal>(config_.wal_dir);
+    recover_locked();
+  } else {
+    // Publish an empty snapshot so model() is never null.
+    publish_locked();
+  }
+}
+
+void ModelRegistry::recover_locked() {
+  // Base state: the newest compaction snapshot, if any. The snapshot is
+  // always taken at a publish boundary (compact() publishes first), so its
+  // epoch is committed by construction.
+  u64 committed_epoch = 0;
+  if (wal_->snapshot().has_value()) {
+    load_snapshot_locked(*wal_->snapshot(), &committed_epoch);
+  }
+  // Committed prefix: everything through the LAST kPublish marker. The
+  // suffix was never part of a published snapshot — truncate it so no
+  // future recovery can resurrect mutations this incarnation rejected.
+  const std::vector<WalRecord>& recs = wal_->records();
+  size_t committed = 0;
+  for (size_t i = 0; i < recs.size(); ++i) {
+    if (recs[i].type == WalRecordType::kPublish) {
+      committed = i + 1;
+      committed_epoch = recs[i].epoch;
+    }
+  }
+  wal_discarded_ = recs.size() - committed;
+  // Replay straight into the incremental state: no re-appending, no
+  // publish-cadence side effects. Insert order reproduces point ids
+  // exactly, so logged remove ids stay valid.
+  for (size_t i = 0; i < committed; ++i) {
+    const WalRecord& rec = recs[i];
+    switch (rec.type) {
+      case WalRecordType::kInsert:
+        incremental_.insert(rec.coords);
+        ++wal_replayed_;
+        break;
+      case WalRecordType::kRemove:
+        incremental_.remove(rec.point_id);
+        ++wal_replayed_;
+        break;
+      case WalRecordType::kPublish:
+        break;  // markers position the commit point; nothing to apply
+    }
+  }
+  wal_->truncate_to(committed);
+  // Republish exactly the last committed epoch (1 for a fresh log: the
+  // initial empty-snapshot publish below behaves like first construction).
+  if (committed_epoch > 0) {
+    epoch_.store(committed_epoch - 1, std::memory_order_relaxed);
+  }
   publish_locked();
+}
+
+void ModelRegistry::load_snapshot_locked(const std::string& blob, u64* epoch) {
+  BinaryReader r(blob.data(), blob.size());
+  const u32 dim = r.read_u32();
+  SDB_CHECK(static_cast<int>(dim) == dim_,
+            "registry snapshot dimension mismatch");
+  *epoch = r.read_u64();
+  const u64 n = r.read_u64();
+  std::vector<double> coords(dim);
+  for (u64 i = 0; i < n; ++i) {
+    for (u32 d = 0; d < dim; ++d) coords[d] = r.read_f64();
+    incremental_.insert(coords);
+  }
+  for (u64 i = 0; i < n; ++i) {
+    if (r.read_u8() != 0) incremental_.remove(static_cast<PointId>(i));
+  }
+}
+
+std::string ModelRegistry::encode_snapshot_locked(u64 epoch) const {
+  BinaryWriter w;
+  w.write_u32(static_cast<u32>(dim_));
+  w.write_u64(epoch);
+  const PointSet& points = incremental_.points();  // includes tombstoned
+  w.write_u64(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const auto p = points[static_cast<PointId>(i)];
+    for (int d = 0; d < dim_; ++d) w.write_f64(p[static_cast<size_t>(d)]);
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    w.write_u8(incremental_.is_removed(static_cast<PointId>(i)) ? 1 : 0);
+  }
+  return std::string(w.buffer().data(), w.buffer().size());
+}
+
+u64 ModelRegistry::compact() {
+  const std::scoped_lock lock(writer_mu_);
+  SDB_CHECK(wal_ != nullptr, "compact() requires wal_dir");
+  // Publish first: the snapshot is then a committed state and the rotated
+  // (empty) log needs no replay at all.
+  const u64 e = publish_locked();
+  wal_->compact(encode_snapshot_locked(e));
+  return e;
 }
 
 bool ModelRegistry::write_available() {
@@ -28,6 +124,10 @@ bool ModelRegistry::write_available() {
 
 PointId ModelRegistry::insert(std::span<const double> coords) {
   const std::scoped_lock lock(writer_mu_);
+  // Write-ahead: the record is durable before the state mutates. A crash
+  // between the two leaves an unapplied record, which recovery discards
+  // unless a later publish committed it.
+  if (wal_ != nullptr) wal_->append_insert(coords);
   const PointId id = incremental_.insert(coords);
   ++mutations_;
   ++since_publish_;
@@ -41,6 +141,8 @@ bool ModelRegistry::try_remove(PointId id) {
       incremental_.is_removed(id)) {
     return false;
   }
+  // Logged after validation: replay only ever sees applicable removes.
+  if (wal_ != nullptr) wal_->append_remove(id);
   incremental_.remove(id);
   ++mutations_;
   ++since_publish_;
@@ -52,6 +154,7 @@ void ModelRegistry::bootstrap(const PointSet& points) {
   SDB_CHECK(points.dim() == dim_, "bootstrap: dimension mismatch");
   const std::scoped_lock lock(writer_mu_);
   for (PointId i = 0; i < static_cast<PointId>(points.size()); ++i) {
+    if (wal_ != nullptr) wal_->append_insert(points[i]);
     incremental_.insert(points[i]);
     ++mutations_;
   }
@@ -81,6 +184,9 @@ u64 ModelRegistry::publish_locked() {
                           core_mask, config_.params, config_.model_options);
   const u64 e = epoch_.load(std::memory_order_relaxed) + 1;
   model->set_epoch(e);
+  // The commit marker hits the log before the in-memory swap: once any
+  // reader can observe epoch e, a restart will recover epoch e.
+  if (wal_ != nullptr) wal_->append_publish(e);
   ++publishes_;
   since_publish_ = 0;
   current_.store(std::move(model), std::memory_order_release);

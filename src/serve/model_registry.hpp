@@ -15,14 +15,24 @@
 // epochs see either the old or the new snapshot in full, never a mix
 // (tests/test_serve_registry.cpp drives this under TSan via the `sanitize`
 // ctest label).
+// Durability (optional): with Config::wal_dir set, every mutation is
+// appended to a write-ahead log BEFORE it is applied, and every publish
+// appends a commit marker carrying the new epoch (serve/registry_wal.hpp).
+// A registry constructed over the same directory after a crash — even a
+// SIGKILL mid-append — replays the log through the last commit marker and
+// republishes exactly the last committed epoch; mutations that never made
+// it into a published snapshot are truncated, not resurrected. compact()
+// folds the log into a checksummed snapshot so the log stays bounded.
 #pragma once
 
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <string>
 
 #include "core/incremental.hpp"
 #include "serve/cluster_model.hpp"
+#include "serve/registry_wal.hpp"
 
 namespace sdb::serve {
 
@@ -37,6 +47,9 @@ class ModelRegistry {
     u64 publish_every = 64;
     /// Snapshot build options (core subsampling knob).
     ClusterModel::Options model_options;
+    /// Write-ahead-log directory (empty = durability off). See the class
+    /// comment: committed-epoch crash recovery with torn-tail truncation.
+    std::string wal_dir;
   };
 
   ModelRegistry(Config config, int dim);
@@ -79,21 +92,40 @@ class ModelRegistry {
   u64 publish();
 
   [[nodiscard]] int dim() const { return dim_; }
+  /// Publishes/mutations performed by THIS process (replayed WAL records
+  /// are not re-counted; the durable quantity across restarts is epoch()).
   [[nodiscard]] u64 publishes() const;
   [[nodiscard]] u64 mutations() const;
   [[nodiscard]] size_t active_points() const;
 
+  /// --- durability (wal_dir set; aborts otherwise) ---
+  /// Publish, then fold log + state into a fresh snapshot generation and
+  /// start an empty log. Returns the published (= snapshotted) epoch.
+  u64 compact();
+  /// WAL mutation records replayed during construction.
+  [[nodiscard]] u64 wal_replayed() const { return wal_replayed_; }
+  /// Uncommitted/torn WAL records dropped during construction.
+  [[nodiscard]] u64 wal_discarded() const { return wal_discarded_; }
+  /// The underlying log (observability/tests); null when durability is off.
+  [[nodiscard]] const RegistryWal* wal() const { return wal_.get(); }
+
  private:
   u64 publish_locked();
   void maybe_publish_locked();
+  void recover_locked();
+  void load_snapshot_locked(const std::string& blob, u64* epoch);
+  [[nodiscard]] std::string encode_snapshot_locked(u64 epoch) const;
 
   Config config_;
   int dim_;
   mutable std::mutex writer_mu_;  // guards incremental_ and the tallies
   dbscan::IncrementalDbscan incremental_;
+  std::unique_ptr<RegistryWal> wal_;
   u64 mutations_ = 0;
   u64 since_publish_ = 0;
   u64 publishes_ = 0;
+  u64 wal_replayed_ = 0;
+  u64 wal_discarded_ = 0;
   std::atomic<std::shared_ptr<const ClusterModel>> current_;
   std::atomic<u64> epoch_{0};
   std::atomic<bool> stalled_{false};

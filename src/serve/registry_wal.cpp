@@ -1,0 +1,278 @@
+#include "serve/registry_wal.hpp"
+
+#include <cstring>
+#include <filesystem>
+
+#include "fault/injection.hpp"
+#include "util/serialize.hpp"
+
+namespace sdb::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr u64 kSnapshotMagic = 0x534442574c534e50ull;  // "SDBWLSNP"
+
+u64 fnv1a(const char* data, size_t size) {
+  u64 h = 1469598103934665603ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Decode one framed payload into a typed record. False on malformed body
+/// (treated exactly like a checksum failure: the record and everything
+/// after it are truncated).
+bool decode_payload(const char* data, size_t size, WalRecord* rec) {
+  if (size < sizeof(u32)) return false;
+  BinaryReader r(data, size);
+  const u32 type = r.read_u32();
+  switch (static_cast<WalRecordType>(type)) {
+    case WalRecordType::kInsert: {
+      if (r.remaining() < sizeof(u32)) return false;
+      const u32 dim = r.read_u32();
+      if (r.remaining() != static_cast<u64>(dim) * sizeof(double)) {
+        return false;
+      }
+      rec->type = WalRecordType::kInsert;
+      rec->coords.resize(dim);
+      std::memcpy(rec->coords.data(), data + r.position(),
+                  dim * sizeof(double));
+      return true;
+    }
+    case WalRecordType::kRemove:
+      if (r.remaining() != sizeof(i64)) return false;
+      rec->type = WalRecordType::kRemove;
+      rec->point_id = r.read_i64();
+      return true;
+    case WalRecordType::kPublish:
+      if (r.remaining() != sizeof(u64)) return false;
+      rec->type = WalRecordType::kPublish;
+      rec->epoch = r.read_u64();
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+RegistryWal::RegistryWal(std::string dir) : dir_(std::move(dir)) {
+  SDB_CHECK(!dir_.empty(), "RegistryWal needs a directory");
+  fs::create_directories(dir_);
+  open_generation();
+  scan_log();
+  // Append from the scanned (post-truncation) end.
+  out_.open(log_path(generation_), std::ios::binary | std::ios::app);
+  SDB_CHECK(out_.good(), "RegistryWal cannot open log for append");
+}
+
+std::string RegistryWal::log_path(u64 generation) const {
+  return (fs::path(dir_) / ("wal_" + std::to_string(generation) + ".log"))
+      .string();
+}
+
+std::string RegistryWal::snapshot_path(u64 generation) const {
+  return (fs::path(dir_) / ("snapshot_" + std::to_string(generation)))
+      .string();
+}
+
+void RegistryWal::open_generation() {
+  // Pick the highest generation whose snapshot verifies; everything else —
+  // older generations, tmp files, snapshots torn mid-write — is garbage.
+  u64 best_gen = 0;
+  std::string best_blob;
+  bool have_snapshot = false;
+  std::vector<std::pair<u64, fs::path>> snapshots;
+  std::vector<fs::path> tmp_files;
+  std::vector<std::pair<u64, fs::path>> logs;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.ends_with(".tmp")) {
+      tmp_files.push_back(entry.path());
+      continue;
+    }
+    if (name.rfind("snapshot_", 0) == 0) {
+      snapshots.emplace_back(std::stoull(name.substr(9)), entry.path());
+    } else if (name.rfind("wal_", 0) == 0 && name.ends_with(".log")) {
+      const std::string digits = name.substr(4, name.size() - 8);
+      logs.emplace_back(std::stoull(digits), entry.path());
+    }
+  }
+  for (const auto& [gen, path] : snapshots) {
+    if (gen < best_gen && have_snapshot) continue;
+    const std::vector<char> buf = read_file(path.string());
+    // snapshot file = magic + blob bytes + fnv trailer
+    if (buf.size() < 2 * sizeof(u64)) continue;
+    const size_t payload = buf.size() - sizeof(u64);
+    u64 trailer = 0;
+    std::memcpy(&trailer, buf.data() + payload, sizeof(u64));
+    if (trailer != fnv1a(buf.data(), payload)) continue;
+    u64 magic = 0;
+    std::memcpy(&magic, buf.data(), sizeof(u64));
+    if (magic != kSnapshotMagic) continue;
+    if (!have_snapshot || gen > best_gen) {
+      best_gen = gen;
+      best_blob.assign(buf.data() + sizeof(u64), payload - sizeof(u64));
+      have_snapshot = true;
+    }
+  }
+  generation_ = best_gen;
+  if (have_snapshot) snapshot_ = std::move(best_blob);
+  // GC: tmp files, snapshots that are not the winner, logs of other gens.
+  for (const fs::path& p : tmp_files) {
+    fs::remove(p);
+    ++collected_files_;
+  }
+  for (const auto& [gen, path] : snapshots) {
+    if (have_snapshot && gen == best_gen) continue;
+    fs::remove(path);
+    ++collected_files_;
+  }
+  for (const auto& [gen, path] : logs) {
+    if (gen == generation_) continue;
+    fs::remove(path);
+    ++collected_files_;
+  }
+}
+
+void RegistryWal::scan_log() {
+  const std::string path = log_path(generation_);
+  if (!fs::exists(path)) return;
+  const std::vector<char> buf = read_file(path);
+  size_t off = 0;
+  while (true) {
+    if (buf.size() - off < sizeof(u32)) break;
+    u32 len = 0;
+    std::memcpy(&len, buf.data() + off, sizeof(u32));
+    const size_t need = sizeof(u32) + static_cast<size_t>(len) + sizeof(u64);
+    if (buf.size() - off < need) break;  // torn tail: record ran past EOF
+    const char* payload = buf.data() + off + sizeof(u32);
+    u64 trailer = 0;
+    std::memcpy(&trailer, payload + len, sizeof(u64));
+    if (trailer != fnv1a(payload, len)) break;  // corrupt: stop here
+    WalRecord rec;
+    if (!decode_payload(payload, len, &rec)) break;
+    records_.push_back(std::move(rec));
+    off += need;
+    ends_.push_back(off);
+  }
+  if (off < buf.size()) {
+    // Torn or corrupt tail: make the on-disk log end exactly at the last
+    // valid record so future scans never re-inspect the garbage.
+    truncated_bytes_ = buf.size() - off;
+    fs::resize_file(path, off);
+  }
+}
+
+void RegistryWal::truncate_to(size_t count) {
+  const std::scoped_lock lock(mu_);
+  SDB_CHECK(count <= records_.size(), "truncate_to beyond record count");
+  if (count == records_.size()) return;
+  SDB_CHECK(!out_.is_open() || out_.tellp() >= 0, "log stream poisoned");
+  const bool was_open = out_.is_open();
+  if (was_open) out_.close();
+  const u64 keep = count == 0 ? 0 : ends_[count - 1];
+  fs::resize_file(log_path(generation_), keep);
+  records_.resize(count);
+  ends_.resize(count);
+  if (was_open) {
+    out_.open(log_path(generation_), std::ios::binary | std::ios::app);
+    SDB_CHECK(out_.good(), "RegistryWal cannot reopen log after truncate");
+  }
+}
+
+void RegistryWal::append_payload(const std::vector<char>& payload) {
+  const std::scoped_lock lock(mu_);
+  BinaryWriter w;
+  w.write_u32(static_cast<u32>(payload.size()));
+  w.write_bytes(payload.data(), payload.size());
+  w.write_u64(fnv1a(payload.data(), payload.size()));
+  const std::vector<char>& frame = w.buffer();
+  if (SDB_INJECT("wal.crash.mid_append")) {
+    // Crash at byte k of the append: a torn prefix reaches disk, the
+    // process dies, and recovery truncates it.
+    out_.write(frame.data(),
+               static_cast<std::streamsize>(frame.size() / 2));
+    out_.flush();
+    fault::trigger_crash("wal.crash.mid_append");
+  }
+  SDB_CRASH_POINT("wal.crash.before_append");
+  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  SDB_CHECK(out_.good(), "RegistryWal append failed");
+  SDB_CRASH_POINT("wal.crash.after_append");
+  const u64 prev = ends_.empty() ? 0 : ends_.back();
+  ends_.push_back(prev + frame.size());
+  ++appends_;
+}
+
+void RegistryWal::append_insert(std::span<const double> coords) {
+  BinaryWriter w;
+  w.write_u32(static_cast<u32>(WalRecordType::kInsert));
+  w.write_u32(static_cast<u32>(coords.size()));
+  for (const double c : coords) w.write_f64(c);
+  append_payload(w.buffer());
+  const std::scoped_lock lock(mu_);
+  WalRecord rec;
+  rec.type = WalRecordType::kInsert;
+  rec.coords.assign(coords.begin(), coords.end());
+  records_.push_back(std::move(rec));
+}
+
+void RegistryWal::append_remove(i64 point_id) {
+  BinaryWriter w;
+  w.write_u32(static_cast<u32>(WalRecordType::kRemove));
+  w.write_i64(point_id);
+  append_payload(w.buffer());
+  const std::scoped_lock lock(mu_);
+  WalRecord rec;
+  rec.type = WalRecordType::kRemove;
+  rec.point_id = point_id;
+  records_.push_back(rec);
+}
+
+void RegistryWal::append_publish(u64 epoch) {
+  BinaryWriter w;
+  w.write_u32(static_cast<u32>(WalRecordType::kPublish));
+  w.write_u64(epoch);
+  append_payload(w.buffer());
+  const std::scoped_lock lock(mu_);
+  WalRecord rec;
+  rec.type = WalRecordType::kPublish;
+  rec.epoch = epoch;
+  records_.push_back(rec);
+}
+
+void RegistryWal::compact(const std::string& snapshot_blob) {
+  const std::scoped_lock lock(mu_);
+  const u64 next = generation_ + 1;
+  // Stage the snapshot, then commit it with one rename. A crash before the
+  // rename leaves generation G intact (the tmp is GC'd at next open); a
+  // crash after it means G+1's snapshot wins and G is GC'd.
+  BinaryWriter w;
+  w.write_u64(kSnapshotMagic);
+  w.write_bytes(snapshot_blob.data(), snapshot_blob.size());
+  w.write_u64(fnv1a(w.buffer().data(), w.buffer().size()));
+  const std::string final_path = snapshot_path(next);
+  const std::string tmp = final_path + ".tmp";
+  write_file(tmp, w.buffer());
+  SDB_CRASH_POINT("wal.crash.snapshot_rename");
+  fs::rename(tmp, final_path);
+  // Generation G+1 is now authoritative: fresh empty log, old gen deleted.
+  if (out_.is_open()) out_.close();
+  const u64 old_gen = generation_;
+  generation_ = next;
+  records_.clear();
+  ends_.clear();
+  snapshot_ = snapshot_blob;
+  out_.open(log_path(generation_),
+            std::ios::binary | std::ios::trunc);
+  SDB_CHECK(out_.good(), "RegistryWal cannot open rotated log");
+  fs::remove(log_path(old_gen));
+  fs::remove(snapshot_path(old_gen));
+}
+
+}  // namespace sdb::serve

@@ -27,6 +27,9 @@ class BinaryWriter {
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
 
+  /// Raw bytes, no length prefix (caller owns the framing).
+  void write_bytes(const void* p, size_t n) { append(p, n); }
+
   void write_i64_vec(const std::vector<i64>& v) {
     write_u64(v.size());
     append(v.data(), v.size() * sizeof(i64));

@@ -3,6 +3,8 @@
 // contract, which the paper leans on for fault tolerance.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 
 #include "dfs/mini_dfs.hpp"
@@ -16,8 +18,13 @@ namespace fs = std::filesystem;
 
 class DfsFailoverTest : public ::testing::Test {
  protected:
+  // Per-process root: `ctest -j` runs each case as its own process, and a
+  // shared root means one test's remove_all() deletes another's live block
+  // files mid-run.
   DfsFailoverTest()
-      : root_((fs::temp_directory_path() / "sdb_dfs_failover").string()) {
+      : root_((fs::temp_directory_path() /
+               ("sdb_dfs_failover_p" + std::to_string(::getpid())))
+                  .string()) {
     fs::remove_all(root_);
   }
   ~DfsFailoverTest() override { fs::remove_all(root_); }

@@ -1,6 +1,8 @@
 // Block checksum verification — HDFS's data-integrity scan.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 
@@ -13,8 +15,13 @@ namespace fs = std::filesystem;
 
 class DfsIntegrityTest : public ::testing::Test {
  protected:
+  // Per-process root: `ctest -j` runs each case as its own process, and a
+  // shared root means one test's remove_all() deletes another's live block
+  // files mid-run.
   DfsIntegrityTest()
-      : root_((fs::temp_directory_path() / "sdb_dfs_integrity").string()) {
+      : root_((fs::temp_directory_path() /
+               ("sdb_dfs_integrity_p" + std::to_string(::getpid())))
+                  .string()) {
     fs::remove_all(root_);
   }
   ~DfsIntegrityTest() override { fs::remove_all(root_); }

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
+#include <fstream>
 
 #include "util/counters.hpp"
 
@@ -13,8 +16,13 @@ namespace fs = std::filesystem;
 
 class MiniDfsTest : public ::testing::Test {
  protected:
+  // Per-process root: `ctest -j` runs each case as its own process, and a
+  // shared root means one test's remove_all() deletes another's live block
+  // files mid-run.
   MiniDfsTest()
-      : root_((fs::temp_directory_path() / "sdb_dfs_test").string()) {
+      : root_((fs::temp_directory_path() /
+               ("sdb_dfs_test_p" + std::to_string(::getpid())))
+                  .string()) {
     fs::remove_all(root_);
   }
   ~MiniDfsTest() override { fs::remove_all(root_); }
@@ -126,6 +134,90 @@ TEST_F(MiniDfsTest, ReadCountsBytes) {
     (void)dfs.read("/f");
   }
   EXPECT_EQ(wc.bytes_read, 30u);
+}
+
+// --- durable mode (atomic publish + manifest recovery) ---------------------
+
+TEST_F(MiniDfsTest, DurableCatalogSurvivesReopen) {
+  const std::string a(20, 'a');
+  const std::string b = "hello\nworld\n";
+  {
+    MiniDfs dfs(root_, 8, 4, 2, Durability::kDurable);
+    dfs.write("/x/a", a);
+    dfs.write("/b", b);
+  }
+  MiniDfs reopened(root_, 8, 4, 2, Durability::kDurable);
+  EXPECT_EQ(reopened.recovered_files(), 2u);
+  EXPECT_EQ(reopened.dropped_files(), 0u);
+  EXPECT_EQ(reopened.read("/x/a"), a);
+  EXPECT_EQ(reopened.read("/b"), b);
+  // New writes keep working after recovery (block-id allocation resumed past
+  // the recovered ids, so nothing collides).
+  reopened.write("/c", "fresh");
+  EXPECT_EQ(reopened.read("/c"), "fresh");
+  EXPECT_EQ(reopened.read("/x/a"), a);
+}
+
+TEST_F(MiniDfsTest, EphemeralCatalogDoesNotSurviveReopen) {
+  {
+    MiniDfs dfs(root_, 8);
+    dfs.write("/f", "transient");
+  }
+  MiniDfs reopened(root_, 8);
+  EXPECT_FALSE(reopened.exists("/f"));
+  EXPECT_EQ(reopened.recovered_files(), 0u);
+}
+
+TEST_F(MiniDfsTest, TornBlockIsRejectedOnReadNotReturnedShort) {
+  // The satellite invariant: a block whose bytes no longer match the
+  // manifest (torn write, external truncation) must never be read back as a
+  // short-but-valid file — the read fails loudly instead.
+  MiniDfs dfs(root_, 8, 4, 1, Durability::kDurable);
+  dfs.write("/f", std::string(24, 'q'));
+  const u64 victim = dfs.stat("/f").blocks[1].id;
+  fs::resize_file(fs::path(root_) / "blocks" / ("blk_" + std::to_string(victim)),
+                  2);
+  EXPECT_THROW((void)dfs.read("/f"), DfsTransientError);
+  EXPECT_EQ(dfs.verify("/f"), std::vector<size_t>{1});
+}
+
+TEST_F(MiniDfsTest, CorruptBlockByteIsRejectedOnRead) {
+  MiniDfs dfs(root_, 8, 4, 1, Durability::kDurable);
+  dfs.write("/f", std::string(16, 'q'));
+  const u64 victim = dfs.stat("/f").blocks[0].id;
+  const fs::path bp =
+      fs::path(root_) / "blocks" / ("blk_" + std::to_string(victim));
+  // Same size, one flipped byte: only the checksum can catch it.
+  std::fstream f(bp, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(3);
+  f.put('Q');
+  f.close();
+  EXPECT_THROW((void)dfs.read("/f"), DfsTransientError);
+  EXPECT_EQ(dfs.verify("/f"), std::vector<size_t>{0});
+}
+
+TEST_F(MiniDfsTest, DurableOverwriteIsAtomicAcrossReopen) {
+  const std::string v2(40, 'b');
+  {
+    MiniDfs dfs(root_, 16, 4, 2, Durability::kDurable);
+    dfs.write("/f", std::string(40, 'a'));
+    dfs.write("/f", v2);  // overwrite republishes the manifest
+  }
+  MiniDfs reopened(root_, 16, 4, 2, Durability::kDurable);
+  EXPECT_EQ(reopened.read("/f"), v2);
+  EXPECT_TRUE(reopened.verify("/f").empty());
+}
+
+TEST_F(MiniDfsTest, DurableRemoveSurvivesReopen) {
+  {
+    MiniDfs dfs(root_, 8, 4, 2, Durability::kDurable);
+    dfs.write("/f", "doomed");
+    dfs.write("/keep", "kept");
+    dfs.remove("/f");
+  }
+  MiniDfs reopened(root_, 8, 4, 2, Durability::kDurable);
+  EXPECT_FALSE(reopened.exists("/f"));
+  EXPECT_EQ(reopened.read("/keep"), "kept");
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 // spill and shuffle bytes shrink while the reduce output is unchanged.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <sstream>
 
@@ -16,7 +18,11 @@ namespace fs = std::filesystem;
 class MRCombinerTest : public ::testing::Test {
  protected:
   MRCombinerTest() {
-    config_.work_dir = (fs::temp_directory_path() / "sdb_mr_comb").string();
+    // Per-process work dir: `ctest -j` runs each case as its own process.
+    config_.work_dir =
+        (fs::temp_directory_path() /
+         ("sdb_mr_comb_p" + std::to_string(::getpid())))
+            .string();
     fs::remove_all(config_.work_dir);
     config_.cores = 2;
     config_.reduce_tasks = 2;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <mutex>
 #include <sstream>
@@ -14,7 +16,11 @@ namespace fs = std::filesystem;
 class MREngineTest : public ::testing::Test {
  protected:
   MREngineTest() {
-    config_.work_dir = (fs::temp_directory_path() / "sdb_mr_test").string();
+    // Per-process work dir: `ctest -j` runs each case as its own process.
+    config_.work_dir =
+        (fs::temp_directory_path() /
+         ("sdb_mr_test_p" + std::to_string(::getpid())))
+            .string();
     fs::remove_all(config_.work_dir);
     config_.cores = 2;
     config_.job_startup_s = 0.5;

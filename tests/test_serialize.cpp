@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/partial_cluster.hpp"
 #include "util/counters.hpp"
 
 #include <cstdio>
@@ -99,6 +100,93 @@ TEST(Serialize, EmptyFile) {
   write_file(path, {});
   EXPECT_TRUE(read_file(path).empty());
   std::filesystem::remove(path);
+}
+
+// --- partial-cluster wire format (what the job checkpoint persists) --------
+// A checkpointed record is replayed byte-for-byte into the merge on resume,
+// so the round trip must be exact for every shape a partition can produce.
+
+void expect_equal(const dbscan::PartialCluster& a,
+                  const dbscan::PartialCluster& b) {
+  EXPECT_EQ(a.uid, b.uid);
+  EXPECT_EQ(a.partition, b.partition);
+  EXPECT_EQ(a.members, b.members);
+  EXPECT_EQ(a.seeds, b.seeds);
+}
+
+TEST(PartialClusterSerialize, SeedsAtPartitionBoundariesRoundTrip) {
+  dbscan::PartialCluster pc;
+  pc.partition = 2;
+  pc.uid = dbscan::PartialCluster::make_uid(2, 7);
+  pc.members = {10, 11, 12};
+  // SEEDs reference points OWNED BY OTHER PARTITIONS — including ids at the
+  // boundary of the id space (first point, last point).
+  pc.seeds = {0, 9, 13, 999'999'999};
+  BinaryWriter w;
+  serialize(pc, w);
+  BinaryReader r(w.buffer());
+  expect_equal(dbscan::deserialize_partial_cluster(r), pc);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(PartialClusterSerialize, EmptyClusterRoundTrips) {
+  dbscan::PartialCluster pc;
+  pc.partition = 0;
+  pc.uid = dbscan::PartialCluster::make_uid(0, 0);
+  BinaryWriter w;
+  serialize(pc, w);
+  BinaryReader r(w.buffer());
+  expect_equal(dbscan::deserialize_partial_cluster(r), pc);
+}
+
+TEST(PartialClusterSerialize, MaxUidRoundTrips) {
+  // make_uid packs (partition << 32) | local index; saturate both halves.
+  dbscan::PartialCluster pc;
+  pc.partition = static_cast<PartitionId>(0x7fffffff);
+  pc.uid = dbscan::PartialCluster::make_uid(pc.partition, 0xffffffffu);
+  pc.members = {1};
+  BinaryWriter w;
+  serialize(pc, w);
+  BinaryReader r(w.buffer());
+  const dbscan::PartialCluster back = dbscan::deserialize_partial_cluster(r);
+  expect_equal(back, pc);
+  EXPECT_EQ(back.uid >> 32, 0x7fffffffu);
+  EXPECT_EQ(back.uid & 0xffffffffu, 0xffffffffu);
+}
+
+TEST(PartialClusterSerialize, AllNoiseLocalResultRoundTrips) {
+  // A partition that found nothing: no clusters, every local point noise.
+  dbscan::LocalClusterResult result;
+  result.partition = 3;
+  result.noise = {30, 31, 32, 33};
+  const dbscan::LocalClusterResult back =
+      dbscan::local_result_from_bytes(dbscan::to_bytes(result));
+  EXPECT_EQ(back.partition, result.partition);
+  EXPECT_TRUE(back.clusters.empty());
+  EXPECT_TRUE(back.core_points.empty());
+  EXPECT_EQ(back.noise, result.noise);
+}
+
+TEST(PartialClusterSerialize, FullLocalResultRoundTrips) {
+  dbscan::LocalClusterResult result;
+  result.partition = 1;
+  for (u32 i = 0; i < 3; ++i) {
+    dbscan::PartialCluster pc;
+    pc.partition = 1;
+    pc.uid = dbscan::PartialCluster::make_uid(1, i);
+    pc.members = {static_cast<PointId>(i * 10), static_cast<PointId>(i * 10 + 1)};
+    pc.seeds = {static_cast<PointId>(100 + i)};
+    result.clusters.push_back(std::move(pc));
+  }
+  result.core_points = {10, 11, 20, 21};
+  result.noise = {5};
+  const dbscan::LocalClusterResult back =
+      dbscan::local_result_from_bytes(dbscan::to_bytes(result));
+  EXPECT_EQ(back.partition, result.partition);
+  ASSERT_EQ(back.clusters.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) expect_equal(back.clusters[i], result.clusters[i]);
+  EXPECT_EQ(back.core_points, result.core_points);
+  EXPECT_EQ(back.noise, result.noise);
 }
 
 }  // namespace

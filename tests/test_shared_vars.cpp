@@ -89,5 +89,54 @@ TEST(Accumulator, PaperUsage_PartialClustersTravelViaAccumulator) {
   EXPECT_EQ(acc->total_bytes(), 96u);
 }
 
+// --- add_once job scoping (the checkpoint/resume contract) -----------------
+
+TEST(Accumulator, AddOnceDedupsByTag) {
+  auto acc = make_sum_accumulator<i64>();
+  acc->add_once(7, 5, 8);
+  acc->add_once(7, 5, 8);  // speculative duplicate: ignored
+  EXPECT_EQ(acc->value(), 5);
+  EXPECT_EQ(acc->duplicates_ignored(), 1u);
+  EXPECT_EQ(acc->pending_tags(), 1u);
+  // The dropped duplicate still paid its wire bytes.
+  EXPECT_EQ(acc->total_bytes(), 8u);
+}
+
+TEST(Accumulator, BeginJobSameScopeKeepsTags) {
+  auto acc = make_sum_accumulator<i64>();
+  acc->begin_job(0xabc);
+  acc->add_once(1, 10, 0);
+  acc->begin_job(0xabc);  // re-entering the SAME job: dedup state survives
+  acc->add_once(1, 10, 0);
+  EXPECT_EQ(acc->value(), 10);
+  EXPECT_EQ(acc->duplicates_ignored(), 1u);
+}
+
+TEST(Accumulator, BeginJobNewScopeClearsTags) {
+  auto acc = make_sum_accumulator<i64>();
+  acc->begin_job(0xabc);
+  acc->add_once(1, 10, 0);
+  EXPECT_EQ(acc->pending_tags(), 1u);
+  // A different job fingerprint reuses tag values freely: the tag set is
+  // bounded by ONE job's partitions, not the accumulator's whole lifetime.
+  acc->begin_job(0xdef);
+  EXPECT_EQ(acc->pending_tags(), 0u);
+  acc->add_once(1, 32, 0);
+  EXPECT_EQ(acc->value(), 42);
+  EXPECT_EQ(acc->duplicates_ignored(), 0u);
+}
+
+TEST(Accumulator, CommitJobClearsTags) {
+  auto acc = make_sum_accumulator<i64>();
+  acc->begin_job(0xabc);
+  acc->add_once(1, 10, 0);
+  acc->add_once(2, 10, 0);
+  EXPECT_EQ(acc->pending_tags(), 2u);
+  acc->commit_job();
+  EXPECT_EQ(acc->pending_tags(), 0u);
+  // The merged value itself is NOT reset — only the dedup bookkeeping.
+  EXPECT_EQ(acc->value(), 20);
+}
+
 }  // namespace
 }  // namespace sdb::minispark
