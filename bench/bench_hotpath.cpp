@@ -1,0 +1,280 @@
+// Hot-path benchmark + perf-regression baseline (BENCH_hotpath.json).
+//
+// Three sections, each measured on the legacy path (sequential build,
+// row-major gather leaf scans — byte-equivalent to the pre-overhaul code)
+// and on the optimized path (thread-pool parallel build, leaf-contiguous
+// layout, blocked distance kernel):
+//   build  — kd-tree construction wall time;
+//   query  — exact range-query throughput through the executor's
+//            range_query_budgeted entry point;
+//   e2e    — the full spark_dbscan pipeline wall time.
+// Results print as tables and are also written as machine-readable JSON
+// (schema documented in README "Hot-path bench") so every future PR can
+// diff its perf trajectory against the committed BENCH_hotpath.json.
+//
+// --smoke shrinks the datasets so the run finishes in seconds; it is wired
+// into ctest under the `perf` label as a build-and-run regression smoke.
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace sdb;
+
+namespace {
+
+struct BuildNumbers {
+  double seq_legacy_ms = 0.0;
+  double seq_reorder_ms = 0.0;
+  double parallel_ms = 0.0;
+};
+
+struct QueryNumbers {
+  u64 queries = 0;
+  double legacy_qps = 0.0;
+  double blocked_qps = 0.0;
+  u64 distance_evals_legacy = 0;
+  u64 distance_evals_blocked = 0;
+  u64 neighbors = 0;
+};
+
+struct E2eNumbers {
+  bool pruned = false;
+  u32 cores = 0;
+  double legacy_wall_s = 0.0;
+  double optimized_wall_s = 0.0;
+  double sim_total_s = 0.0;
+};
+
+struct DatasetReport {
+  std::string name;
+  size_t n = 0;
+  int dim = 0;
+  double eps = 0.0;
+  BuildNumbers build;
+  QueryNumbers query;
+  E2eNumbers e2e;
+  bool has_e2e = false;
+};
+
+double best_build_ms(const PointSet& points, const KdTreeOptions& options,
+                     int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    const KdTree tree(points, options);
+    best = std::min(best, sw.millis());
+  }
+  return best;
+}
+
+/// Exact range queries from `queries` dataset points, round-robin.
+QueryNumbers measure_queries(const PointSet& points, const KdTree& legacy,
+                             const KdTree& blocked, double eps, u64 queries) {
+  QueryNumbers out;
+  out.queries = queries;
+  const size_t stride = std::max<size_t>(1, points.size() / queries);
+  std::vector<PointId> hits;
+  auto run = [&](const KdTree& tree, u64* evals, double* qps) {
+    WorkCounters wc;
+    Stopwatch sw;
+    u64 neighbors = 0;
+    {
+      ScopedCounters scope(&wc);
+      u64 done = 0;
+      for (size_t i = 0; done < queries && i < points.size();
+           i += stride, ++done) {
+        hits.clear();
+        tree.range_query_budgeted(points[static_cast<PointId>(i)], eps,
+                                  QueryBudget{}, hits);
+        neighbors += hits.size();
+      }
+    }
+    *qps = static_cast<double>(queries) / sw.seconds();
+    *evals = wc.distance_evals;
+    out.neighbors = neighbors;
+  };
+  run(legacy, &out.distance_evals_legacy, &out.legacy_qps);
+  run(blocked, &out.distance_evals_blocked, &out.blocked_qps);
+  return out;
+}
+
+E2eNumbers measure_e2e(const PointSet& points, const synth::DatasetSpec& spec,
+                       u64 seed, bool pruned) {
+  E2eNumbers out;
+  out.pruned = pruned;
+  out.cores = 8;
+  dbscan::SparkDbscanConfig cfg;
+  cfg.params = dbscan::DbscanParams{spec.eps, spec.minpts};
+  cfg.partitions = out.cores;
+  cfg.seed = seed;
+  if (pruned) {
+    cfg.budget.max_neighbors = 64;  // the paper's r1m pruning configuration
+    cfg.min_partial_cluster_size = 4;
+  }
+  auto run = [&](unsigned threads, bool reorder) {
+    minispark::SparkContext ctx(bench::cluster_config(out.cores, seed));
+    cfg.index_build_threads = threads;
+    cfg.index_reorder = reorder;
+    dbscan::SparkDbscan dbscan(ctx, cfg);
+    const auto report = dbscan.run(points);
+    out.sim_total_s = report.sim_read_s + report.sim_tree_s +
+                      report.sim_broadcast_s + report.sim_executor_s +
+                      report.sim_collect_s + report.sim_merge_s;
+    return report.wall_s;
+  };
+  out.legacy_wall_s = run(1, false);
+  out.optimized_wall_s = run(0, true);
+  return out;
+}
+
+void write_json(const std::string& path, const std::string& mode,
+                unsigned threads, u64 seed,
+                const std::vector<DatasetReport>& reports) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  SDB_CHECK(f != nullptr, "cannot open bench output file");
+  std::fprintf(f, "{\n  \"bench\": \"hotpath\",\n  \"mode\": \"%s\",\n",
+               mode.c_str());
+  std::fprintf(f, "  \"host_threads\": %u,\n",
+               std::max(1u, std::thread::hardware_concurrency()));
+  std::fprintf(f, "  \"build_threads\": %u,\n  \"seed\": %llu,\n", threads,
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"datasets\": [\n");
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const DatasetReport& r = reports[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"n\": %zu, \"dim\": %d, "
+                 "\"eps\": %.3f,\n",
+                 r.name.c_str(), r.n, r.dim, r.eps);
+    std::fprintf(f,
+                 "     \"build\": {\"seq_legacy_ms\": %.3f, "
+                 "\"seq_reorder_ms\": %.3f, \"parallel_ms\": %.3f, "
+                 "\"parallel_speedup\": %.3f},\n",
+                 r.build.seq_legacy_ms, r.build.seq_reorder_ms,
+                 r.build.parallel_ms,
+                 r.build.seq_legacy_ms / r.build.parallel_ms);
+    std::fprintf(f,
+                 "     \"query\": {\"queries\": %llu, \"legacy_qps\": %.1f, "
+                 "\"blocked_qps\": %.1f, \"speedup\": %.3f, "
+                 "\"neighbors\": %llu,\n"
+                 "               \"distance_evals_legacy\": %llu, "
+                 "\"distance_evals_blocked\": %llu}",
+                 static_cast<unsigned long long>(r.query.queries),
+                 r.query.legacy_qps, r.query.blocked_qps,
+                 r.query.blocked_qps / r.query.legacy_qps,
+                 static_cast<unsigned long long>(r.query.neighbors),
+                 static_cast<unsigned long long>(r.query.distance_evals_legacy),
+                 static_cast<unsigned long long>(
+                     r.query.distance_evals_blocked));
+    if (r.has_e2e) {
+      std::fprintf(f,
+                   ",\n     \"e2e\": {\"pruned\": %s, \"cores\": %u, "
+                   "\"legacy_wall_s\": %.3f, \"optimized_wall_s\": %.3f, "
+                   "\"speedup\": %.3f, \"sim_total_s\": %.3f}",
+                   r.e2e.pruned ? "true" : "false", r.e2e.cores,
+                   r.e2e.legacy_wall_s, r.e2e.optimized_wall_s,
+                   r.e2e.legacy_wall_s / r.e2e.optimized_wall_s,
+                   r.e2e.sim_total_s);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.add_bool("smoke", false,
+                 "seconds-scale run for the perf ctest label (small datasets, "
+                 "fewer queries)");
+  flags.add_string("out", "BENCH_hotpath.json", "JSON output path");
+  flags.add_i64("threads", 0,
+                "parallel build threads (0 = hardware concurrency)");
+  flags.add_i64("queries", 2000, "range queries per dataset");
+  flags.add_i64("seed", 42, "dataset seed");
+  flags.add_bool("csv", false, "also print tables as CSV");
+  flags.parse(argc, argv);
+
+  const bool smoke = flags.boolean("smoke");
+  const u64 seed = static_cast<u64>(flags.i64_flag("seed"));
+  const u64 queries =
+      static_cast<u64>(flags.i64_flag("queries")) / (smoke ? 4 : 1);
+  unsigned threads = static_cast<unsigned>(flags.i64_flag("threads"));
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  const int build_reps = smoke ? 1 : 2;
+
+  // 100k and 1M uniform points at the paper's d=10 (Table I r100k / r1m);
+  // smoke shrinks both so the perf-label ctest stays in the seconds range.
+  struct Run {
+    const char* preset;
+    double scale;
+    bool e2e;
+    bool e2e_pruned;
+  };
+  const std::vector<Run> runs =
+      smoke ? std::vector<Run>{{"r10k", 1.0, true, false}}
+            : std::vector<Run>{{"r100k", 1.0, true, false},
+                               {"r1m", 1.0, true, true}};
+
+  std::vector<DatasetReport> reports;
+  for (const Run& run : runs) {
+    const auto spec = *synth::find_preset(run.preset);
+    const PointSet points = synth::generate(spec, seed, run.scale);
+    DatasetReport r;
+    r.name = spec.name;
+    r.n = points.size();
+    r.dim = points.dim();
+    r.eps = spec.eps;
+
+    r.build.seq_legacy_ms = best_build_ms(
+        points, {.build_threads = 1, .reorder = false}, build_reps);
+    r.build.seq_reorder_ms = best_build_ms(
+        points, {.build_threads = 1, .reorder = true}, build_reps);
+    r.build.parallel_ms = best_build_ms(
+        points, {.build_threads = threads, .reorder = true}, build_reps);
+
+    const KdTree legacy(points, {.build_threads = 1, .reorder = false});
+    const KdTree blocked(points, {.build_threads = threads, .reorder = true});
+    r.query = measure_queries(points, legacy, blocked, spec.eps, queries);
+    SDB_CHECK(r.query.distance_evals_legacy == r.query.distance_evals_blocked,
+              "blocked kernel must evaluate exactly the scalar path's "
+              "candidates");
+
+    if (run.e2e) {
+      r.e2e = measure_e2e(points, spec, seed, run.e2e_pruned);
+      r.has_e2e = true;
+    }
+    reports.push_back(r);
+
+    TablePrinter table({"metric", "legacy", "optimized", "speedup"});
+    table.add_row({"build (ms)", TablePrinter::cell(r.build.seq_legacy_ms, 1),
+                   TablePrinter::cell(r.build.parallel_ms, 1),
+                   TablePrinter::cell(
+                       r.build.seq_legacy_ms / r.build.parallel_ms, 2)});
+    table.add_row(
+        {"query (q/s)", TablePrinter::cell(r.query.legacy_qps, 0),
+         TablePrinter::cell(r.query.blocked_qps, 0),
+         TablePrinter::cell(r.query.blocked_qps / r.query.legacy_qps, 2)});
+    if (r.has_e2e) {
+      table.add_row(
+          {"e2e wall (s)", TablePrinter::cell(r.e2e.legacy_wall_s, 2),
+           TablePrinter::cell(r.e2e.optimized_wall_s, 2),
+           TablePrinter::cell(r.e2e.legacy_wall_s / r.e2e.optimized_wall_s,
+                              2)});
+    }
+    bench::emit(table,
+                "hot path: " + r.name + " (" + std::to_string(r.n) +
+                    " points, d=" + std::to_string(r.dim) + ", " +
+                    std::to_string(threads) + " build threads)",
+                flags.boolean("csv"));
+  }
+
+  write_json(flags.string("out"), smoke ? "smoke" : "full", threads, seed,
+             reports);
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "core/local_dbscan.hpp"
 
+#include <algorithm>
 #include <deque>
 
 #include "util/counters.hpp"
@@ -36,6 +37,14 @@ LocalClusterResult local_dbscan(const PointSet& points,
 
   std::vector<PointId> neighbors;
   std::deque<PointId> frontier;  // the paper's Queue (LinkedList)
+  u64 frontier_peak = 0;
+
+  // Algorithm 3 line 2 place flags, hoisted out of the cluster loop: the
+  // per-cluster O(num_partitions) zero-fill showed up as allocator traffic
+  // on many-cluster workloads. Only the entries dirtied by the previous
+  // cluster are cleared.
+  std::vector<char> seed_placed(partitioning.num_partitions, 0);
+  std::vector<PartitionId> seed_dirty;
 
   for (const PointId p : my_points) {
     counters::hash_ops(1);
@@ -63,13 +72,35 @@ LocalClusterResult local_dbscan(const PointSet& points,
     membership.put(p, static_cast<ClusterId>(pc.uid));
     counters::hash_ops(1);
 
-    // Algorithm 3 state: the per-foreign-partition place flags (line 2) and
-    // a dedup set so kAllForeign records each foreign point once.
-    std::vector<char> seed_placed(partitioning.num_partitions, 0);
+    // Algorithm 3 state: reset the hoisted place flags, plus a dedup set so
+    // kAllForeign records each foreign point once.
+    for (const PartitionId d : seed_dirty) seed_placed[static_cast<size_t>(d)] = 0;
+    seed_dirty.clear();
     FlatIdSet seeds_seen;
 
-    frontier.assign(neighbors.begin(), neighbors.end());
-    counters::queue_ops(neighbors.size());
+    // Frontier dedup (bugfix): the naive expansion pushes every neighbor of
+    // every core point, so a dense cluster enqueues each point O(minpts)
+    // times — O(n*minpts) queue memory and inflated queue_ops. Skip at push
+    // time anything already claimed by this partition's sweep (its pop was
+    // always a no-op: claimed implies visited, so neither expansion nor
+    // membership would fire) and anything already queued for this cluster.
+    // Pops see each id's FIRST occurrence in the original order, so
+    // members/seeds/noise come out byte-identical to the naive loop.
+    FlatIdSet enqueued(neighbors.size() * 2);
+    frontier.clear();
+    auto enqueue = [&](PointId r) {
+      counters::hash_ops(1);
+      if (owner[static_cast<size_t>(r)] == partition &&
+          membership.find(r) != nullptr) {
+        return;
+      }
+      counters::hash_ops(1);
+      if (!enqueued.insert(r)) return;
+      frontier.push_back(r);
+      counters::queue_ops(1);
+    };
+    for (const PointId r : neighbors) enqueue(r);
+    frontier_peak = std::max<u64>(frontier_peak, frontier.size());
 
     while (!frontier.empty()) {
       const PointId q = frontier.front();
@@ -84,6 +115,7 @@ LocalClusterResult local_dbscan(const PointSet& points,
           case SeedStrategy::kOnePerPartition:
             if (!seed_placed[static_cast<size_t>(q_owner)]) {
               seed_placed[static_cast<size_t>(q_owner)] = 1;  // place_flg
+              seed_dirty.push_back(q_owner);
               pc.seeds.push_back(q);
             }
             break;
@@ -104,10 +136,11 @@ LocalClusterResult local_dbscan(const PointSet& points,
         index.range_query_budgeted(points[q], config.params.eps, config.budget,
                                    neighbors);  // line 15
         if (static_cast<i64>(neighbors.size()) >= config.params.minpts) {
-          // line 16-17: q is core, its neighborhood extends the frontier.
+          // line 16-17: q is core, its neighborhood extends the frontier
+          // (deduplicated — see `enqueue` above).
           result.core_points.push_back(q);
-          for (const PointId r : neighbors) frontier.push_back(r);
-          counters::queue_ops(neighbors.size());
+          for (const PointId r : neighbors) enqueue(r);
+          frontier_peak = std::max<u64>(frontier_peak, frontier.size());
         }
       }
 
@@ -132,6 +165,7 @@ LocalClusterResult local_dbscan(const PointSet& points,
     if (membership.find(p) == nullptr) true_noise.push_back(p);
   }
   result.noise = std::move(true_noise);
+  counters::frontier_peak(frontier_peak);
   return result;
 }
 

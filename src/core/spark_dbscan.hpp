@@ -44,6 +44,14 @@ struct SparkDbscanConfig {
   MergeStrategy merge_strategy = MergeStrategy::kUnionFind;
   /// Approximate kd-tree search ("pruning branches", used for r1m).
   QueryBudget budget;
+  /// Worker threads for the driver's kd-tree build (0 = auto, 1 =
+  /// sequential). Affects wall time only: the tree structure, the query
+  /// results, and the simulated clock are identical either way.
+  unsigned index_build_threads = 0;
+  /// Leaf-contiguous kd-tree layout (see KdTreeOptions::reorder). false
+  /// selects the legacy gather path — kept for before/after benchmarking
+  /// (bench_hotpath); results are identical either way.
+  bool index_reorder = true;
   /// Drop partial clusters smaller than this before merging (r1m runs).
   u64 min_partial_cluster_size = 0;
   /// Wire format for the partial clusters shipped via the accumulator

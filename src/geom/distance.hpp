@@ -33,4 +33,60 @@ inline bool within_eps(std::span<const double> a, std::span<const double> b,
   return squared_distance(a, b) <= eps * eps;
 }
 
+/// Strip width of the blocked kernel: callers evaluate candidates in chunks
+/// of at most this many points (small enough for a stack buffer, large
+/// enough that the inner loops vectorize and amortize the counter update).
+inline constexpr size_t kDistanceStrip = 32;
+
+/// Blocked kernel: squared distances from `q` to `count` points stored
+/// contiguously row-major at `rows` (row stride == q.size() doubles), one
+/// result per row into `out`. This is the leaf-scan workhorse: a strip of
+/// packed candidates is evaluated in one call with no per-point id
+/// indirection, so the loops below compile to straight-line vectorizable
+/// code. Counted as exactly `count` distance evaluations — one per row, the
+/// same count the scalar squared_distance path would produce — so
+/// counter-based cost models stay exact. Callers that must honor a neighbor
+/// budget mid-strip should fall back to the scalar path instead of passing
+/// rows they might not consume.
+inline void squared_distance_batch(std::span<const double> q,
+                                   const double* rows, size_t count,
+                                   double* out) {
+  const size_t dim = q.size();
+  switch (dim) {
+    case 1:
+      for (size_t i = 0; i < count; ++i) {
+        const double d0 = q[0] - rows[i];
+        out[i] = d0 * d0;
+      }
+      break;
+    case 2:
+      for (size_t i = 0; i < count; ++i) {
+        const double d0 = q[0] - rows[2 * i];
+        const double d1 = q[1] - rows[2 * i + 1];
+        out[i] = d0 * d0 + d1 * d1;
+      }
+      break;
+    case 3:
+      for (size_t i = 0; i < count; ++i) {
+        const double d0 = q[0] - rows[3 * i];
+        const double d1 = q[1] - rows[3 * i + 1];
+        const double d2 = q[2] - rows[3 * i + 2];
+        out[i] = d0 * d0 + d1 * d1 + d2 * d2;
+      }
+      break;
+    default:
+      for (size_t i = 0; i < count; ++i) {
+        const double* p = rows + i * dim;
+        double s = 0.0;
+        for (size_t d = 0; d < dim; ++d) {
+          const double diff = q[d] - p[d];
+          s += diff * diff;
+        }
+        out[i] = s;
+      }
+      break;
+  }
+  counters::distance_evals(count);
+}
+
 }  // namespace sdb

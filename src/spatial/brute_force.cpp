@@ -1,5 +1,7 @@
 #include "spatial/brute_force.hpp"
 
+#include <algorithm>
+
 #include "geom/distance.hpp"
 
 namespace sdb {
@@ -14,13 +16,29 @@ void BruteForceIndex::range_query_budgeted(std::span<const double> q,
                                            const QueryBudget& budget,
                                            std::vector<PointId>& out) const {
   const double eps2 = eps * eps;
+  const size_t n = points_.size();
+  if (budget.max_neighbors == 0) {
+    // PointSet rows are already contiguous, so the exact scan is one long
+    // run of the blocked kernel — no id indirection at all.
+    const size_t dim = static_cast<size_t>(points_.dim());
+    const double* rows = points_.raw().data();
+    double d2[kDistanceStrip];
+    for (size_t i = 0; i < n;) {
+      const size_t m = std::min(kDistanceStrip, n - i);
+      squared_distance_batch(q, rows + i * dim, m, d2);
+      for (size_t j = 0; j < m; ++j) {
+        if (d2[j] <= eps2) out.push_back(static_cast<PointId>(i + j));
+      }
+      i += m;
+    }
+    return;
+  }
   u64 found = 0;
-  const auto n = static_cast<PointId>(points_.size());
-  for (PointId i = 0; i < n; ++i) {
+  for (PointId i = 0; i < static_cast<PointId>(n); ++i) {
     if (squared_distance(q, points_[i]) <= eps2) {
       out.push_back(i);
       ++found;
-      if (budget.max_neighbors != 0 && found >= budget.max_neighbors) return;
+      if (found >= budget.max_neighbors) return;
     }
   }
 }

@@ -9,10 +9,37 @@ namespace sdb {
 GridIndex::GridIndex(const PointSet& points, double cell)
     : points_(points), cell_(cell) {
   SDB_CHECK(cell > 0.0, "grid cell size must be positive");
-  std::vector<i64> coords(static_cast<size_t>(points_.dim()));
-  for (PointId i = 0; i < static_cast<PointId>(points_.size()); ++i) {
+  const size_t dim = static_cast<size_t>(points_.dim());
+  const size_t n = points_.size();
+
+  // Pass 1: bucket ids per cell, remembering first-seen cell order so the
+  // packed layout (and therefore query output order) is deterministic.
+  std::unordered_map<u64, std::vector<PointId>> buckets;
+  std::vector<u64> cell_order;
+  std::vector<i64> coords(dim);
+  for (PointId i = 0; i < static_cast<PointId>(n); ++i) {
     cell_coords(points_[i], coords);
-    cells_[coords_key(coords)].push_back(i);
+    auto [it, inserted] = buckets.try_emplace(coords_key(coords));
+    if (inserted) cell_order.push_back(it->first);
+    it->second.push_back(i);
+  }
+
+  // Pass 2: flatten into cell-contiguous id + coordinate arrays.
+  packed_ids_.reserve(n);
+  packed_coords_.reserve(n * dim);
+  cells_.reserve(buckets.size());
+  const double* src = points_.raw().data();
+  for (const u64 key : cell_order) {
+    const std::vector<PointId>& members = buckets.at(key);
+    CellRange range;
+    range.begin = static_cast<u32>(packed_ids_.size());
+    for (const PointId id : members) {
+      packed_ids_.push_back(id);
+      const double* from = src + static_cast<size_t>(id) * dim;
+      packed_coords_.insert(packed_coords_.end(), from, from + dim);
+    }
+    range.end = static_cast<u32>(packed_ids_.size());
+    cells_.emplace(key, range);
   }
 }
 
@@ -67,13 +94,39 @@ void GridIndex::range_query_budgeted(std::span<const double> q, double eps,
     counters::tree_nodes(1);
     if (budget.max_nodes != 0 && visited_cells > budget.max_nodes) break;
     if (auto it = cells_.find(coords_key(coords)); it != cells_.end()) {
-      for (const PointId id : it->second) {
-        if (squared_distance(q, points_[id]) <= eps2) {
-          out.push_back(id);
-          ++found;
-          if (budget.max_neighbors != 0 && found >= budget.max_neighbors) {
-            stopped = true;
-            break;
+      const CellRange range = it->second;
+      if (budget.max_neighbors == 0) {
+        // Blocked kernel over the cell's packed rows. Candidate order and
+        // distance_evals match the scalar path exactly.
+        double d2[kDistanceStrip];
+        for (u32 i = range.begin; i < range.end;) {
+          const u32 m =
+              std::min<u32>(static_cast<u32>(kDistanceStrip), range.end - i);
+          squared_distance_batch(
+              q,
+              packed_coords_.data() +
+                  static_cast<size_t>(i) * static_cast<size_t>(dim),
+              m, d2);
+          for (u32 j = 0; j < m; ++j) {
+            if (d2[j] <= eps2) out.push_back(packed_ids_[i + j]);
+          }
+          i += m;
+        }
+      } else {
+        // Scalar path: the neighbor budget may stop mid-cell, and a strip
+        // evaluated past the stop would overcount distance_evals.
+        for (u32 i = range.begin; i < range.end; ++i) {
+          const std::span<const double> p{
+              packed_coords_.data() +
+                  static_cast<size_t>(i) * static_cast<size_t>(dim),
+              static_cast<size_t>(dim)};
+          if (squared_distance(q, p) <= eps2) {
+            out.push_back(packed_ids_[i]);
+            ++found;
+            if (found >= budget.max_neighbors) {
+              stopped = true;
+              break;
+            }
           }
         }
       }
@@ -90,12 +143,10 @@ void GridIndex::range_query_budgeted(std::span<const double> q, double eps,
 }
 
 u64 GridIndex::byte_size() const {
-  u64 bytes = points_.byte_size();
-  for (const auto& [key, ids] : cells_) {
-    (void)key;
-    bytes += sizeof(u64) + ids.size() * sizeof(PointId);
-  }
-  return bytes;
+  return points_.byte_size() +
+         cells_.size() * (sizeof(u64) + sizeof(CellRange)) +
+         packed_ids_.size() * sizeof(PointId) +
+         packed_coords_.size() * sizeof(double);
 }
 
 }  // namespace sdb

@@ -5,6 +5,12 @@
 // d=10 that is 59049 cells per query, so the kd-tree wins — which is exactly
 // the comparison bench_micro_spatial measures. The grid is the index of
 // choice for the 2-D example applications.
+//
+// Layout: cells are (begin, end) ranges into two packed arrays — the member
+// point ids, and their coordinate rows copied cell-contiguously — so a cell
+// scan streams linear doubles through the blocked distance kernel instead of
+// gathering rows point-by-point (same scheme as the kd-tree's
+// leaf-contiguous buffer).
 #pragma once
 
 #include <unordered_map>
@@ -33,13 +39,21 @@ class GridIndex final : public SpatialIndex {
   [[nodiscard]] size_t cell_count() const { return cells_.size(); }
 
  private:
+  /// Half-open range into packed_ids_ / packed_coords_ (rows, * dim).
+  struct CellRange {
+    u32 begin = 0;
+    u32 end = 0;
+  };
+
   [[nodiscard]] u64 cell_key(std::span<const double> p) const;
   void cell_coords(std::span<const double> p, std::vector<i64>& coords) const;
   [[nodiscard]] u64 coords_key(const std::vector<i64>& coords) const;
 
   const PointSet& points_;
   double cell_;
-  std::unordered_map<u64, std::vector<PointId>> cells_;
+  std::unordered_map<u64, CellRange> cells_;
+  std::vector<PointId> packed_ids_;    // cell-contiguous, id order per cell
+  std::vector<double> packed_coords_;  // coordinate rows in packed_ids_ order
 };
 
 }  // namespace sdb

@@ -1,32 +1,115 @@
 #include "spatial/kd_tree.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <queue>
+#include <thread>
 
 #include "geom/distance.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sdb {
 
-KdTree::KdTree(const PointSet& points, int leaf_size)
-    : points_(points), leaf_size_(std::max(1, leaf_size)) {
-  ids_.resize(points_.size());
-  std::iota(ids_.begin(), ids_.end(), PointId{0});
-  if (!ids_.empty()) {
-    nodes_.reserve(2 * ids_.size() / static_cast<size_t>(leaf_size_) + 4);
-    root_ = build(0, static_cast<u32>(ids_.size()), 0);
+namespace {
+
+/// Below this many points a build is sequential regardless of the thread
+/// option: thread-spawn plus task overhead would dominate.
+constexpr u32 kParallelBuildThreshold = 1u << 14;
+/// Cap on auto-detected build threads.
+constexpr unsigned kMaxBuildThreads = 16;
+
+}  // namespace
+
+/// Shared state of one (possibly parallel) build. Node slots come from one
+/// atomic cursor over preallocated arrays, so forked subtree tasks never
+/// touch a shared container: every task writes only its own node slots and
+/// its own disjoint subrange of ids_. Visibility of the writes back to the
+/// constructing thread is established by ThreadPool::wait_idle().
+struct KdTree::BuildCtx {
+  std::atomic<u32> node_cursor{0};
+  std::atomic<int> max_depth{0};
+  u32 max_nodes = 0;
+  u32 seq_cutoff = 0;  // subtree ranges <= this build inline (no fork)
+  ThreadPool* pool = nullptr;
+
+  u32 alloc_node() {
+    const u32 idx = node_cursor.fetch_add(1, std::memory_order_relaxed);
+    SDB_CHECK(idx < max_nodes, "kd-tree node bound exceeded");
+    return idx;
   }
+
+  void note_depth(int depth) {
+    int seen = max_depth.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !max_depth.compare_exchange_weak(seen, depth,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+};
+
+KdTree::KdTree(const PointSet& points, const KdTreeOptions& options)
+    : points_(points), leaf_size_(std::max(1, options.leaf_size)) {
+  const size_t n = points_.size();
+  ids_.resize(n);
+  std::iota(ids_.begin(), ids_.end(), PointId{0});
+  if (n == 0) return;
+
+  const size_t dim = static_cast<size_t>(points_.dim());
+  // Structural bound on the node count: internal nodes split at the median,
+  // so every leaf holds > leaf_size/2 points (degenerate-spread leaves hold
+  // more) => <= 2n/(L+1) * 2 nodes total. Preallocating at the bound lets
+  // parallel tasks claim slots with one atomic increment.
+  const size_t max_nodes =
+      4 * n / (static_cast<size_t>(leaf_size_) + 1) + 8;
+  BuildCtx ctx;
+  ctx.max_nodes = static_cast<u32>(max_nodes);
+  nodes_.resize(max_nodes);
+  boxes_.resize(max_nodes * 2 * dim);
+
+  unsigned threads = options.build_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, kMaxBuildThreads);
+
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1 && n >= kParallelBuildThreshold) {
+    pool = std::make_unique<ThreadPool>(threads);
+    ctx.pool = pool.get();
+    // Fork until subtrees are ~n/(8*threads): enough tasks to balance the
+    // pool without drowning it in queue traffic.
+    ctx.seq_cutoff = std::max<u32>(static_cast<u32>(leaf_size_),
+                                   static_cast<u32>(n / (threads * 8)));
+  }
+
+  root_ = static_cast<i32>(ctx.alloc_node());
+  build_range(root_, 0, static_cast<u32>(n), 0, ctx);
+  if (ctx.pool != nullptr) ctx.pool->wait_idle();
+
+  depth_ = ctx.max_depth.load(std::memory_order_relaxed);
+  const u32 node_count = ctx.node_cursor.load(std::memory_order_relaxed);
+  nodes_.resize(node_count);
+  nodes_.shrink_to_fit();
+  boxes_.resize(static_cast<size_t>(node_count) * 2 * dim);
+  boxes_.shrink_to_fit();
+
+  if (options.reorder) build_reordered(pool.get(), threads);
 }
 
-i32 KdTree::build(u32 begin, u32 end, int depth) {
-  depth_ = std::max(depth_, depth);
+void KdTree::build_range(i32 idx, u32 begin, u32 end, int depth,
+                         BuildCtx& ctx) {
   const int dim = points_.dim();
+  ctx.note_depth(depth);
+
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  node.box = static_cast<u32>(idx) * 2 * static_cast<u32>(dim);
 
   // Tight bounding box over [begin, end).
-  const u32 box_offset = static_cast<u32>(boxes_.size());
-  boxes_.resize(boxes_.size() + 2 * static_cast<size_t>(dim));
-  double* lo = boxes_.data() + box_offset;
+  double* lo = boxes_.data() + node.box;
   double* hi = lo + dim;
   std::fill(lo, lo + dim, std::numeric_limits<double>::infinity());
   std::fill(hi, hi + dim, -std::numeric_limits<double>::infinity());
@@ -38,15 +121,9 @@ i32 KdTree::build(u32 begin, u32 end, int depth) {
     }
   }
 
-  Node node;
-  node.begin = begin;
-  node.end = end;
-  node.box = box_offset;
-
   if (end - begin <= static_cast<u32>(leaf_size_)) {
-    const i32 id = static_cast<i32>(nodes_.size());
-    nodes_.push_back(node);
-    return id;
+    nodes_[static_cast<size_t>(idx)] = node;
+    return;
   }
 
   // Split on the dimension of largest spread at the median.
@@ -70,18 +147,54 @@ i32 KdTree::build(u32 begin, u32 end, int depth) {
   // Degenerate spread (all coordinates equal): keep as leaf to guarantee
   // termination.
   if (best_spread <= 0.0) {
-    const i32 id = static_cast<i32>(nodes_.size());
-    nodes_.push_back(node);
-    return id;
+    nodes_[static_cast<size_t>(idx)] = node;
+    return;
   }
 
-  const i32 id = static_cast<i32>(nodes_.size());
-  nodes_.push_back(node);  // reserve the slot; children reference is patched
-  const i32 left = build(begin, mid, depth + 1);
-  const i32 right = build(mid, end, depth + 1);
-  nodes_[id].left = left;
-  nodes_[id].right = right;
-  return id;
+  // Children slots are claimed by the parent so the node can be finalized
+  // before the subtree tasks run — no post-hoc patching, no joins inside
+  // tasks (the simple pool would deadlock on nested waits).
+  const i32 left = static_cast<i32>(ctx.alloc_node());
+  const i32 right = static_cast<i32>(ctx.alloc_node());
+  node.left = left;
+  node.right = right;
+  nodes_[static_cast<size_t>(idx)] = node;
+
+  // Task-recursive fork with a sequential cutoff: ship the left subtree to
+  // the pool when it is big enough, keep the right on this thread (the
+  // forked task forks its own children in turn). Build bodies never throw —
+  // all storage is preallocated — so the discarded futures lose nothing.
+  if (ctx.pool != nullptr && mid - begin > ctx.seq_cutoff) {
+    ctx.pool->submit([this, left, begin, mid, depth, &ctx] {
+      build_range(left, begin, mid, depth + 1, ctx);
+    });
+  } else {
+    build_range(left, begin, mid, depth + 1, ctx);
+  }
+  build_range(right, mid, end, depth + 1, ctx);
+}
+
+void KdTree::build_reordered(ThreadPool* pool, unsigned tasks) {
+  const size_t n = ids_.size();
+  const size_t dim = static_cast<size_t>(points_.dim());
+  leaf_coords_.resize(n * dim);
+  const double* src = points_.raw().data();
+  auto copy_rows = [this, src, dim](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const double* from = src + static_cast<size_t>(ids_[i]) * dim;
+      std::copy(from, from + dim, leaf_coords_.data() + i * dim);
+    }
+  };
+  if (pool == nullptr || n < kParallelBuildThreshold) {
+    copy_rows(0, n);
+    return;
+  }
+  const size_t chunk = (n + tasks - 1) / tasks;
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    const size_t end = std::min(n, begin + chunk);
+    pool->submit([copy_rows, begin, end] { copy_rows(begin, end); });
+  }
+  pool->wait_idle();
 }
 
 double KdTree::box_distance2(const Node& node,
@@ -125,10 +238,30 @@ void KdTree::query_node(i32 node_id, std::span<const double> q,
   if (box_distance2(node, q) > st.eps2) return;
 
   if (node.is_leaf()) {
+    if (!leaf_coords_.empty() && st.budget->max_neighbors == 0) {
+      // Hot path: stream the packed leaf rows through the blocked kernel,
+      // then filter. Candidate order matches the scalar path (ids_ order),
+      // and so does the distance_evals count — every leaf row is evaluated
+      // exactly once either way.
+      const size_t dim = static_cast<size_t>(points_.dim());
+      double d2[kDistanceStrip];
+      for (u32 i = node.begin; i < node.end;) {
+        const u32 m =
+            std::min<u32>(static_cast<u32>(kDistanceStrip), node.end - i);
+        squared_distance_batch(
+            q, leaf_coords_.data() + static_cast<size_t>(i) * dim, m, d2);
+        for (u32 j = 0; j < m; ++j) {
+          if (d2[j] <= st.eps2) st.out->push_back(ids_[i + j]);
+        }
+        i += m;
+      }
+      return;
+    }
+    // Scalar path: legacy layout, or a neighbor budget that may stop
+    // mid-leaf (evaluating a whole strip would overcount distance_evals).
     for (u32 i = node.begin; i < node.end && !st.stopped; ++i) {
-      const PointId id = ids_[i];
-      if (squared_distance(q, points_[id]) <= st.eps2) {
-        st.out->push_back(id);
+      if (squared_distance(q, row(i)) <= st.eps2) {
+        st.out->push_back(ids_[i]);
         ++st.found;
         if (st.budget->max_neighbors != 0 &&
             st.found >= st.budget->max_neighbors) {
@@ -160,13 +293,12 @@ std::vector<PointId> KdTree::knn(std::span<const double> q, size_t k) const {
     if (heap.size() == k && box_distance2(node, q) > heap.top().first) return;
     if (node.is_leaf()) {
       for (u32 i = node.begin; i < node.end; ++i) {
-        const PointId id = ids_[i];
-        const double d2 = squared_distance(q, points_[id]);
+        const double d2 = squared_distance(q, row(i));
         if (heap.size() < k) {
-          heap.emplace(d2, id);
+          heap.emplace(d2, ids_[i]);
         } else if (d2 < heap.top().first) {
           heap.pop();
-          heap.emplace(d2, id);
+          heap.emplace(d2, ids_[i]);
         }
       }
       return;
@@ -187,7 +319,8 @@ std::vector<PointId> KdTree::knn(std::span<const double> q, size_t k) const {
 
 u64 KdTree::byte_size() const {
   return points_.byte_size() + ids_.size() * sizeof(PointId) +
-         nodes_.size() * sizeof(Node) + boxes_.size() * sizeof(double);
+         nodes_.size() * sizeof(Node) + boxes_.size() * sizeof(double) +
+         leaf_coords_.size() * sizeof(double);
 }
 
 }  // namespace sdb

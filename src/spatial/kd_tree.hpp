@@ -2,22 +2,51 @@
 // executors to cut neighborhood search from O(n^2) to ~O(n log n).
 //
 // Build: recursive median split (std::nth_element) on the dimension of
-// largest spread, leaf buckets of kLeafSize points — O(n log n) total.
+// largest spread, leaf buckets of kLeafSize points. Large builds fork the
+// two subtree recursions as util/thread_pool tasks (with a sequential
+// cutoff); nth_element operates on disjoint id subranges, so the tasks
+// share no mutable state and the resulting tree is bit-identical in
+// structure to a sequential build.
+// Layout: with `reorder` on (the default), the tree keeps a leaf-contiguous
+// copy of the coordinates — the rows of every leaf bucket packed
+// back-to-back in traversal order — so leaf scans stream linear doubles
+// through the blocked distance kernel instead of gathering rows through the
+// id permutation. ids_ doubles as the remap table back to original PointIds.
 // Query: classic ball-overlap descent with AABB pruning; an optional
 // QueryBudget implements the paper's "kd-tree with pruning branches"
 // approximation used for the 1M-point experiments (it bounds the neighbor
-// count / node visits, trading exactness for time).
+// count / node visits, trading exactness for time — see the approximation
+// contract on QueryBudget in spatial_index.hpp).
 #pragma once
 
 #include "spatial/spatial_index.hpp"
 
 namespace sdb {
 
+/// Build-time knobs. The defaults are the fast path; the legacy flags exist
+/// for parity tests and before/after benchmarking (bench_hotpath).
+struct KdTreeOptions {
+  /// Leaf bucket capacity.
+  int leaf_size = 16;
+  /// Worker threads for the build. 0 = auto (hardware concurrency, capped);
+  /// 1 = fully sequential. Parallelism only engages above a size threshold,
+  /// so small builds never pay thread-spawn cost.
+  unsigned build_threads = 0;
+  /// Keep the leaf-contiguous coordinate copy (one extra n*dim*8-byte
+  /// buffer, reflected in byte_size()). false = legacy gather path.
+  bool reorder = true;
+};
+
+class ThreadPool;
+
 class KdTree final : public SpatialIndex {
  public:
   /// Build over all points in `points`. The tree keeps a reference to the
   /// PointSet; the caller must keep it alive.
-  explicit KdTree(const PointSet& points, int leaf_size = 16);
+  explicit KdTree(const PointSet& points, int leaf_size = 16)
+      : KdTree(points, KdTreeOptions{.leaf_size = leaf_size}) {}
+
+  KdTree(const PointSet& points, const KdTreeOptions& options);
 
   void range_query(std::span<const double> q, double eps,
                    std::vector<PointId>& out) const override;
@@ -39,6 +68,8 @@ class KdTree final : public SpatialIndex {
   /// Number of internal + leaf nodes (exposed for tests/benches).
   [[nodiscard]] size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] int depth() const { return depth_; }
+  /// Whether the leaf-contiguous coordinate buffer is active.
+  [[nodiscard]] bool reordered() const { return !leaf_coords_.empty(); }
 
  private:
   struct Node {
@@ -49,12 +80,15 @@ class KdTree final : public SpatialIndex {
     i32 right = -1;
     i32 split_dim = -1;
     double split_value = 0.0;
-    // Tight bounding box of the subtree, flattened into boxes_.
+    // Tight bounding box of the subtree, flattened into boxes_ at
+    // node_index * 2 * dim (lo values then hi values).
     u32 box = 0;
     [[nodiscard]] bool is_leaf() const { return left < 0; }
   };
 
-  i32 build(u32 begin, u32 end, int depth);
+  struct BuildCtx;
+  void build_range(i32 idx, u32 begin, u32 end, int depth, BuildCtx& ctx);
+  void build_reordered(ThreadPool* pool, unsigned tasks);
 
   struct QueryState {
     double eps;
@@ -67,6 +101,16 @@ class KdTree final : public SpatialIndex {
   };
   void query_node(i32 node_id, std::span<const double> q, QueryState& st) const;
 
+  /// Row i of the build permutation: the coordinates of point ids_[i],
+  /// served from the packed buffer when reordering is on.
+  [[nodiscard]] std::span<const double> row(u32 i) const {
+    if (!leaf_coords_.empty()) {
+      const size_t dim = static_cast<size_t>(points_.dim());
+      return {leaf_coords_.data() + static_cast<size_t>(i) * dim, dim};
+    }
+    return points_[ids_[i]];
+  }
+
   /// Squared distance from q to the node's bounding box.
   [[nodiscard]] double box_distance2(const Node& node,
                                      std::span<const double> q) const;
@@ -74,9 +118,12 @@ class KdTree final : public SpatialIndex {
   const PointSet& points_;
   int leaf_size_;
   int depth_ = 0;
-  std::vector<PointId> ids_;     // permutation of point ids, bucketed by leaf
+  std::vector<PointId> ids_;  // permutation of point ids, bucketed by leaf;
+                              // the remap table: position -> original PointId
   std::vector<Node> nodes_;
-  std::vector<double> boxes_;    // per node: dim lo values then dim hi values
+  std::vector<double> boxes_;        // per node: dim lo values then hi values
+  std::vector<double> leaf_coords_;  // leaf-contiguous rows (ids_ order);
+                                     // empty when reorder is off
   i32 root_ = -1;
 };
 

@@ -18,6 +18,31 @@ namespace sdb {
 
 /// Optional limits for approximate ("pruning branches") queries used by the
 /// paper for the 1M-point runs. Zero means unlimited.
+///
+/// Approximation contract (what a truncated query does and does not
+/// promise):
+///
+///  * DETERMINISM. Every index has a fixed candidate traversal order — the
+///    kd-tree descends the child containing the query first and scans leaf
+///    buckets in build-permutation order; the grid walks neighbor cells in
+///    odometer order and cells in id order; brute force scans ids
+///    ascending. A budgeted query returns exactly the first matches of that
+///    traversal until a budget fires, so repeated invocations with the same
+///    index, query, and budget return the *identical* sequence. The
+///    kd-tree's order depends only on the data (median splits are
+///    deterministic), not on how many threads built the tree.
+///  * SUBSET. Budgeted results are always a subset of the exact result set
+///    (enforced by test_index_properties BudgetLaws).
+///  * NO SYMMETRY. Exact eps-neighborhoods are symmetric (A within eps of B
+///    iff B within eps of A); truncated ones are NOT. The budget can fire
+///    while scanning a dense region around A before reaching B, yet B's own
+///    query — a different traversal — may still report A. Consumers that
+///    derive core status from budgeted neighbor counts (local_dbscan under
+///    the paper's r1m configuration) therefore see an asymmetric relation:
+///    border/core decisions can differ from the exact run, and cluster
+///    results are approximate in exactly the way the paper's Section V
+///    "pruning branches" runs are. Anything needing symmetric neighborhoods
+///    must run with budget.exact().
 struct QueryBudget {
   /// Stop reporting once this many neighbors were found (0 = exact).
   u64 max_neighbors = 0;

@@ -32,6 +32,11 @@ struct WorkCounters {
   u64 net_bytes = 0;         ///< bytes shipped executor<->driver (network)
   u64 codec_bytes = 0;       ///< bytes pushed through (de)serialization CPU
   u64 dfs_failovers = 0;     ///< reads that skipped a dead primary replica
+  /// High-water mark of the BFS expansion frontier (a gauge, not a count:
+  /// combined by max, excluded from total_ops). Guards against the
+  /// duplicate-enqueue blow-up where a dense cluster queued each point
+  /// O(minpts) times.
+  u64 frontier_peak = 0;
 
   WorkCounters& operator+=(const WorkCounters& o) {
     distance_evals += o.distance_evals;
@@ -46,6 +51,7 @@ struct WorkCounters {
     net_bytes += o.net_bytes;
     codec_bytes += o.codec_bytes;
     dfs_failovers += o.dfs_failovers;
+    if (o.frontier_peak > frontier_peak) frontier_peak = o.frontier_peak;
     return *this;
   }
 
@@ -95,6 +101,12 @@ inline void codec_bytes(u64 n) {
 }
 inline void dfs_failovers(u64 n) {
   if (WorkCounters* c = active()) c->dfs_failovers += n;
+}
+/// Record the current frontier depth; the sink keeps the maximum.
+inline void frontier_peak(u64 depth) {
+  if (WorkCounters* c = active()) {
+    if (depth > c->frontier_peak) c->frontier_peak = depth;
+  }
 }
 
 }  // namespace counters

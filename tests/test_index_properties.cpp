@@ -64,6 +64,71 @@ INSTANTIATE_TEST_SUITE_P(Sweep, AllIndexesAgree,
                                            std::make_tuple(3, 5.0),
                                            std::make_tuple(5, 9.0)));
 
+/// Adversarial datasets for the parity sweep: exact duplicates, pairs at
+/// exactly eps (the boundary the <= eps contract must include), degenerate
+/// 1-d data, and the paper's high-d regime where AABB pruning barely helps.
+PointSet adversarial_points(i64 n, int dim, double eps, u64 seed) {
+  Rng rng(seed);
+  PointSet ps(dim);
+  std::vector<double> p(static_cast<size_t>(dim));
+  std::vector<double> q(static_cast<size_t>(dim));
+  for (i64 i = 0; i < n; ++i) {
+    for (auto& x : p) x = rng.uniform(0.0, 40.0);
+    ps.add(p);
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.15) {
+      ps.add(p);  // exact duplicate
+    } else if (roll < 0.3) {
+      // A partner offset by exactly eps along one axis: lands on (or within
+      // one ulp of) the closed-ball boundary, where any index that compares
+      // with < instead of <= — or computes distance in a different order —
+      // diverges from the others.
+      q = p;
+      q[static_cast<size_t>(rng.uniform_index(static_cast<size_t>(dim)))] +=
+          eps;
+      ps.add(q);
+    }
+  }
+  return ps;
+}
+
+class IndexParityAdversarial
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(IndexParityAdversarial, AllIndexesAndLayoutsAgree) {
+  const auto [dim, eps] = GetParam();
+  const PointSet ps =
+      adversarial_points(700, dim, eps, 113 + static_cast<u64>(dim));
+  const KdTree kd_legacy(ps, KdTreeOptions{.build_threads = 1,
+                                           .reorder = false});
+  const KdTree kd_blocked(ps, KdTreeOptions{.build_threads = 4,
+                                            .reorder = true});
+  const RTree rt(ps);
+  const GridIndex grid(ps, eps);
+  const BruteForceIndex brute(ps);
+  const std::vector<const SpatialIndex*> indexes = {&kd_legacy, &kd_blocked,
+                                                    &rt, &grid, &brute};
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    const PointId q = static_cast<PointId>(rng.uniform_index(ps.size()));
+    std::vector<PointId> reference;
+    brute.range_query(ps[q], eps, reference);
+    const auto expected = sorted(reference);
+    for (const SpatialIndex* index : indexes) {
+      std::vector<PointId> out;
+      index->range_query(ps[q], eps, out);
+      EXPECT_EQ(sorted(out), expected)
+          << index->name() << " dim=" << dim << " eps=" << eps << " q=" << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IndexParityAdversarial,
+                         ::testing::Values(std::make_tuple(1, 2.0),
+                                           std::make_tuple(2, 3.0),
+                                           std::make_tuple(5, 8.0),
+                                           std::make_tuple(10, 20.0)));
+
 TEST(BudgetLaws, BudgetedIsSubsetOfExactForAllIndexes) {
   const PointSet ps = clustered_points(1200, 2, 83);
   const KdTree kd(ps);

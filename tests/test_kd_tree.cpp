@@ -179,6 +179,87 @@ TEST(KdTree, ByteSizeNonTrivial) {
   EXPECT_GE(tree.byte_size(), ps.byte_size());
 }
 
+TEST(KdTree, ParallelBuildMatchesSequential) {
+  // n above the parallel threshold so the pool actually engages. The forked
+  // tasks run nth_element on disjoint id subranges, so structure, depth,
+  // ids permutation — and therefore every query answer, in order — must be
+  // identical to the sequential build. (This test carries the `sanitize`
+  // ctest label: under -DSDB_SANITIZE=thread it is the TSan entry point for
+  // the parallel build path.)
+  const PointSet ps = random_points(30000, 3, 200.0, 59);
+  const KdTree seq(ps, KdTreeOptions{.build_threads = 1});
+  const KdTree par(ps, KdTreeOptions{.build_threads = 4});
+  EXPECT_EQ(seq.node_count(), par.node_count());
+  EXPECT_EQ(seq.depth(), par.depth());
+  EXPECT_EQ(seq.byte_size(), par.byte_size());
+  Rng rng(61);
+  for (int trial = 0; trial < 40; ++trial) {
+    const PointId q = static_cast<PointId>(rng.uniform_index(ps.size()));
+    std::vector<PointId> a;
+    std::vector<PointId> b;
+    seq.range_query(ps[q], 6.0, a);
+    par.range_query(ps[q], 6.0, b);
+    EXPECT_EQ(a, b) << "q=" << q;  // order included
+  }
+}
+
+TEST(KdTree, ReorderedMatchesLegacyExactlyIncludingCounters) {
+  // The leaf-contiguous blocked path must return the same neighbors in the
+  // same order as the legacy gather path, with the same distance_evals
+  // count — the counter prices simulated executor work, so "faster" must
+  // never mean "counted differently".
+  const PointSet ps = random_points(5000, 4, 60.0, 67);
+  const KdTree legacy(ps, KdTreeOptions{.build_threads = 1, .reorder = false});
+  const KdTree blocked(ps, KdTreeOptions{.build_threads = 1, .reorder = true});
+  EXPECT_FALSE(legacy.reordered());
+  EXPECT_TRUE(blocked.reordered());
+  Rng rng(71);
+  for (int trial = 0; trial < 40; ++trial) {
+    const PointId q = static_cast<PointId>(rng.uniform_index(ps.size()));
+    WorkCounters wl;
+    std::vector<PointId> a;
+    {
+      ScopedCounters scope(&wl);
+      legacy.range_query(ps[q], 8.0, a);
+    }
+    WorkCounters wb;
+    std::vector<PointId> b;
+    {
+      ScopedCounters scope(&wb);
+      blocked.range_query(ps[q], 8.0, b);
+    }
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(wl.distance_evals, wb.distance_evals);
+    EXPECT_EQ(wl.tree_nodes, wb.tree_nodes);
+  }
+}
+
+TEST(KdTree, BudgetedQueriesReproducible) {
+  // The QueryBudget approximation contract (spatial_index.hpp): truncation
+  // follows the fixed traversal order, so repeated invocations — and trees
+  // built with different thread counts — return the identical sequence.
+  const PointSet ps = random_points(20000, 3, 40.0, 73);
+  const KdTree seq(ps, KdTreeOptions{.build_threads = 1});
+  const KdTree par(ps, KdTreeOptions{.build_threads = 4});
+  Rng rng(79);
+  for (int trial = 0; trial < 25; ++trial) {
+    const PointId q = static_cast<PointId>(rng.uniform_index(ps.size()));
+    QueryBudget budget;
+    budget.max_neighbors = 1 + rng.uniform_index(16);
+    budget.max_nodes = 8 + rng.uniform_index(64);
+    std::vector<PointId> first;
+    seq.range_query_budgeted(ps[q], 5.0, budget, first);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      std::vector<PointId> again;
+      seq.range_query_budgeted(ps[q], 5.0, budget, again);
+      EXPECT_EQ(first, again);
+    }
+    std::vector<PointId> parallel_tree;
+    par.range_query_budgeted(ps[q], 5.0, budget, parallel_tree);
+    EXPECT_EQ(first, parallel_tree);
+  }
+}
+
 TEST(KdTree, CountsTreeNodeVisits) {
   const PointSet ps = random_points(1000, 2, 50.0, 47);
   const KdTree tree(ps, 8);

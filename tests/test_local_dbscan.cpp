@@ -7,6 +7,7 @@
 #include "core/dbscan_seq.hpp"
 #include "spatial/kd_tree.hpp"
 #include "synth/generators.hpp"
+#include "util/counters.hpp"
 #include "util/rng.hpp"
 
 namespace sdb::dbscan {
@@ -213,6 +214,79 @@ TEST(LocalDbscan, FragmentationGrowsWithPartitions) {
   const u64 m1 = total_partial(1);
   const u64 m8 = total_partial(8);
   EXPECT_GT(m8, m1);
+}
+
+TEST(LocalDbscan, FrontierDedupBoundsQueueOnDenseBlob) {
+  // Regression for the frontier duplicate blow-up: on a dense blob every
+  // neighborhood overlaps almost every other, so enqueuing each neighbor
+  // unconditionally pushed the same ids O(minpts) times each and the
+  // frontier ballooned far past n. With push-time dedup, each local point
+  // enters the frontier at most once per cluster: the high-water mark is
+  // bounded by n and total queue traffic is O(n), not O(n * avg_degree).
+  Rng rng(21);
+  synth::GaussianMixtureConfig gcfg;
+  gcfg.n = 600;
+  gcfg.dim = 2;
+  gcfg.clusters = 1;
+  gcfg.sigma = 0.8;
+  gcfg.box_side = 10.0;
+  const PointSet ps = synth::gaussian_clusters(gcfg, rng);
+  const KdTree tree(ps);
+  const DbscanParams params{2.0, 8};
+  const Partitioning part = make_partitioning(PartitionerKind::kBlock, ps, 1);
+  LocalDbscanConfig cfg;
+  cfg.params = params;
+
+  WorkCounters wc;
+  LocalClusterResult local;
+  {
+    ScopedCounters scope(&wc);
+    local = local_dbscan(ps, tree, part, 0, cfg);
+  }
+  const u64 n = ps.size();
+  // The blob is dense enough that the old code's peak was ~sum of
+  // neighborhood sizes (hundreds of times n here); these bounds fail loudly
+  // if the dedup regresses.
+  EXPECT_LE(wc.frontier_peak, n);
+  EXPECT_GT(wc.frontier_peak, 0u);
+  EXPECT_LE(wc.queue_ops, 4 * n);  // pushes + pops, <= 2 per id per cluster
+
+  // And the dedup must not change the clustering itself.
+  const auto seq = dbscan_sequential(ps, tree, params);
+  EXPECT_EQ(local.clusters.size(), seq.clustering.num_clusters);
+  EXPECT_EQ(local.noise.size(), seq.clustering.noise_count());
+  EXPECT_EQ(local.core_points.size(), seq.core_points.size());
+}
+
+TEST(LocalDbscan, DeterministicAcrossRepeatedRuns) {
+  // members/seeds/noise are contract output (SEEDs drive the cross-partition
+  // merge): repeated runs must produce byte-identical vectors, including
+  // order. Guards the enqueue-dedup rewrite preserving first-occurrence
+  // expansion order.
+  Rng rng(23);
+  synth::GaussianMixtureConfig gcfg;
+  gcfg.n = 500;
+  gcfg.dim = 2;
+  gcfg.clusters = 2;
+  gcfg.sigma = 0.6;
+  gcfg.box_side = 20.0;
+  const PointSet ps = synth::gaussian_clusters(gcfg, rng);
+  const KdTree tree(ps);
+  const Partitioning part = make_partitioning(PartitionerKind::kBlock, ps, 3);
+  LocalDbscanConfig cfg;
+  cfg.params = {1.5, 5};
+  for (PartitionId p = 0; p < 3; ++p) {
+    const auto first = local_dbscan(ps, tree, part, p, cfg);
+    const auto again = local_dbscan(ps, tree, part, p, cfg);
+    ASSERT_EQ(first.clusters.size(), again.clusters.size());
+    for (size_t c = 0; c < first.clusters.size(); ++c) {
+      EXPECT_EQ(first.clusters[c].uid, again.clusters[c].uid);
+      EXPECT_EQ(first.clusters[c].members, again.clusters[c].members);
+      EXPECT_EQ(first.clusters[c].seeds, again.clusters[c].seeds);
+    }
+    EXPECT_EQ(first.noise, again.noise);
+    EXPECT_EQ(first.core_points, again.core_points);
+  }
 }
 
 TEST(LocalDbscanDeath, BadPartitionAborts) {
