@@ -16,6 +16,8 @@
 // into ctest under the `perf` label as a build-and-run regression smoke.
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -48,6 +50,12 @@ struct E2eNumbers {
   double sim_total_s = 0.0;
 };
 
+struct ScalingPoint {
+  unsigned threads = 1;
+  double build_ms = 0.0;   ///< parallel build, best of reps
+  double query_qps = 0.0;  ///< aggregate across `threads` query threads
+};
+
 struct DatasetReport {
   std::string name;
   size_t n = 0;
@@ -55,6 +63,7 @@ struct DatasetReport {
   double eps = 0.0;
   BuildNumbers build;
   QueryNumbers query;
+  std::vector<ScalingPoint> scaling;
   E2eNumbers e2e;
   bool has_e2e = false;
 };
@@ -99,6 +108,39 @@ QueryNumbers measure_queries(const PointSet& points, const KdTree& legacy,
   run(legacy, &out.distance_evals_legacy, &out.legacy_qps);
   run(blocked, &out.distance_evals_blocked, &out.blocked_qps);
   return out;
+}
+
+/// Aggregate range-query throughput with `threads` concurrent query threads
+/// sharing one (immutable) tree. Each thread walks its own strided slice of
+/// the dataset with its own hits buffer and thread-local WorkCounters, so
+/// the only shared state is the read-only index — this measures how the
+/// packed-leaf layout scales when every core hits it at once.
+double threaded_query_qps(const PointSet& points, const KdTree& tree,
+                          double eps, u64 queries_per_thread,
+                          unsigned threads) {
+  std::atomic<u64> total{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  Stopwatch sw;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      WorkCounters wc;
+      ScopedCounters scope(&wc);
+      std::vector<PointId> hits;
+      const size_t stride =
+          std::max<size_t>(1, points.size() / std::max<u64>(1, queries_per_thread));
+      u64 done = 0;
+      for (size_t i = t; done < queries_per_thread && i < points.size();
+           i += stride, ++done) {
+        hits.clear();
+        tree.range_query_budgeted(points[static_cast<PointId>(i)], eps,
+                                  QueryBudget{}, hits);
+      }
+      total.fetch_add(done, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  return static_cast<double>(total.load()) / sw.seconds();
 }
 
 E2eNumbers measure_e2e(const PointSet& points, const synth::DatasetSpec& spec,
@@ -168,6 +210,15 @@ void write_json(const std::string& path, const std::string& mode,
                  static_cast<unsigned long long>(r.query.distance_evals_legacy),
                  static_cast<unsigned long long>(
                      r.query.distance_evals_blocked));
+    std::fprintf(f, ",\n     \"scaling\": [");
+    for (size_t s = 0; s < r.scaling.size(); ++s) {
+      const ScalingPoint& sp = r.scaling[s];
+      std::fprintf(f,
+                   "%s{\"threads\": %u, \"build_ms\": %.3f, "
+                   "\"query_qps\": %.1f}",
+                   s == 0 ? "" : ", ", sp.threads, sp.build_ms, sp.query_qps);
+    }
+    std::fprintf(f, "]");
     if (r.has_e2e) {
       std::fprintf(f,
                    ",\n     \"e2e\": {\"pruned\": %s, \"cores\": %u, "
@@ -245,6 +296,27 @@ int main(int argc, char** argv) {
               "blocked kernel must evaluate exactly the scalar path's "
               "candidates");
 
+    // Thread-scaling: parallel build and concurrent query throughput at
+    // 1/2/4/hw threads (the ROADMAP's multi-thread build/query row).
+    std::vector<unsigned> scale_threads = smoke
+        ? std::vector<unsigned>{1, 2}
+        : std::vector<unsigned>{1, 2, 4,
+                                std::max(1u,
+                                         std::thread::hardware_concurrency())};
+    std::sort(scale_threads.begin(), scale_threads.end());
+    scale_threads.erase(std::unique(scale_threads.begin(),
+                                    scale_threads.end()),
+                        scale_threads.end());
+    for (const unsigned t : scale_threads) {
+      ScalingPoint sp;
+      sp.threads = t;
+      sp.build_ms = best_build_ms(
+          points, {.build_threads = t, .reorder = true}, build_reps);
+      sp.query_qps = threaded_query_qps(points, blocked, spec.eps,
+                                        queries / scale_threads.size(), t);
+      r.scaling.push_back(sp);
+    }
+
     if (run.e2e) {
       r.e2e = measure_e2e(points, spec, seed, run.e2e_pruned);
       r.has_e2e = true;
@@ -271,6 +343,19 @@ int main(int argc, char** argv) {
                 "hot path: " + r.name + " (" + std::to_string(r.n) +
                     " points, d=" + std::to_string(r.dim) + ", " +
                     std::to_string(threads) + " build threads)",
+                flags.boolean("csv"));
+
+    TablePrinter scaling_table(
+        {"threads", "build_ms", "build_speedup", "query_qps", "query_speedup"});
+    for (const ScalingPoint& sp : r.scaling) {
+      scaling_table.add_row(
+          {TablePrinter::cell(static_cast<u64>(sp.threads)),
+           TablePrinter::cell(sp.build_ms, 1),
+           TablePrinter::cell(r.scaling.front().build_ms / sp.build_ms, 2),
+           TablePrinter::cell(sp.query_qps, 0),
+           TablePrinter::cell(sp.query_qps / r.scaling.front().query_qps, 2)});
+    }
+    bench::emit(scaling_table, "thread scaling: " + r.name,
                 flags.boolean("csv"));
   }
 

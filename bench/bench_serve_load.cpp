@@ -15,13 +15,30 @@
 //               backpressure (nonzero shed rate, bounded latency for the
 //               admitted requests).
 //
+// A fourth phase exercises the REPLICATED tier (src/replica/): a
+// ShardedCluster of `--shards` consistent-hash shards × `--replicas`
+// WAL-shipped replicas each, with `--readers` threads classifying
+// concurrently while the driver thread writes, pumps replication, and —
+// at half-time — SIGKILLs shard 0's primary. It reports aggregate QPS,
+// latency percentiles overall AND during the failover window, the window
+// length itself, staleness redirects, and (the acceptance gate) that no
+// committed epoch was lost across the promotion. Results land in
+// machine-readable JSON (--out, schema in README "Serve topology bench")
+// so future PRs diff against the committed BENCH_serve_topology.json.
+//
 // Unlike the paper-figure benches this one runs on the real wall clock —
 // it measures this host's serving capacity, not the simulated cluster.
+// --smoke shrinks every phase to seconds-scale for the `perf` ctest label.
+#include <atomic>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <thread>
 
 #include "core/dbscan_seq.hpp"
+#include "replica/sharded_cluster.hpp"
 #include "serve/cluster_model.hpp"
+#include "serve/latency_histogram.hpp"
 #include "serve/query_engine.hpp"
 #include "spatial/kd_tree.hpp"
 #include "synth/generators.hpp"
@@ -141,6 +158,239 @@ std::vector<std::string> phase_row(const PhaseResult& r) {
           TablePrinter::cell(m.shed_rate(), 3)};
 }
 
+// ---------------------------------------------------------------------------
+// Replicated / sharded topology phase.
+
+struct TopologyResult {
+  size_t shards = 0;
+  size_t replicas = 0;
+  size_t readers = 0;
+  size_t points = 0;
+  double wall_s = 0.0;
+  u64 queries = 0;
+  u64 redirected_reads = 0;  ///< ClassifyResult.redirected, reader-counted
+  HistogramSnapshot overall;
+  HistogramSnapshot during_failover;
+  u64 queries_during_failover = 0;
+  double failover_window_ms = 0.0;
+  u64 failovers = 0;
+  u64 stale_redirects = 0;  ///< set-side counter (includes dead-node reads)
+  u64 inserts = 0;
+  u64 rejected_writes = 0;
+  u64 committed_before_kill = 0;
+  u64 lost_committed_epochs = 0;  ///< the acceptance gate: must be 0
+
+  [[nodiscard]] double qps() const {
+    return wall_s > 0 ? static_cast<double>(queries) / wall_s : 0.0;
+  }
+};
+
+/// Drive `readers` classify threads against a sharded, replicated cluster
+/// while this thread writes + pumps replication; SIGKILL shard 0's primary
+/// at half-time and measure straight through the failover window.
+TopologyResult run_topology(const PointSet& points,
+                            const dbscan::DbscanParams& params, size_t shards,
+                            size_t replicas, size_t readers, double seconds,
+                            u64 seed) {
+  using replica::ShardedCluster;
+  ShardedCluster::Options opts;
+  opts.shards = shards;
+  opts.replica.replicas = replicas;
+  opts.replica.staleness_bound = 8;
+  opts.replica.heartbeat_timeout = 3;
+  opts.replica.ack_replicas = 1;
+  opts.replica.batch_records = 256;
+  opts.replica.pipeline_batches = 4;
+  opts.replica.registry.params = params;
+  opts.replica.registry.publish_every = 0;  // the driver publishes explicitly
+  ShardedCluster cluster(opts, points.dim());
+
+  std::printf("topology: bootstrapping %zu points across %zu shards x %zu "
+              "replicas...\n",
+              points.size(), shards, replicas);
+  Stopwatch boot;
+  cluster.bootstrap(points);
+  // Compact each shard so followers bootstrap via ONE snapshot install
+  // instead of replaying the whole insert log record-by-record.
+  for (size_t s = 0; s < cluster.shards(); ++s) (void)cluster.shard(s).compact();
+  const auto all_committed = [&] {
+    for (size_t s = 0; s < cluster.shards(); ++s) {
+      const replica::ReplicaSet& rs = cluster.shard(s);
+      const auto primary = rs.node_registry(rs.primary_index());
+      if (rs.committed_epoch() < primary->epoch()) return false;
+    }
+    return true;
+  };
+  u64 warmup_rounds = 0;
+  while (!all_committed()) {
+    cluster.pump_all();
+    SDB_CHECK(++warmup_rounds < 1'000'000, "replication warmup did not converge");
+  }
+  std::printf("topology: warm (bootstrap+replicate %.2fs, %" PRIu64
+              " pump rounds)\n",
+              boot.seconds(), warmup_rounds);
+
+  TopologyResult out;
+  out.shards = shards;
+  out.replicas = replicas;
+  out.readers = readers;
+  out.points = points.size();
+
+  struct ReaderSlot {
+    serve::LatencyHistogram overall;
+    serve::LatencyHistogram during;
+    u64 queries = 0;
+    u64 queries_during = 0;
+    u64 redirected = 0;
+  };
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failover_window{false};
+  std::vector<ReaderSlot> slots(readers);
+  std::vector<std::thread> threads;
+  threads.reserve(readers);
+  for (size_t t = 0; t < readers; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(seed + 100 + t);
+      std::vector<double> q(static_cast<size_t>(points.dim()));
+      ReaderSlot& slot = slots[t];
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto p = points[static_cast<PointId>(
+            rng.uniform_index(points.size()))];
+        q.assign(p.begin(), p.end());
+        q[0] += rng.uniform(-0.01, 0.01);  // near-data cold query
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto r = cluster.classify(q, t);
+        const u64 nanos = static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        slot.overall.record_nanos(nanos);
+        ++slot.queries;
+        slot.redirected += r.redirected ? 1 : 0;
+        if (failover_window.load(std::memory_order_relaxed)) {
+          slot.during.record_nanos(nanos);
+          ++slot.queries_during;
+        }
+      }
+    });
+  }
+
+  // Driver loop: write + publish + pump; ticks on a real-time cadence so the
+  // failover window spans milliseconds of reader traffic rather than a
+  // handful of driver iterations.
+  constexpr double kTickMs = 2.0;
+  Rng rng(seed + 1);
+  Stopwatch wall;
+  Stopwatch tick_timer;
+  Stopwatch window_timer;
+  bool killed = false;
+  u64 iter = 0;
+  std::vector<double> c(static_cast<size_t>(points.dim()));
+  while (wall.seconds() < seconds) {
+    for (int k = 0; k < 8; ++k) {
+      for (double& v : c) v = rng.uniform();
+      if (cluster.insert(c).has_value()) {
+        ++out.inserts;
+      } else {
+        ++out.rejected_writes;
+      }
+    }
+    if (++iter % 4 == 0) cluster.publish_all();
+    cluster.pump_all();
+    if (tick_timer.millis() >= kTickMs) {
+      cluster.tick_all();
+      tick_timer = Stopwatch();
+    }
+    if (!killed && wall.seconds() >= seconds * 0.5) {
+      killed = true;
+      out.committed_before_kill = cluster.shard(0).committed_epoch();
+      failover_window.store(true, std::memory_order_relaxed);
+      window_timer = Stopwatch();
+      cluster.shard(0).kill_primary();
+    }
+    if (killed && failover_window.load(std::memory_order_relaxed) &&
+        cluster.shard(0).has_live_primary()) {
+      out.failover_window_ms = window_timer.millis();
+      failover_window.store(false, std::memory_order_relaxed);
+    }
+  }
+  // Finish an in-progress failover, then let every shard converge.
+  u64 drain_rounds = 0;
+  while (!cluster.shard(0).has_live_primary()) {
+    cluster.tick_all();
+    cluster.pump_all();
+    SDB_CHECK(++drain_rounds < 1'000'000, "failover did not complete");
+  }
+  if (failover_window.load(std::memory_order_relaxed)) {
+    out.failover_window_ms = window_timer.millis();
+    failover_window.store(false, std::memory_order_relaxed);
+  }
+  while (!all_committed()) {
+    cluster.pump_all();
+    SDB_CHECK(++drain_rounds < 1'000'000, "post-run drain did not converge");
+  }
+  out.wall_s = wall.seconds();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+
+  for (const ReaderSlot& slot : slots) {
+    out.overall += slot.overall.snapshot();
+    out.during_failover += slot.during.snapshot();
+    out.queries += slot.queries;
+    out.queries_during_failover += slot.queries_during;
+    out.redirected_reads += slot.redirected;
+  }
+  for (size_t s = 0; s < cluster.shards(); ++s) {
+    out.failovers += cluster.shard(s).failovers();
+    out.stale_redirects += cluster.shard(s).stale_redirects();
+  }
+  const u64 committed_after = cluster.shard(0).committed_epoch();
+  out.lost_committed_epochs = committed_after >= out.committed_before_kill
+                                  ? 0
+                                  : out.committed_before_kill - committed_after;
+  return out;
+}
+
+void write_topology_json(const std::string& path, bool smoke, u64 seed,
+                         double seconds, const TopologyResult& r) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  SDB_CHECK(f != nullptr, "cannot open bench output file");
+  std::fprintf(f, "{\n  \"bench\": \"serve_topology\",\n  \"mode\": \"%s\",\n",
+               smoke ? "smoke" : "full");
+  std::fprintf(f,
+               "  \"shards\": %zu,\n  \"replicas\": %zu,\n  \"readers\": %zu,\n"
+               "  \"points\": %zu,\n  \"seconds\": %.2f,\n  \"seed\": %llu,\n",
+               r.shards, r.replicas, r.readers, r.points, seconds,
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f,
+               "  \"aggregate\": {\"queries\": %llu, \"qps\": %.1f, "
+               "\"p50us\": %.2f, \"p99us\": %.2f, \"p999us\": %.2f},\n",
+               static_cast<unsigned long long>(r.queries), r.qps(),
+               r.overall.quantile_micros(0.50), r.overall.quantile_micros(0.99),
+               r.overall.quantile_micros(0.999));
+  std::fprintf(f,
+               "  \"failover\": {\"window_ms\": %.2f, \"failovers\": %llu, "
+               "\"queries_during\": %llu, \"p999us_during\": %.2f, "
+               "\"committed_before_kill\": %llu, "
+               "\"lost_committed_epochs\": %llu},\n",
+               r.failover_window_ms,
+               static_cast<unsigned long long>(r.failovers),
+               static_cast<unsigned long long>(r.queries_during_failover),
+               r.during_failover.quantile_micros(0.999),
+               static_cast<unsigned long long>(r.committed_before_kill),
+               static_cast<unsigned long long>(r.lost_committed_epochs));
+  std::fprintf(f,
+               "  \"staleness\": {\"redirected_reads\": %llu, "
+               "\"stale_redirects\": %llu},\n",
+               static_cast<unsigned long long>(r.redirected_reads),
+               static_cast<unsigned long long>(r.stale_redirects));
+  std::fprintf(f, "  \"writes\": {\"inserts\": %llu, \"rejected\": %llu}\n}\n",
+               static_cast<unsigned long long>(r.inserts),
+               static_cast<unsigned long long>(r.rejected_writes));
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -158,9 +408,20 @@ int main(int argc, char** argv) {
                 "core subsample fraction (DBSCAN++ serving knob)");
   flags.add_i64("seed", 42, "rng seed");
   flags.add_bool("csv", false, "also print CSV");
+  flags.add_bool("smoke", false,
+                 "seconds-scale run for the perf ctest label (small model, "
+                 "short phases)");
+  flags.add_i64("shards", 2, "consistent-hash shards (topology phase)");
+  flags.add_i64("replicas", 3, "replicas per shard (topology phase)");
+  flags.add_i64("readers", 4, "concurrent classify threads (topology phase)");
+  flags.add_i64("topo_points", 20'000, "dataset size for the topology phase");
+  flags.add_f64("topo_seconds", 4.0, "wall seconds for the topology phase");
+  flags.add_string("out", "BENCH_serve_topology.json",
+                   "topology-phase JSON output path");
   flags.parse(argc, argv);
 
-  const auto n = flags.i64_flag("points");
+  const bool smoke = flags.boolean("smoke");
+  const auto n = flags.i64_flag("points") / (smoke ? 12 : 1);
   const u64 seed = static_cast<u64>(flags.i64_flag("seed"));
   Rng rng(seed);
 
@@ -214,7 +475,7 @@ int main(int argc, char** argv) {
   engine_cfg.threads = static_cast<unsigned>(flags.i64_flag("threads"));
   engine_cfg.queue_capacity = static_cast<size_t>(flags.i64_flag("queue"));
   const auto batch = static_cast<size_t>(flags.i64_flag("batch"));
-  const double secs = flags.f64("seconds");
+  const double secs = flags.f64("seconds") / (smoke ? 5.0 : 1.0);
   const double hot = flags.f64("hot_fraction");
   const auto hot_keys = static_cast<size_t>(flags.i64_flag("hot_keys"));
 
@@ -248,5 +509,51 @@ int main(int argc, char** argv) {
   table.print("serve load (wall clock)");
   if (flags.boolean("csv")) std::fputs(table.to_csv().c_str(), stdout);
   std::printf("\n");
+
+  // --- phase 4: replicated / sharded topology with a mid-run failover ---
+  const auto shards = static_cast<size_t>(flags.i64_flag("shards"));
+  const auto replicas = static_cast<size_t>(flags.i64_flag("replicas"));
+  const auto readers = static_cast<size_t>(flags.i64_flag("readers"));
+  const auto topo_n =
+      static_cast<i64>(flags.i64_flag("topo_points")) / (smoke ? 10 : 1);
+  const double topo_secs = flags.f64("topo_seconds") / (smoke ? 4.0 : 1.0);
+  Rng topo_rng(seed + 7);
+  const PointSet topo_points =
+      synth::blobs_2d(topo_n, 12, 0.02, topo_n / 20, topo_rng);
+  const TopologyResult topo =
+      run_topology(topo_points, params, shards, replicas, readers, topo_secs,
+                   seed);
+
+  TablePrinter topo_table({"metric", "value"});
+  topo_table.add_row({"aggregate qps", TablePrinter::cell(topo.qps(), 0)});
+  topo_table.add_row(
+      {"p50 us", TablePrinter::cell(topo.overall.quantile_micros(0.50), 2)});
+  topo_table.add_row(
+      {"p99 us", TablePrinter::cell(topo.overall.quantile_micros(0.99), 2)});
+  topo_table.add_row(
+      {"p999 us", TablePrinter::cell(topo.overall.quantile_micros(0.999), 2)});
+  topo_table.add_row(
+      {"failover window ms", TablePrinter::cell(topo.failover_window_ms, 2)});
+  topo_table.add_row(
+      {"p999 us during failover",
+       TablePrinter::cell(topo.during_failover.quantile_micros(0.999), 2)});
+  topo_table.add_row(
+      {"queries during failover",
+       TablePrinter::cell(topo.queries_during_failover)});
+  topo_table.add_row({"failovers", TablePrinter::cell(topo.failovers)});
+  topo_table.add_row(
+      {"stale redirects", TablePrinter::cell(topo.stale_redirects)});
+  topo_table.add_row(
+      {"rejected writes", TablePrinter::cell(topo.rejected_writes)});
+  topo_table.add_row({"lost committed epochs",
+                      TablePrinter::cell(topo.lost_committed_epochs)});
+  topo_table.print("serve topology: " + std::to_string(shards) + " shards x " +
+                   std::to_string(replicas) + " replicas, " +
+                   std::to_string(readers) + " readers");
+  if (flags.boolean("csv")) std::fputs(topo_table.to_csv().c_str(), stdout);
+  std::printf("\n");
+  SDB_CHECK(topo.lost_committed_epochs == 0,
+            "failover lost committed epochs — replication bug");
+  write_topology_json(flags.string("out"), smoke, seed, topo_secs, topo);
   return 0;
 }

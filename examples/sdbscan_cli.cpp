@@ -15,6 +15,14 @@
 // `label <id>`, `insert x y ...`, `remove <id>`, `summary`, `save <path>`,
 // `quit`. Inserts/removes update the clustering incrementally and republish
 // snapshots.
+//
+// With --shards/--replicas above 1, --serve runs the REPLICATED tier
+// (src/replica/) instead: points route to consistent-hash shards, each
+// shard is a primary + WAL-shipped followers, and the extra `kill <shard>`
+// command SIGKILLs a shard's primary to demonstrate failover live —
+// reads keep serving from the committed model while a follower is
+// promoted. Commands: `classify`, `insert`, `summary`, `kill <shard>`,
+// `quit`.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -27,6 +35,7 @@
 #include "core/quality.hpp"
 #include "core/spark_dbscan.hpp"
 #include "geom/distance.hpp"
+#include "replica/sharded_cluster.hpp"
 #include "serve/query_engine.hpp"
 #include "spatial/kd_tree.hpp"
 #include "synth/generators.hpp"
@@ -171,6 +180,135 @@ int serve_loop(const PointSet& points, const dbscan::DbscanParams& params,
   return 0;
 }
 
+/// --serve with --shards/--replicas > 1: the replicated tier. The process
+/// hosts every node (the subsystem is single-process by design — see
+/// src/replica/replica_set.hpp); replication rounds and failure-detector
+/// beats are driven between commands, so behavior is deterministic and
+/// `kill` + the next few commands walk through a real failover.
+int serve_topology_loop(const PointSet& points,
+                        const dbscan::DbscanParams& params, size_t shards,
+                        size_t replicas, const std::string& wal_dir) {
+  using namespace sdb::replica;
+  ShardedCluster::Options opts;
+  opts.shards = shards;
+  opts.replica.replicas = replicas;
+  opts.replica.dir = wal_dir;  // empty = in-memory node logs
+  opts.replica.registry.params = params;
+  // Interactive sessions expect an insert to be visible in the very next
+  // query, so publish on every mutation.
+  opts.replica.registry.publish_every = 1;
+  ShardedCluster cluster(opts, points.dim());
+  std::fprintf(stderr,
+               "serve: bootstrapping %zu points across %zu shards x %zu "
+               "replicas...\n",
+               points.size(), shards, replicas);
+  cluster.bootstrap(points);
+  const auto drive = [&] {
+    // Beat the failure detector until every shard has a live primary again
+    // (promotion needs heartbeat_timeout silent beats; bounded in case a
+    // shard has no replicas left to promote)...
+    for (int beat = 0; beat < 100; ++beat) {
+      cluster.tick_all();
+      cluster.pump_all();
+      bool all_live = true;
+      for (size_t s = 0; s < cluster.shards(); ++s) {
+        all_live &= cluster.shard(s).has_live_primary();
+      }
+      if (all_live) break;
+    }
+    // ...then replicate until every live shard's commit watermark catches
+    // its primary, so the next query sees this command's effect.
+    for (int round = 0; round < 100'000; ++round) {
+      cluster.pump_all();
+      bool settled = true;
+      for (size_t s = 0; s < cluster.shards(); ++s) {
+        const ReplicaSet& rs = cluster.shard(s);
+        if (!rs.has_live_primary()) continue;  // nobody left to promote
+        const auto primary = rs.node_registry(rs.primary_index());
+        settled &= rs.committed_epoch() >= primary->epoch();
+      }
+      if (settled) return;
+    }
+  };
+  drive();
+  for (size_t s = 0; s < cluster.shards(); ++s) {
+    std::fprintf(stderr,
+                 "serve: shard %zu ready — committed epoch %llu, primary "
+                 "node %zu\n",
+                 s,
+                 static_cast<unsigned long long>(
+                     cluster.shard(s).committed_epoch()),
+                 cluster.shard(s).primary_index());
+  }
+  std::fprintf(stderr,
+               "serve: commands: classify|insert <coords...>, summary, "
+               "kill <shard>, quit\n");
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "summary") {
+      for (size_t s = 0; s < cluster.shards(); ++s) {
+        const ReplicaSet& rs = cluster.shard(s);
+        std::printf("shard=%zu committed=%llu primary=%zu term=%llu "
+                    "failovers=%llu stale_redirects=%llu\n",
+                    s,
+                    static_cast<unsigned long long>(rs.committed_epoch()),
+                    rs.primary_index(),
+                    static_cast<unsigned long long>(rs.term()),
+                    static_cast<unsigned long long>(rs.failovers()),
+                    static_cast<unsigned long long>(rs.stale_redirects()));
+      }
+      continue;
+    }
+    if (cmd == "kill") {
+      size_t s = 0;
+      if (!(in >> s) || s >= cluster.shards()) {
+        std::printf("err kill needs a shard in [0, %zu)\n", cluster.shards());
+        continue;
+      }
+      cluster.shard(s).kill_primary();
+      std::printf("ok killed shard %zu primary (failover pending)\n", s);
+      drive();
+      continue;
+    }
+    if (cmd == "classify" || cmd == "insert") {
+      std::vector<double> coords;
+      double v = 0;
+      while (in >> v) coords.push_back(v);
+      if (static_cast<int>(coords.size()) != points.dim()) {
+        std::printf("err expected %d coordinates\n", points.dim());
+        continue;
+      }
+      if (cmd == "classify") {
+        const auto r = cluster.classify(coords, 0);
+        std::printf("label=%lld shard=%zu epoch=%llu%s\n",
+                    static_cast<long long>(r.cluster),
+                    cluster.shard_for(coords),
+                    static_cast<unsigned long long>(r.epoch),
+                    r.redirected ? " (redirected)" : "");
+      } else {
+        const auto r = cluster.insert(coords);
+        if (r.has_value()) {
+          std::printf("ok shard=%zu id=%lld\n", r->shard,
+                      static_cast<long long>(r->id));
+        } else {
+          std::printf("err shard %zu has no live primary (failover in "
+                      "progress)\n",
+                      cluster.shard_for(coords));
+        }
+        drive();
+      }
+      continue;
+    }
+    std::printf("err unknown command '%s'\n", cmd.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -196,6 +334,12 @@ int main(int argc, char** argv) {
                    "with --serve: registry write-ahead-log directory; a "
                    "restarted server replays it and republishes the last "
                    "committed epoch");
+  flags.add_i64("shards", 1,
+                "with --serve: consistent-hash shards; >1 (or --replicas>1) "
+                "serves through the replicated tier");
+  flags.add_i64("replicas", 1,
+                "with --serve: WAL-shipped replicas per shard (primary + "
+                "followers with automatic failover)");
   flags.parse(argc, argv);
 
   // --- load points ---
@@ -290,6 +434,13 @@ int main(int argc, char** argv) {
                    points.size(),
                    static_cast<unsigned long long>(stats.clusters),
                    static_cast<unsigned long long>(stats.noise));
+    }
+    const auto shards = static_cast<size_t>(flags.i64_flag("shards"));
+    const auto replicas = static_cast<size_t>(flags.i64_flag("replicas"));
+    if (shards > 1 || replicas > 1) {
+      return serve_topology_loop(points, params, std::max<size_t>(1, shards),
+                                 std::max<size_t>(1, replicas),
+                                 flags.string("wal-dir"));
     }
     return serve_loop(points, params, flags.f64("core_sample"),
                       flags.string("wal-dir"));

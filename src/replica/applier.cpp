@@ -1,0 +1,67 @@
+#include "replica/applier.hpp"
+
+#include "fault/injection.hpp"
+#include "replica/wal_ship.hpp"
+
+namespace sdb::replica {
+
+Applier::Applier(std::shared_ptr<serve::ModelRegistry> follower)
+    : registry_(std::move(follower)) {
+  SDB_CHECK(registry_ != nullptr, "applier needs a follower registry");
+  SDB_CHECK(registry_->role() == serve::RegistryRole::kFollower,
+            "applier target must be a follower");
+}
+
+bool Applier::offer(const std::vector<char>& frame) {
+  WalBatch batch;
+  if (!decode_batch(frame, &batch)) {
+    ++stats_.corrupt_rejected;
+    return false;
+  }
+  if (SDB_INJECT("replica.apply.stall")) {
+    // Too busy to apply: drop the decoded batch on the floor. The relay
+    // re-ships from our (unadvanced) cursor next pump.
+    ++stats_.stalled;
+    return false;
+  }
+  if (batch.term < term_) {
+    ++stats_.fenced;
+    return false;
+  }
+  term_ = batch.term;
+  const serve::ModelRegistry::StreamCursor cur = registry_->replication_cursor();
+  if (batch.generation != cur.generation || batch.start_seq > cur.next_seq) {
+    // Wrong generation (we need the snapshot handshake) or a hole before
+    // this batch (drop/reorder upstream). Either way: discard, let the
+    // relay resynchronize from our cursor.
+    ++stats_.gaps;
+    return false;
+  }
+  const u64 end_seq = batch.start_seq + batch.records.size();
+  if (end_seq <= cur.next_seq) {
+    // Entirely already applied (duplicate or stale retransmit).
+    stats_.duplicates_skipped += batch.records.size();
+    return false;
+  }
+  const size_t skip = static_cast<size_t>(cur.next_seq - batch.start_seq);
+  stats_.duplicates_skipped += skip;
+  for (size_t i = skip; i < batch.records.size(); ++i) {
+    registry_->apply_replicated(batch.records[i]);
+  }
+  stats_.records_applied += batch.records.size() - skip;
+  ++stats_.batches_applied;
+  return true;
+}
+
+void Applier::install_snapshot(u64 term, u64 generation,
+                               const std::string& blob) {
+  if (term < term_) {
+    ++stats_.fenced;
+    return;
+  }
+  term_ = term;
+  registry_->install_replica_snapshot(blob, generation);
+  ++stats_.snapshots_installed;
+}
+
+}  // namespace sdb::replica

@@ -1,0 +1,76 @@
+// Applier — the follower half of WAL shipping.
+//
+// Consumes frames off a ShipTransport and turns them into exact stream
+// application on a RegistryRole::kFollower ModelRegistry. The channel may
+// drop, duplicate, reorder, or corrupt frames (wal_ship.hpp), so the
+// applier enforces the stream discipline that makes the follower's log a
+// byte prefix of the primary's:
+//
+//   * checksum-reject corrupt frames (counted; retransmit re-covers);
+//   * fence stale terms — a frame from term < adopted term is from a
+//     deposed primary and is discarded (a frame from a NEWER term adopts
+//     that term first: the new primary's stream continues the old one);
+//   * gap-reject batches starting past the applied cursor (an earlier frame
+//     was dropped or is still in flight behind a reordering — the relay's
+//     next pump re-ships from the cursor, so gaps heal without nacks);
+//   * skip the already-applied prefix of an overlapping batch (duplicates
+//     and retransmits), then apply only the new suffix.
+//
+// The applied position is not applier state: it is read from the follower
+// registry's own WAL cursor, so a follower restarted from disk resumes at
+// exactly the right stream offset with a fresh Applier.
+//
+// Fault site `replica.apply.stall` models a follower too busy to apply: the
+// frame is discarded as if dropped in transit — the same retransmit path
+// covers it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/model_registry.hpp"
+
+namespace sdb::replica {
+
+class Applier {
+ public:
+  struct Stats {
+    u64 batches_applied = 0;
+    u64 records_applied = 0;
+    u64 duplicates_skipped = 0;  ///< records already applied (dups/overlap)
+    u64 gaps = 0;                ///< batches starting past the cursor
+    u64 fenced = 0;              ///< stale-term batches rejected
+    u64 corrupt_rejected = 0;    ///< checksum / framing failures
+    u64 stalled = 0;             ///< replica.apply.stall refusals
+    u64 snapshots_installed = 0;
+  };
+
+  explicit Applier(std::shared_ptr<serve::ModelRegistry> follower);
+
+  /// Offer one received frame. Returns true when at least one new record
+  /// was applied (progress), false otherwise (rejected or pure duplicate).
+  bool offer(const std::vector<char>& frame);
+
+  /// Snapshot handshake (relay detected our cursor predates its log):
+  /// replace all follower state and reposition the stream at
+  /// (`generation`, 0). Term-fenced like record batches.
+  void install_snapshot(u64 term, u64 generation, const std::string& blob);
+
+  /// The follower's applied stream position (from its own WAL).
+  [[nodiscard]] serve::ModelRegistry::StreamCursor cursor() const {
+    return registry_->replication_cursor();
+  }
+  /// Highest term this applier has accepted a primary from.
+  [[nodiscard]] u64 term() const { return term_; }
+  /// The follower's published epoch (how fresh its served model is).
+  [[nodiscard]] u64 applied_epoch() const { return registry_->epoch(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  std::shared_ptr<serve::ModelRegistry> registry_;
+  u64 term_ = 0;
+  Stats stats_;
+};
+
+}  // namespace sdb::replica

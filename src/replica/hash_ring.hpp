@@ -1,0 +1,78 @@
+// ConsistentHashRing — deterministic query/shard placement with virtual
+// nodes.
+//
+// The sharded serving tier routes every point (inserts and classify
+// queries alike) to exactly one shard. Requirements that rule out a plain
+// `hash % shards`:
+//
+//   * deterministic ACROSS PROCESSES: the CLI, the bench harness, and every
+//     replica must route a given point identically with no shared state —
+//     so the hash is FNV-1a over the raw coordinate bytes, no seeding from
+//     pointers, time, or std::hash (which is implementation-defined);
+//   * minimal remap on membership change: adding or removing one shard of N
+//     must move only ~1/N of the key space (classic consistent hashing);
+//     a modulo would reshuffle nearly everything and invalidate every
+//     shard's accumulated state;
+//   * placement independent of insertion ORDER: the ring is a pure function
+//     of the member set, so two routers that learned the members in
+//     different orders still agree.
+//
+// Each node contributes `vnodes` points on the ring (hash of "id#k"); a key
+// routes to the first vnode clockwise from its hash. More vnodes = smoother
+// balance at O(vnodes · nodes · log) rebuild cost — rebuilds are rare
+// (membership changes only) and the table is tiny, so this subsystem
+// rebuilds from scratch for simplicity; lookups stay O(log(N·vnodes)).
+//
+// tests/test_hash_ring.cpp proves determinism, order-independence, balance,
+// and the strictly-fewer-than-2/N remap bound.
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace sdb::replica {
+
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(u32 vnodes = 64);
+
+  /// Add a member (no-op if already present). O(members · vnodes) rebuild.
+  void add_node(const std::string& id);
+  /// Remove a member (no-op if absent).
+  void remove_node(const std::string& id);
+
+  /// The member owning `key`: first vnode clockwise from the key's position.
+  /// Aborts when the ring is empty.
+  [[nodiscard]] const std::string& node_for(u64 key) const;
+  /// The first `n` DISTINCT members clockwise from the key — the replica
+  /// placement list (fewer when the ring has fewer members).
+  [[nodiscard]] std::vector<std::string> nodes_for(u64 key, size_t n) const;
+
+  [[nodiscard]] size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const std::vector<std::string>& nodes() const {
+    return nodes_;
+  }
+
+  /// --- the cross-process-stable hashes (FNV-1a + avalanche finalizer;
+  /// never std::hash, which is implementation-defined) ---
+  static u64 hash_bytes(const void* data, size_t size);
+  static u64 hash_string(const std::string& s);
+  /// Route a point by its raw coordinate bytes (bit-exact doubles).
+  static u64 hash_point(std::span<const double> coords);
+
+ private:
+  void rebuild();
+
+  u32 vnodes_;
+  std::vector<std::string> nodes_;  ///< sorted unique member ids
+  /// Sorted (ring position, index into nodes_). Ties (astronomically rare)
+  /// break by node index, which maps to the sorted id order — still a pure
+  /// function of the member set.
+  std::vector<std::pair<u64, u32>> ring_;
+};
+
+}  // namespace sdb::replica

@@ -1,0 +1,47 @@
+#include "replica/relay.hpp"
+
+#include <algorithm>
+
+#include "replica/applier.hpp"
+#include "replica/wal_ship.hpp"
+
+namespace sdb::replica {
+
+Relay::Relay(std::shared_ptr<serve::ModelRegistry> primary, u64 term,
+             size_t batch_records, size_t pipeline_batches)
+    : primary_(std::move(primary)),
+      term_(term),
+      batch_records_(batch_records),
+      pipeline_batches_(pipeline_batches) {
+  SDB_CHECK(primary_ != nullptr, "relay needs a primary registry");
+  SDB_CHECK(batch_records_ > 0 && pipeline_batches_ > 0,
+            "relay batch/pipeline sizes must be positive");
+}
+
+void Relay::pump(Applier& applier, ShipTransport& transport) {
+  const serve::ModelRegistry::StreamCursor cur = applier.cursor();
+  const serve::ShipChunk chunk = primary_->ship_from(
+      cur.generation, cur.next_seq, batch_records_ * pipeline_batches_);
+  if (chunk.need_snapshot) {
+    applier.install_snapshot(term_, chunk.generation, chunk.snapshot_blob);
+    ++snapshots_shipped_;
+    return;
+  }
+  size_t off = 0;
+  while (off < chunk.records.size()) {
+    const size_t n = std::min(batch_records_, chunk.records.size() - off);
+    WalBatch batch;
+    batch.term = term_;
+    batch.generation = chunk.generation;
+    batch.start_seq = chunk.start_seq + off;
+    batch.committed_epoch = chunk.committed_epoch;
+    batch.records.assign(
+        chunk.records.begin() + static_cast<ptrdiff_t>(off),
+        chunk.records.begin() + static_cast<ptrdiff_t>(off + n));
+    transport.send(encode_batch(batch));
+    ++batches_shipped_;
+    off += n;
+  }
+}
+
+}  // namespace sdb::replica

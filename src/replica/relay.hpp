@@ -1,0 +1,52 @@
+// Relay — the primary half of WAL shipping: one relay per primary, pumped
+// once per follower per replication round.
+//
+// Each pump reads the follower's applied cursor and ships everything the
+// primary's log holds past it, split into `batch_records`-sized frames, at
+// most `pipeline_batches` batches ahead per pump (bounded in-flight data).
+// Because the cursor only advances when the applier actually applies,
+// re-pumping IS the retransmission protocol: dropped frames are shipped
+// again, duplicated/reordered frames are deduped by the applier, and no
+// ack/nack machinery exists at all.
+//
+// When the follower's cursor predates the primary's current WAL generation
+// (the follower is so far behind that compaction discarded the records it
+// needs — or it followed a previous primary), ship_from answers with the
+// generation's base snapshot instead; the relay delivers it through the
+// applier's snapshot handshake directly, modeling the out-of-band bulk
+// channel real systems use for initial join (the record channel stays the
+// only lossy one).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "serve/model_registry.hpp"
+
+namespace sdb::replica {
+
+class Applier;
+class ShipTransport;
+
+class Relay {
+ public:
+  Relay(std::shared_ptr<serve::ModelRegistry> primary, u64 term,
+        size_t batch_records, size_t pipeline_batches);
+
+  /// One replication round toward one follower: resync from its cursor.
+  void pump(Applier& applier, ShipTransport& transport);
+
+  [[nodiscard]] u64 term() const { return term_; }
+  [[nodiscard]] u64 batches_shipped() const { return batches_shipped_; }
+  [[nodiscard]] u64 snapshots_shipped() const { return snapshots_shipped_; }
+
+ private:
+  std::shared_ptr<serve::ModelRegistry> primary_;
+  u64 term_;
+  size_t batch_records_;
+  size_t pipeline_batches_;
+  u64 batches_shipped_ = 0;
+  u64 snapshots_shipped_ = 0;
+};
+
+}  // namespace sdb::replica

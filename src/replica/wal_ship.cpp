@@ -1,0 +1,113 @@
+#include "replica/wal_ship.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "fault/injection.hpp"
+#include "util/serialize.hpp"
+
+namespace sdb::replica {
+
+namespace {
+
+u64 fnv1a(const char* data, size_t size) {
+  u64 h = 1469598103934665603ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<char> encode_batch(const WalBatch& batch) {
+  BinaryWriter payload;
+  payload.write_u64(batch.term);
+  payload.write_u64(batch.generation);
+  payload.write_u64(batch.start_seq);
+  payload.write_u64(batch.committed_epoch);
+  payload.write_u32(static_cast<u32>(batch.records.size()));
+  for (const serve::WalRecord& rec : batch.records) {
+    const std::vector<char> bytes = serve::encode_wal_payload(rec);
+    payload.write_u32(static_cast<u32>(bytes.size()));
+    payload.write_bytes(bytes.data(), bytes.size());
+  }
+  BinaryWriter frame;
+  frame.write_u32(static_cast<u32>(payload.size()));
+  frame.write_bytes(payload.buffer().data(), payload.size());
+  frame.write_u64(fnv1a(payload.buffer().data(), payload.size()));
+  return frame.take();
+}
+
+bool decode_batch(const std::vector<char>& frame, WalBatch* batch) {
+  // Outer frame: u32 len | payload | u64 checksum. Validate the checksum
+  // BEFORE touching the payload — after it passes, the payload is byte-
+  // identical to what encode_batch produced, so the structured reads below
+  // cannot run off the end.
+  if (frame.size() < sizeof(u32) + sizeof(u64)) return false;
+  u32 len = 0;
+  std::memcpy(&len, frame.data(), sizeof(len));
+  if (frame.size() != sizeof(u32) + len + sizeof(u64)) return false;
+  const char* payload = frame.data() + sizeof(u32);
+  u64 sum = 0;
+  std::memcpy(&sum, payload + len, sizeof(sum));
+  if (sum != fnv1a(payload, len)) return false;
+
+  BinaryReader r(payload, len);
+  batch->term = r.read_u64();
+  batch->generation = r.read_u64();
+  batch->start_seq = r.read_u64();
+  batch->committed_epoch = r.read_u64();
+  const u32 count = r.read_u32();
+  batch->records.clear();
+  batch->records.reserve(count);
+  size_t off = r.position();
+  for (u32 i = 0; i < count; ++i) {
+    if (len - off < sizeof(u32)) return false;
+    u32 rec_len = 0;
+    std::memcpy(&rec_len, payload + off, sizeof(rec_len));
+    off += sizeof(rec_len);
+    if (rec_len > len - off) return false;
+    serve::WalRecord rec;
+    if (!serve::decode_wal_payload(payload + off, rec_len, &rec)) return false;
+    batch->records.push_back(std::move(rec));
+    off += rec_len;
+  }
+  return off == len;
+}
+
+void ShipTransport::send(std::vector<char> frame) {
+  ++stats_.sent;
+  if (SDB_INJECT("replica.ship.drop")) {
+    ++stats_.dropped;
+    return;
+  }
+  const bool duplicate = SDB_INJECT("replica.ship.duplicate");
+  if (SDB_INJECT("replica.ship.corrupt") && !frame.empty()) {
+    // Flip one payload byte; the frame must now fail its checksum at the
+    // applier. (Duplicates copy the corruption — both copies are rejected,
+    // and the retransmit ships the range again intact.)
+    frame[frame.size() / 2] = static_cast<char>(frame[frame.size() / 2] ^ 0x20);
+    ++stats_.corrupted;
+  }
+  if (duplicate) {
+    queue_.push_back(frame);
+    ++stats_.duplicated;
+  }
+  queue_.push_back(std::move(frame));
+  if (SDB_INJECT("replica.ship.reorder") && queue_.size() >= 2) {
+    std::swap(queue_[queue_.size() - 1], queue_[queue_.size() - 2]);
+    ++stats_.reordered;
+  }
+}
+
+std::optional<std::vector<char>> ShipTransport::receive() {
+  if (queue_.empty()) return std::nullopt;
+  std::vector<char> frame = std::move(queue_.front());
+  queue_.pop_front();
+  ++stats_.delivered;
+  return frame;
+}
+
+}  // namespace sdb::replica

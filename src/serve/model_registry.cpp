@@ -1,5 +1,7 @@
 #include "serve/model_registry.hpp"
 
+#include <algorithm>
+
 #include "fault/injection.hpp"
 #include "util/serialize.hpp"
 
@@ -8,13 +10,18 @@ namespace sdb::serve {
 ModelRegistry::ModelRegistry(Config config, int dim)
     : config_(config),
       dim_(dim),
+      role_(config.role),
       incremental_(
           dbscan::IncrementalDbscan::Config{config.params,
                                             config.rebuild_threshold},
           dim) {
   SDB_CHECK(dim > 0, "registry dimension must be positive");
   const std::scoped_lock lock(writer_mu_);
-  if (!config_.wal_dir.empty()) {
+  // Followers always keep a stream log (in-memory when wal_dir is empty) so
+  // they can re-ship the stream after a promotion.
+  const bool needs_wal = !config_.wal_dir.empty() || config_.replicated ||
+                         config_.role == RegistryRole::kFollower;
+  if (needs_wal) {
     wal_ = std::make_unique<RegistryWal>(config_.wal_dir);
     recover_locked();
   } else {
@@ -62,6 +69,13 @@ void ModelRegistry::recover_locked() {
     }
   }
   wal_->truncate_to(committed);
+  if (role_.load(std::memory_order_relaxed) == RegistryRole::kFollower) {
+    // A follower's log must stay a byte prefix of the primary's stream, so
+    // recovery republishes the committed epoch WITHOUT appending a fresh
+    // marker (epoch 0 = empty model for a virgin follower).
+    publish_as_locked(committed_epoch, /*log_marker=*/false);
+    return;
+  }
   // Republish exactly the last committed epoch (1 for a fresh log: the
   // initial empty-snapshot publish below behaves like first construction).
   if (committed_epoch > 0) {
@@ -105,12 +119,102 @@ std::string ModelRegistry::encode_snapshot_locked(u64 epoch) const {
 
 u64 ModelRegistry::compact() {
   const std::scoped_lock lock(writer_mu_);
-  SDB_CHECK(wal_ != nullptr, "compact() requires wal_dir");
+  SDB_CHECK(wal_ != nullptr, "compact() requires wal_dir or replication");
+  SDB_CHECK(role_.load(std::memory_order_relaxed) == RegistryRole::kPrimary,
+            "compact() is a primary-side operation");
   // Publish first: the snapshot is then a committed state and the rotated
   // (empty) log needs no replay at all.
   const u64 e = publish_locked();
-  wal_->compact(encode_snapshot_locked(e));
+  wal_->compact(encode_snapshot_locked(e), e);
   return e;
+}
+
+ModelRegistry::StreamCursor ModelRegistry::replication_cursor() const {
+  const std::scoped_lock lock(writer_mu_);
+  SDB_CHECK(wal_ != nullptr, "replication_cursor() requires a stream log");
+  return {wal_->generation(), wal_->record_count()};
+}
+
+ShipChunk ModelRegistry::ship_from(u64 generation, u64 seq,
+                                   size_t max_records) const {
+  const std::scoped_lock lock(writer_mu_);
+  SDB_CHECK(wal_ != nullptr, "ship_from() requires a stream log");
+  ShipChunk chunk;
+  chunk.committed_epoch = epoch_.load(std::memory_order_relaxed);
+  chunk.generation = wal_->generation();
+  if (generation != wal_->generation() || seq > wal_->record_count()) {
+    // The cursor predates the last compaction (or belongs to a different
+    // stream entirely — a follower of a previous term's primary): hand the
+    // follower this generation's base snapshot so it can restart the
+    // stream at (generation, 0).
+    chunk.need_snapshot = true;
+    if (wal_->snapshot().has_value()) {
+      chunk.snapshot_blob = *wal_->snapshot();
+      chunk.snapshot_epoch = wal_->snapshot_epoch();
+    }
+    return chunk;
+  }
+  chunk.start_seq = seq;
+  const std::vector<WalRecord>& recs = wal_->records();
+  const size_t end = std::min(recs.size(), seq + max_records);
+  chunk.records.assign(recs.begin() + static_cast<ptrdiff_t>(seq),
+                       recs.begin() + static_cast<ptrdiff_t>(end));
+  return chunk;
+}
+
+void ModelRegistry::apply_replicated(const WalRecord& rec) {
+  const std::scoped_lock lock(writer_mu_);
+  SDB_CHECK(role_.load(std::memory_order_relaxed) == RegistryRole::kFollower,
+            "apply_replicated() on a non-follower");
+  switch (rec.type) {
+    case WalRecordType::kInsert:
+      wal_->append_insert(rec.coords);
+      incremental_.insert(rec.coords);
+      ++mutations_;
+      break;
+    case WalRecordType::kRemove:
+      // The primary validated the remove before logging it, and the
+      // follower mirrors the primary's id space record-for-record, so the
+      // id must be live here too.
+      SDB_CHECK(rec.point_id >= 0 &&
+                    static_cast<size_t>(rec.point_id) < incremental_.size() &&
+                    !incremental_.is_removed(rec.point_id),
+                "replicated remove of an unknown id: stream misaligned");
+      wal_->append_remove(rec.point_id);
+      incremental_.remove(rec.point_id);
+      ++mutations_;
+      break;
+    case WalRecordType::kPublish:
+      wal_->append_publish(rec.epoch);
+      // The stream's own marker was just appended; publish without logging
+      // a second one.
+      publish_as_locked(rec.epoch, /*log_marker=*/false);
+      break;
+  }
+}
+
+void ModelRegistry::install_replica_snapshot(const std::string& blob,
+                                             u64 generation) {
+  const std::scoped_lock lock(writer_mu_);
+  SDB_CHECK(role_.load(std::memory_order_relaxed) == RegistryRole::kFollower,
+            "install_replica_snapshot() on a non-follower");
+  // Drop all local state: the shipped snapshot becomes the whole world.
+  incremental_ = dbscan::IncrementalDbscan(
+      dbscan::IncrementalDbscan::Config{config_.params,
+                                        config_.rebuild_threshold},
+      dim_);
+  u64 epoch = 0;
+  if (!blob.empty()) load_snapshot_locked(blob, &epoch);
+  wal_->reset_generation(generation, blob, epoch);
+  publish_as_locked(epoch, /*log_marker=*/false);
+}
+
+u64 ModelRegistry::promote_to_primary() {
+  const std::scoped_lock lock(writer_mu_);
+  SDB_CHECK(role_.load(std::memory_order_relaxed) == RegistryRole::kFollower,
+            "promote_to_primary() on a non-follower");
+  role_.store(RegistryRole::kPrimary, std::memory_order_release);
+  return epoch_.load(std::memory_order_relaxed);
 }
 
 bool ModelRegistry::write_available() {
@@ -124,6 +228,8 @@ bool ModelRegistry::write_available() {
 
 PointId ModelRegistry::insert(std::span<const double> coords) {
   const std::scoped_lock lock(writer_mu_);
+  SDB_CHECK(role_.load(std::memory_order_relaxed) == RegistryRole::kPrimary,
+            "direct insert on a follower (writes go through replication)");
   // Write-ahead: the record is durable before the state mutates. A crash
   // between the two leaves an unapplied record, which recovery discards
   // unless a later publish committed it.
@@ -137,6 +243,8 @@ PointId ModelRegistry::insert(std::span<const double> coords) {
 
 bool ModelRegistry::try_remove(PointId id) {
   const std::scoped_lock lock(writer_mu_);
+  SDB_CHECK(role_.load(std::memory_order_relaxed) == RegistryRole::kPrimary,
+            "direct remove on a follower (writes go through replication)");
   if (id < 0 || static_cast<size_t>(id) >= incremental_.size() ||
       incremental_.is_removed(id)) {
     return false;
@@ -153,6 +261,8 @@ bool ModelRegistry::try_remove(PointId id) {
 void ModelRegistry::bootstrap(const PointSet& points) {
   SDB_CHECK(points.dim() == dim_, "bootstrap: dimension mismatch");
   const std::scoped_lock lock(writer_mu_);
+  SDB_CHECK(role_.load(std::memory_order_relaxed) == RegistryRole::kPrimary,
+            "bootstrap on a follower (writes go through replication)");
   for (PointId i = 0; i < static_cast<PointId>(points.size()); ++i) {
     if (wal_ != nullptr) wal_->append_insert(points[i]);
     incremental_.insert(points[i]);
@@ -163,6 +273,8 @@ void ModelRegistry::bootstrap(const PointSet& points) {
 
 u64 ModelRegistry::publish() {
   const std::scoped_lock lock(writer_mu_);
+  SDB_CHECK(role_.load(std::memory_order_relaxed) == RegistryRole::kPrimary,
+            "publish on a follower (epochs come from the primary's stream)");
   return publish_locked();
 }
 
@@ -173,6 +285,11 @@ void ModelRegistry::maybe_publish_locked() {
 }
 
 u64 ModelRegistry::publish_locked() {
+  return publish_as_locked(epoch_.load(std::memory_order_relaxed) + 1,
+                           /*log_marker=*/true);
+}
+
+u64 ModelRegistry::publish_as_locked(u64 epoch, bool log_marker) {
   std::vector<char> core_mask(incremental_.size(), 0);
   for (PointId id = 0; id < static_cast<PointId>(incremental_.size()); ++id) {
     if (!incremental_.is_removed(id) && incremental_.is_core(id)) {
@@ -182,16 +299,15 @@ u64 ModelRegistry::publish_locked() {
   std::shared_ptr<ClusterModel> model =
       ClusterModel::build(incremental_.points(), incremental_.clustering(),
                           core_mask, config_.params, config_.model_options);
-  const u64 e = epoch_.load(std::memory_order_relaxed) + 1;
-  model->set_epoch(e);
+  model->set_epoch(epoch);
   // The commit marker hits the log before the in-memory swap: once any
-  // reader can observe epoch e, a restart will recover epoch e.
-  if (wal_ != nullptr) wal_->append_publish(e);
+  // reader can observe this epoch, a restart will recover it.
+  if (log_marker && wal_ != nullptr) wal_->append_publish(epoch);
   ++publishes_;
   since_publish_ = 0;
   current_.store(std::move(model), std::memory_order_release);
-  epoch_.store(e, std::memory_order_release);
-  return e;
+  epoch_.store(epoch, std::memory_order_release);
+  return epoch;
 }
 
 u64 ModelRegistry::publishes() const {

@@ -23,6 +23,18 @@
 // republishes exactly the last committed epoch; mutations that never made
 // it into a published snapshot are truncated, not resurrected. compact()
 // folds the log into a checksummed snapshot so the log stays bounded.
+//
+// Replication (src/replica): with Config::replicated set the registry keeps
+// a WAL even without a wal_dir (the in-memory RegistryWal mode) and becomes
+// shippable — `ship_from()` serves the record stream from any (generation,
+// seq) cursor, falling back to a snapshot handshake when the cursor
+// predates the last compaction. A Role::kFollower registry is the receive
+// side: it accepts no direct writes, only `apply_replicated()` records and
+// `install_replica_snapshot()`, and keeps its own WAL positioned at the
+// SAME stream coordinates as the primary's — every follower log is a byte
+// prefix of the primary's stream, which is what makes post-failover
+// re-shipping from the promoted follower sound (see replica/replica_set.hpp
+// for the proof sketch). `promote_to_primary()` flips the role in place.
 #pragma once
 
 #include <atomic>
@@ -35,6 +47,23 @@
 #include "serve/registry_wal.hpp"
 
 namespace sdb::serve {
+
+/// Which side of the replication stream a registry sits on. Standalone
+/// (unreplicated) registries are primaries that never ship.
+enum class RegistryRole : u32 { kPrimary = 0, kFollower = 1 };
+
+/// One reply to a shipping-cursor read (ship_from). Either a run of records
+/// resuming at the cursor, or a snapshot handshake when the cursor predates
+/// the log's current generation.
+struct ShipChunk {
+  bool need_snapshot = false;
+  u64 generation = 0;       ///< generation the reply (snapshot or records) is in
+  std::string snapshot_blob;  ///< need_snapshot: base state ("" = empty base)
+  u64 snapshot_epoch = 0;     ///< need_snapshot: epoch of that base state
+  u64 start_seq = 0;          ///< records: seq of records.front()
+  std::vector<WalRecord> records;
+  u64 committed_epoch = 0;  ///< primary's published epoch at reply time
+};
 
 class ModelRegistry {
  public:
@@ -50,6 +79,12 @@ class ModelRegistry {
     /// Write-ahead-log directory (empty = durability off). See the class
     /// comment: committed-epoch crash recovery with torn-tail truncation.
     std::string wal_dir;
+    /// Replication role (see class comment). Followers reject direct writes.
+    RegistryRole role = RegistryRole::kPrimary;
+    /// Keep a replication log even without wal_dir (in-memory RegistryWal),
+    /// so the registry can ship its stream / re-ship after promotion.
+    /// Implied by role == kFollower.
+    bool replicated = false;
   };
 
   ModelRegistry(Config config, int dim);
@@ -98,6 +133,37 @@ class ModelRegistry {
   [[nodiscard]] u64 mutations() const;
   [[nodiscard]] size_t active_points() const;
 
+  /// --- replication (Config::replicated / Config::role; see class comment) ---
+  [[nodiscard]] RegistryRole role() const {
+    return role_.load(std::memory_order_acquire);
+  }
+  /// This registry's position in its replication stream: (generation, next
+  /// record seq). On a primary this is the shipping frontier; on a follower
+  /// it is how far the stream has been applied.
+  struct StreamCursor {
+    u64 generation = 0;
+    u64 next_seq = 0;
+  };
+  [[nodiscard]] StreamCursor replication_cursor() const;
+  /// Serve up to `max_records` stream records resuming at (`generation`,
+  /// `seq`), or a snapshot handshake when that cursor is not servable from
+  /// the current generation's log (the follower then installs the snapshot
+  /// and re-requests from (chunk.generation, 0)). Requires `replicated`.
+  [[nodiscard]] ShipChunk ship_from(u64 generation, u64 seq,
+                                    size_t max_records) const;
+  /// Follower side: append `rec` to the local stream log, then apply it.
+  /// kPublish records publish a snapshot at EXACTLY the record's epoch —
+  /// follower epochs are the primary's epochs, never locally invented.
+  void apply_replicated(const WalRecord& rec);
+  /// Follower side: replace all state with the shipped snapshot (the blob
+  /// format of ship_from/compact) and reposition the local log at
+  /// (`generation`, 0). Publishes the snapshot's epoch.
+  void install_replica_snapshot(const std::string& blob, u64 generation);
+  /// Flip a follower to primary in place (failover). Applied-but-unpublished
+  /// mutations are kept — they become part of the next published epoch.
+  /// Returns the epoch the new primary serves at.
+  u64 promote_to_primary();
+
   /// --- durability (wal_dir set; aborts otherwise) ---
   /// Publish, then fold log + state into a fresh snapshot generation and
   /// start an empty log. Returns the published (= snapshotted) epoch.
@@ -111,6 +177,10 @@ class ModelRegistry {
 
  private:
   u64 publish_locked();
+  /// Publish the current state at exactly `epoch`; appends a kPublish
+  /// marker to the WAL only when `log_marker` (followers already appended
+  /// the stream's own marker; recovery republishes without re-logging).
+  u64 publish_as_locked(u64 epoch, bool log_marker);
   void maybe_publish_locked();
   void recover_locked();
   void load_snapshot_locked(const std::string& blob, u64* epoch);
@@ -118,6 +188,7 @@ class ModelRegistry {
 
   Config config_;
   int dim_;
+  std::atomic<RegistryRole> role_{RegistryRole::kPrimary};
   mutable std::mutex writer_mu_;  // guards incremental_ and the tallies
   dbscan::IncrementalDbscan incremental_;
   std::unique_ptr<RegistryWal> wal_;

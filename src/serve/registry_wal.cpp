@@ -23,10 +23,27 @@ u64 fnv1a(const char* data, size_t size) {
   return h;
 }
 
-/// Decode one framed payload into a typed record. False on malformed body
-/// (treated exactly like a checksum failure: the record and everything
-/// after it are truncated).
-bool decode_payload(const char* data, size_t size, WalRecord* rec) {
+}  // namespace
+
+std::vector<char> encode_wal_payload(const WalRecord& rec) {
+  BinaryWriter w;
+  w.write_u32(static_cast<u32>(rec.type));
+  switch (rec.type) {
+    case WalRecordType::kInsert:
+      w.write_u32(static_cast<u32>(rec.coords.size()));
+      for (const double c : rec.coords) w.write_f64(c);
+      break;
+    case WalRecordType::kRemove:
+      w.write_i64(rec.point_id);
+      break;
+    case WalRecordType::kPublish:
+      w.write_u64(rec.epoch);
+      break;
+  }
+  return w.take();
+}
+
+bool decode_wal_payload(const char* data, size_t size, WalRecord* rec) {
   if (size < sizeof(u32)) return false;
   BinaryReader r(data, size);
   const u32 type = r.read_u32();
@@ -57,10 +74,8 @@ bool decode_payload(const char* data, size_t size, WalRecord* rec) {
   return false;
 }
 
-}  // namespace
-
 RegistryWal::RegistryWal(std::string dir) : dir_(std::move(dir)) {
-  SDB_CHECK(!dir_.empty(), "RegistryWal needs a directory");
+  if (in_memory()) return;  // nothing to recover, nothing to open
   fs::create_directories(dir_);
   open_generation();
   scan_log();
@@ -83,6 +98,7 @@ void RegistryWal::open_generation() {
   // Pick the highest generation whose snapshot verifies; everything else —
   // older generations, tmp files, snapshots torn mid-write — is garbage.
   u64 best_gen = 0;
+  u64 best_epoch = 0;
   std::string best_blob;
   bool have_snapshot = false;
   std::vector<std::pair<u64, fs::path>> snapshots;
@@ -104,8 +120,8 @@ void RegistryWal::open_generation() {
   for (const auto& [gen, path] : snapshots) {
     if (gen < best_gen && have_snapshot) continue;
     const std::vector<char> buf = read_file(path.string());
-    // snapshot file = magic + blob bytes + fnv trailer
-    if (buf.size() < 2 * sizeof(u64)) continue;
+    // snapshot file = magic + epoch + blob bytes + fnv trailer
+    if (buf.size() < 3 * sizeof(u64)) continue;
     const size_t payload = buf.size() - sizeof(u64);
     u64 trailer = 0;
     std::memcpy(&trailer, buf.data() + payload, sizeof(u64));
@@ -115,12 +131,17 @@ void RegistryWal::open_generation() {
     if (magic != kSnapshotMagic) continue;
     if (!have_snapshot || gen > best_gen) {
       best_gen = gen;
-      best_blob.assign(buf.data() + sizeof(u64), payload - sizeof(u64));
+      std::memcpy(&best_epoch, buf.data() + sizeof(u64), sizeof(u64));
+      best_blob.assign(buf.data() + 2 * sizeof(u64),
+                       payload - 2 * sizeof(u64));
       have_snapshot = true;
     }
   }
   generation_ = best_gen;
-  if (have_snapshot) snapshot_ = std::move(best_blob);
+  if (have_snapshot) {
+    snapshot_ = std::move(best_blob);
+    snapshot_epoch_ = best_epoch;
+  }
   // GC: tmp files, snapshots that are not the winner, logs of other gens.
   for (const fs::path& p : tmp_files) {
     fs::remove(p);
@@ -154,7 +175,7 @@ void RegistryWal::scan_log() {
     std::memcpy(&trailer, payload + len, sizeof(u64));
     if (trailer != fnv1a(payload, len)) break;  // corrupt: stop here
     WalRecord rec;
-    if (!decode_payload(payload, len, &rec)) break;
+    if (!decode_wal_payload(payload, len, &rec)) break;
     records_.push_back(std::move(rec));
     off += need;
     ends_.push_back(off);
@@ -167,16 +188,27 @@ void RegistryWal::scan_log() {
   }
 }
 
+u64 RegistryWal::last_committed_epoch() const {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->type == WalRecordType::kPublish) return it->epoch;
+  }
+  return snapshot_epoch_;
+}
+
 void RegistryWal::truncate_to(size_t count) {
   const std::scoped_lock lock(mu_);
   SDB_CHECK(count <= records_.size(), "truncate_to beyond record count");
   if (count == records_.size()) return;
+  records_.resize(count);
+  if (in_memory()) {
+    ends_.resize(count);
+    return;
+  }
   SDB_CHECK(!out_.is_open() || out_.tellp() >= 0, "log stream poisoned");
   const bool was_open = out_.is_open();
   if (was_open) out_.close();
   const u64 keep = count == 0 ? 0 : ends_[count - 1];
   fs::resize_file(log_path(generation_), keep);
-  records_.resize(count);
   ends_.resize(count);
   if (was_open) {
     out_.open(log_path(generation_), std::ios::binary | std::ios::app);
@@ -186,6 +218,12 @@ void RegistryWal::truncate_to(size_t count) {
 
 void RegistryWal::append_payload(const std::vector<char>& payload) {
   const std::scoped_lock lock(mu_);
+  if (in_memory()) {
+    const u64 prev = ends_.empty() ? 0 : ends_.back();
+    ends_.push_back(prev + sizeof(u32) + payload.size() + sizeof(u64));
+    ++appends_;
+    return;
+  }
   BinaryWriter w;
   w.write_u32(static_cast<u32>(payload.size()));
   w.write_bytes(payload.data(), payload.size());
@@ -210,69 +248,91 @@ void RegistryWal::append_payload(const std::vector<char>& payload) {
 }
 
 void RegistryWal::append_insert(std::span<const double> coords) {
-  BinaryWriter w;
-  w.write_u32(static_cast<u32>(WalRecordType::kInsert));
-  w.write_u32(static_cast<u32>(coords.size()));
-  for (const double c : coords) w.write_f64(c);
-  append_payload(w.buffer());
-  const std::scoped_lock lock(mu_);
   WalRecord rec;
   rec.type = WalRecordType::kInsert;
   rec.coords.assign(coords.begin(), coords.end());
+  append_payload(encode_wal_payload(rec));
+  const std::scoped_lock lock(mu_);
   records_.push_back(std::move(rec));
 }
 
 void RegistryWal::append_remove(i64 point_id) {
-  BinaryWriter w;
-  w.write_u32(static_cast<u32>(WalRecordType::kRemove));
-  w.write_i64(point_id);
-  append_payload(w.buffer());
-  const std::scoped_lock lock(mu_);
   WalRecord rec;
   rec.type = WalRecordType::kRemove;
   rec.point_id = point_id;
+  append_payload(encode_wal_payload(rec));
+  const std::scoped_lock lock(mu_);
   records_.push_back(rec);
 }
 
 void RegistryWal::append_publish(u64 epoch) {
-  BinaryWriter w;
-  w.write_u32(static_cast<u32>(WalRecordType::kPublish));
-  w.write_u64(epoch);
-  append_payload(w.buffer());
-  const std::scoped_lock lock(mu_);
   WalRecord rec;
   rec.type = WalRecordType::kPublish;
   rec.epoch = epoch;
+  append_payload(encode_wal_payload(rec));
+  const std::scoped_lock lock(mu_);
   records_.push_back(rec);
 }
 
-void RegistryWal::compact(const std::string& snapshot_blob) {
+void RegistryWal::compact(const std::string& snapshot_blob, u64 epoch) {
   const std::scoped_lock lock(mu_);
-  const u64 next = generation_ + 1;
-  // Stage the snapshot, then commit it with one rename. A crash before the
-  // rename leaves generation G intact (the tmp is GC'd at next open); a
-  // crash after it means G+1's snapshot wins and G is GC'd.
-  BinaryWriter w;
-  w.write_u64(kSnapshotMagic);
-  w.write_bytes(snapshot_blob.data(), snapshot_blob.size());
-  w.write_u64(fnv1a(w.buffer().data(), w.buffer().size()));
-  const std::string final_path = snapshot_path(next);
-  const std::string tmp = final_path + ".tmp";
-  write_file(tmp, w.buffer());
-  SDB_CRASH_POINT("wal.crash.snapshot_rename");
-  fs::rename(tmp, final_path);
-  // Generation G+1 is now authoritative: fresh empty log, old gen deleted.
-  if (out_.is_open()) out_.close();
-  const u64 old_gen = generation_;
-  generation_ = next;
+  reset_generation_locked(generation_ + 1, snapshot_blob, epoch);
+}
+
+void RegistryWal::reset_generation(u64 generation,
+                                   const std::string& snapshot_blob,
+                                   u64 epoch) {
+  const std::scoped_lock lock(mu_);
+  reset_generation_locked(generation, snapshot_blob, epoch);
+}
+
+void RegistryWal::reset_generation_locked(u64 generation,
+                                          const std::string& snapshot_blob,
+                                          u64 epoch) {
+  if (!in_memory()) {
+    if (!snapshot_blob.empty()) {
+      // Stage the snapshot, then commit it with one rename. A crash before
+      // the rename leaves the current generation intact (the tmp is GC'd at
+      // next open); a crash after it means the new snapshot wins and the
+      // old generation is GC'd.
+      BinaryWriter w;
+      w.write_u64(kSnapshotMagic);
+      w.write_u64(epoch);
+      w.write_bytes(snapshot_blob.data(), snapshot_blob.size());
+      w.write_u64(fnv1a(w.buffer().data(), w.buffer().size()));
+      const std::string final_path = snapshot_path(generation);
+      const std::string tmp = final_path + ".tmp";
+      write_file(tmp, w.buffer());
+      SDB_CRASH_POINT("wal.crash.snapshot_rename");
+      fs::rename(tmp, final_path);
+    }
+    // The new generation is now authoritative: fresh empty log, stale
+    // generations deleted.
+    if (out_.is_open()) out_.close();
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      const std::string name = entry.path().filename().string();
+      if (name == "wal_" + std::to_string(generation) + ".log") continue;
+      if (!snapshot_blob.empty() &&
+          name == "snapshot_" + std::to_string(generation)) {
+        continue;
+      }
+      fs::remove(entry.path());
+    }
+  }
+  generation_ = generation;
   records_.clear();
   ends_.clear();
-  snapshot_ = snapshot_blob;
-  out_.open(log_path(generation_),
-            std::ios::binary | std::ios::trunc);
-  SDB_CHECK(out_.good(), "RegistryWal cannot open rotated log");
-  fs::remove(log_path(old_gen));
-  fs::remove(snapshot_path(old_gen));
+  if (snapshot_blob.empty()) {
+    snapshot_.reset();
+    snapshot_epoch_ = 0;
+  } else {
+    snapshot_ = snapshot_blob;
+    snapshot_epoch_ = epoch;
+  }
+  if (!in_memory()) {
+    out_.open(log_path(generation_), std::ios::binary | std::ios::trunc);
+    SDB_CHECK(out_.good(), "RegistryWal cannot open rotated log");
+  }
 }
 
 }  // namespace sdb::serve

@@ -36,6 +36,15 @@
 // Crash points (fault/injection.hpp): `wal.crash.mid_append` (torn record
 // hits disk, then death), `wal.crash.before_append`, `wal.crash.after_append`,
 // `wal.crash.snapshot_rename` (between staging and committing a snapshot).
+//
+// Replication (src/replica) treats this log as the shipping substrate: a
+// position in the stream is (generation, record seq), `snapshot_epoch()` /
+// `last_committed_epoch()` give a follower the epoch handshake it needs to
+// catch up from a compacted snapshot instead of generation 0, and
+// `reset_generation()` lets a follower force its own log to mirror the
+// primary's stream coordinates after a snapshot install. An EMPTY directory
+// name selects the in-memory mode: the same generation/record/snapshot
+// bookkeeping with no files — the replication log of a non-durable replica.
 #pragma once
 
 #include <fstream>
@@ -60,12 +69,22 @@ struct WalRecord {
   u64 epoch = 0;               ///< kPublish
 };
 
+/// Encode one record's framing-free payload (`u32 type | body`). Shared by
+/// the per-record log frames here and the replication batch frames
+/// (replica/wal_ship.hpp), so shipped bytes decode with the same code path
+/// that validates the on-disk log.
+std::vector<char> encode_wal_payload(const WalRecord& rec);
+/// Decode one payload; false on any malformed body (callers treat it like a
+/// checksum failure).
+bool decode_wal_payload(const char* data, size_t size, WalRecord* rec);
+
 class RegistryWal {
  public:
   /// Open `dir` (creating it if absent): locate the newest generation with
   /// a valid snapshot, garbage-collect stale generations and tmp files,
   /// and scan that generation's log — truncating the first torn record and
-  /// everything after it.
+  /// everything after it. An empty `dir` selects the in-memory mode (no
+  /// files touched, nothing survives the process; see file comment).
   explicit RegistryWal(std::string dir);
 
   /// The records recovered from the current generation's log, in append
@@ -80,6 +99,21 @@ class RegistryWal {
     return snapshot_;
   }
 
+  /// Epoch the current generation's snapshot was taken at (0 when there is
+  /// no snapshot). Together with generation() this is the handshake a
+  /// replication follower needs to catch up from the compacted snapshot
+  /// instead of replaying from generation 0.
+  [[nodiscard]] u64 snapshot_epoch() const { return snapshot_epoch_; }
+
+  /// The last epoch this log can prove committed: the newest kPublish
+  /// record, or the snapshot's epoch when no kPublish follows it (a
+  /// snapshot is always taken at a publish boundary).
+  [[nodiscard]] u64 last_committed_epoch() const;
+
+  /// Records currently in the log (== the next record's seq within this
+  /// generation — the shipping cursor's second coordinate).
+  [[nodiscard]] u64 record_count() const { return records_.size(); }
+
   /// Drop every record past index `count` (exclusive), in memory AND on
   /// disk. The registry calls this after replay to discard the uncommitted
   /// suffix (mutations after the last kPublish), so a later recovery can
@@ -91,10 +125,20 @@ class RegistryWal {
   void append_remove(i64 point_id);
   void append_publish(u64 epoch);
 
-  /// Rotate to generation G+1 with `snapshot_blob` as its base state and an
-  /// empty log, then delete generation G. Atomic at every step (see file
-  /// comment). Clears the in-memory record list — the snapshot subsumes it.
-  void compact(const std::string& snapshot_blob);
+  /// Rotate to generation G+1 with `snapshot_blob` as its base state (taken
+  /// at publish boundary `epoch`) and an empty log, then delete generation
+  /// G. Atomic at every step (see file comment). Clears the in-memory
+  /// record list — the snapshot subsumes it.
+  void compact(const std::string& snapshot_blob, u64 epoch);
+
+  /// Force this log to an arbitrary stream position: generation
+  /// `generation` based on `snapshot_blob`@`epoch` (empty blob = the
+  /// empty-state base), with an empty record list. Used by replication
+  /// followers installing a shipped snapshot so that their own log mirrors
+  /// the primary's (generation, seq) coordinates exactly. Same atomicity as
+  /// compact().
+  void reset_generation(u64 generation, const std::string& snapshot_blob,
+                        u64 epoch);
 
   [[nodiscard]] const std::string& dir() const { return dir_; }
   [[nodiscard]] u64 generation() const { return generation_; }
@@ -108,15 +152,19 @@ class RegistryWal {
   [[nodiscard]] u64 appends() const { return appends_; }
 
  private:
+  [[nodiscard]] bool in_memory() const { return dir_.empty(); }
   [[nodiscard]] std::string log_path(u64 generation) const;
   [[nodiscard]] std::string snapshot_path(u64 generation) const;
   void open_generation();
   void scan_log();
   void append_payload(const std::vector<char>& payload);
+  void reset_generation_locked(u64 generation, const std::string& blob,
+                               u64 epoch);
 
   std::string dir_;
   std::mutex mu_;
   u64 generation_ = 0;
+  u64 snapshot_epoch_ = 0;
   std::optional<std::string> snapshot_;
   std::vector<WalRecord> records_;
   /// Byte offset of the end of each valid record in the current log —

@@ -1,0 +1,176 @@
+// ConsistentHashRing unit suite — cross-process determinism, construction-
+// order independence, balance sanity, and the consistent-hashing remap
+// bound: membership changes move strictly fewer than 2/N of the key space.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "replica/hash_ring.hpp"
+
+namespace sdb::replica {
+namespace {
+
+std::vector<u64> test_keys(size_t n) {
+  std::vector<u64> keys;
+  keys.reserve(n);
+  // Deterministic spread via the ring's own point hash: hashing the key
+  // index as a coordinate pair exercises the real routing input format.
+  for (size_t i = 0; i < n; ++i) {
+    const double coords[2] = {static_cast<double>(i), 0.25};
+    keys.push_back(ConsistentHashRing::hash_point(coords));
+  }
+  return keys;
+}
+
+// The routing hash must never drift: a router in another process (or
+// built by another compiler/stdlib — the reason std::hash is banned here)
+// has to place every key identically. These vectors pin the exact
+// function: the repo's FNV-1a variant plus the avalanche finalizer.
+TEST(HashRing, HashVectorsArePinned) {
+  EXPECT_EQ(ConsistentHashRing::hash_string(""), 15503018906515740718ull);
+  EXPECT_EQ(ConsistentHashRing::hash_string("a"), 4875499902769123557ull);
+  EXPECT_EQ(ConsistentHashRing::hash_string("abc"), 14335153734219026618ull);
+  const double coords[2] = {1.5, -2.25};
+  EXPECT_EQ(ConsistentHashRing::hash_point(coords),
+            ConsistentHashRing::hash_bytes(coords, sizeof(coords)));
+}
+
+// Placement is a pure function of the member SET: two routers that learned
+// the members in different orders (or in different processes) agree on
+// every key.
+TEST(HashRing, PlacementIndependentOfConstructionOrder) {
+  ConsistentHashRing forward;
+  ConsistentHashRing backward;
+  ConsistentHashRing shuffled;
+  const std::vector<std::string> ids = {"shard-0", "shard-1", "shard-2",
+                                        "shard-3", "shard-4"};
+  for (const auto& id : ids) forward.add_node(id);
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) backward.add_node(*it);
+  for (const auto& id : {"shard-3", "shard-0", "shard-4", "shard-2",
+                         "shard-1"}) {
+    shuffled.add_node(id);
+  }
+  for (u64 key : test_keys(2000)) {
+    const std::string& owner = forward.node_for(key);
+    EXPECT_EQ(owner, backward.node_for(key));
+    EXPECT_EQ(owner, shuffled.node_for(key));
+  }
+}
+
+// Re-adding after a remove restores the exact original placement (the ring
+// carries no history).
+TEST(HashRing, RemoveThenReaddRestoresPlacement) {
+  ConsistentHashRing ring;
+  for (int i = 0; i < 4; ++i) ring.add_node("shard-" + std::to_string(i));
+  const std::vector<u64> keys = test_keys(1000);
+  std::vector<std::string> before;
+  for (u64 k : keys) before.push_back(ring.node_for(k));
+  ring.remove_node("shard-2");
+  ring.add_node("shard-2");
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(ring.node_for(keys[i]), before[i]);
+  }
+}
+
+TEST(HashRing, BalanceIsWithinVnodeTolerance) {
+  constexpr size_t kNodes = 5;
+  constexpr size_t kKeys = 20000;
+  ConsistentHashRing ring(128);
+  for (size_t i = 0; i < kNodes; ++i) {
+    ring.add_node("shard-" + std::to_string(i));
+  }
+  std::map<std::string, size_t> counts;
+  for (u64 k : test_keys(kKeys)) ++counts[ring.node_for(k)];
+  EXPECT_EQ(counts.size(), kNodes);  // every node owns something
+  for (const auto& [id, count] : counts) {
+    // 128 vnodes keeps shares near 1/N; allow a generous 2x band.
+    EXPECT_GT(count, kKeys / (2 * kNodes)) << id;
+    EXPECT_LT(count, 2 * kKeys / kNodes) << id;
+  }
+}
+
+// THE consistent-hashing property: adding one node to N moves strictly
+// fewer than 2/(N+1) of the keys, and every moved key moves TO the new
+// node — existing nodes never exchange keys with each other.
+TEST(HashRing, AddingNodeMovesOnlyKeysToTheNewNode) {
+  constexpr size_t kNodes = 5;
+  constexpr size_t kKeys = 20000;
+  ConsistentHashRing ring;
+  for (size_t i = 0; i < kNodes; ++i) {
+    ring.add_node("shard-" + std::to_string(i));
+  }
+  const std::vector<u64> keys = test_keys(kKeys);
+  std::vector<std::string> before;
+  for (u64 k : keys) before.push_back(ring.node_for(k));
+
+  ring.add_node("shard-new");
+  size_t moved = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const std::string& after = ring.node_for(keys[i]);
+    if (after != before[i]) {
+      ++moved;
+      EXPECT_EQ(after, "shard-new") << "key moved between existing nodes";
+    }
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, 2 * kKeys / (kNodes + 1));
+}
+
+// Removing one node of N moves strictly fewer than 2/N of the keys, and
+// only keys the removed node owned move — survivors keep everything.
+TEST(HashRing, RemovingNodeMovesOnlyItsOwnKeys) {
+  constexpr size_t kNodes = 5;
+  constexpr size_t kKeys = 20000;
+  ConsistentHashRing ring;
+  for (size_t i = 0; i < kNodes; ++i) {
+    ring.add_node("shard-" + std::to_string(i));
+  }
+  const std::vector<u64> keys = test_keys(kKeys);
+  std::vector<std::string> before;
+  for (u64 k : keys) before.push_back(ring.node_for(k));
+
+  ring.remove_node("shard-2");
+  size_t moved = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const std::string& after = ring.node_for(keys[i]);
+    if (before[i] == "shard-2") {
+      ++moved;
+      EXPECT_NE(after, "shard-2");
+    } else {
+      EXPECT_EQ(after, before[i]) << "a survivor's key moved";
+    }
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, 2 * kKeys / kNodes);
+}
+
+TEST(HashRing, NodesForReturnsDistinctSuccessors) {
+  ConsistentHashRing ring;
+  for (int i = 0; i < 4; ++i) ring.add_node("shard-" + std::to_string(i));
+  for (u64 key : test_keys(200)) {
+    const std::vector<std::string> placement = ring.nodes_for(key, 3);
+    ASSERT_EQ(placement.size(), 3u);
+    EXPECT_EQ(placement[0], ring.node_for(key));  // head = the owner
+    EXPECT_NE(placement[0], placement[1]);
+    EXPECT_NE(placement[0], placement[2]);
+    EXPECT_NE(placement[1], placement[2]);
+  }
+  // Asking for more members than exist returns all of them, once each.
+  const std::vector<std::string> all = ring.nodes_for(test_keys(1)[0], 99);
+  EXPECT_EQ(all.size(), 4u);
+}
+
+TEST(HashRing, AddAndRemoveUnknownAreNoOps) {
+  ConsistentHashRing ring;
+  ring.add_node("a");
+  ring.add_node("a");  // duplicate add
+  EXPECT_EQ(ring.size(), 1u);
+  ring.remove_node("missing");
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.node_for(123u), "a");
+}
+
+}  // namespace
+}  // namespace sdb::replica

@@ -199,7 +199,7 @@ TEST_F(RegistryWalTest, CompactionRotatesGenerationAndSubsumesLog) {
   {
     RegistryWal wal(dir_);
     append_pattern(wal, 5);
-    wal.compact("STATE-AT-GEN-1");
+    wal.compact("STATE-AT-GEN-1", 7);
     EXPECT_EQ(wal.generation(), 1u);
     EXPECT_TRUE(wal.records().empty());  // snapshot subsumed them
     wal.append_publish(42);              // new-generation log keeps working
@@ -214,12 +214,110 @@ TEST_F(RegistryWalTest, CompactionRotatesGenerationAndSubsumesLog) {
   EXPECT_FALSE(fs::exists(log_file(0)));
 }
 
+// Satellite (a): the replication handshake accessors. snapshot_epoch() is
+// the base the follower catches up from; last_committed_epoch() is the
+// newest provable commit (newest kPublish, else the snapshot's epoch).
+TEST_F(RegistryWalTest, SnapshotAndCommittedEpochAccessors) {
+  {
+    RegistryWal wal(dir_);
+    EXPECT_EQ(wal.snapshot_epoch(), 0u);
+    EXPECT_EQ(wal.last_committed_epoch(), 0u);
+    wal.append_publish(5);
+    EXPECT_EQ(wal.last_committed_epoch(), 5u);
+    wal.compact("BASE", 7);
+    // Freshly compacted: no kPublish yet, the snapshot IS the commit proof.
+    EXPECT_EQ(wal.snapshot_epoch(), 7u);
+    EXPECT_EQ(wal.last_committed_epoch(), 7u);
+    wal.append_publish(9);
+    EXPECT_EQ(wal.last_committed_epoch(), 9u);
+  }
+  RegistryWal reopened(dir_);  // both survive reopen
+  EXPECT_EQ(reopened.snapshot_epoch(), 7u);
+  EXPECT_EQ(reopened.last_committed_epoch(), 9u);
+}
+
+// Satellite (a): replay-from-snapshot with a torn tail. A follower that
+// crashed mid-way through fsyncing a shipped batch reopens its log: the
+// snapshot base plus every complete record must survive, the torn record
+// must vanish — at EVERY byte offset of the tear.
+TEST_F(RegistryWalTest, ReplayFromSnapshotSurvivesTornShippedTail) {
+  u64 full_size = 0;
+  u64 prefix_size = 0;
+  {
+    RegistryWal wal(dir_);
+    wal.compact("SNAP-BASE", 3);
+    // Shipped records landing after the snapshot (one full batch + the
+    // record whose append the crash tears).
+    const double coords[2] = {1.0, 2.0};
+    wal.append_insert(coords);
+    wal.append_remove(7);
+    wal.append_publish(4);
+    prefix_size = fs::file_size(log_file(1));
+    wal.append_insert(coords);  // the to-be-torn record
+    full_size = fs::file_size(log_file(1));
+  }
+  for (u64 size = prefix_size; size < full_size; ++size) {
+    fs::resize_file(log_file(1), size);
+    RegistryWal wal(dir_);
+    ASSERT_TRUE(wal.snapshot().has_value());
+    EXPECT_EQ(*wal.snapshot(), "SNAP-BASE");
+    EXPECT_EQ(wal.snapshot_epoch(), 3u);
+    ASSERT_EQ(wal.records().size(), 3u) << "tear at byte " << size;
+    EXPECT_EQ(wal.records()[1].point_id, 7);
+    EXPECT_EQ(wal.last_committed_epoch(), 4u);
+    EXPECT_EQ(wal.truncated_bytes(), size == prefix_size ? 0u : size - prefix_size);
+  }
+}
+
+// In-memory mode (empty dir): same stream bookkeeping, zero files. This is
+// the replication log of a non-durable replica.
+TEST_F(RegistryWalTest, InMemoryModeTracksStreamWithoutFiles) {
+  RegistryWal wal("");
+  const double coords[2] = {1.0, 2.0};
+  wal.append_insert(coords);
+  wal.append_publish(6);
+  EXPECT_EQ(wal.record_count(), 2u);
+  EXPECT_EQ(wal.last_committed_epoch(), 6u);
+  wal.truncate_to(1);
+  EXPECT_EQ(wal.record_count(), 1u);
+  wal.compact("MEM-STATE", 8);
+  EXPECT_EQ(wal.generation(), 1u);
+  EXPECT_EQ(wal.snapshot_epoch(), 8u);
+  ASSERT_TRUE(wal.snapshot().has_value());
+  EXPECT_EQ(*wal.snapshot(), "MEM-STATE");
+  // reset_generation: a follower forcing its log onto the primary's stream
+  // coordinates after a snapshot install.
+  wal.reset_generation(5, "SHIPPED", 11);
+  EXPECT_EQ(wal.generation(), 5u);
+  EXPECT_EQ(wal.record_count(), 0u);
+  EXPECT_EQ(wal.last_committed_epoch(), 11u);
+}
+
+TEST_F(RegistryWalTest, ResetGenerationRepositionsDurableLog) {
+  {
+    RegistryWal wal(dir_);
+    append_pattern(wal, 4);
+    wal.reset_generation(9, "SHIPPED-BASE", 2);
+    EXPECT_EQ(wal.generation(), 9u);
+    EXPECT_TRUE(wal.records().empty());
+    wal.append_publish(3);  // stream records resume at (9, 0)
+  }
+  RegistryWal reopened(dir_);
+  EXPECT_EQ(reopened.generation(), 9u);
+  EXPECT_EQ(reopened.snapshot_epoch(), 2u);
+  ASSERT_TRUE(reopened.snapshot().has_value());
+  EXPECT_EQ(*reopened.snapshot(), "SHIPPED-BASE");
+  ASSERT_EQ(reopened.records().size(), 1u);
+  EXPECT_EQ(reopened.records()[0].epoch, 3u);
+  EXPECT_FALSE(fs::exists(log_file(0)));  // old generation GC'd
+}
+
 TEST_F(RegistryWalTest, CorruptSnapshotFallsBackToPriorGeneration) {
   {
     RegistryWal wal(dir_);
     append_pattern(wal, 3);
-    wal.compact("GEN-1");
-    wal.compact("GEN-2");
+    wal.compact("GEN-1", 1);
+    wal.compact("GEN-2", 2);
   }
   // Corrupt generation 2's snapshot; generation 1 was deleted by the second
   // compact, so the opener must fall back to an empty generation-0 world
@@ -249,7 +347,7 @@ TEST_F(RegistryWalTest, CrashAtSnapshotRenameKeepsOldGeneration) {
     const fault::CrashHandler prev =
         fault::set_crash_handler(&throwing_handler);
     fault::ScopedFaultPlan plan("seed=1;wal.crash.snapshot_rename:every=1");
-    EXPECT_THROW(wal.compact("NEVER-COMMITTED"), SimulatedCrash);
+    EXPECT_THROW(wal.compact("NEVER-COMMITTED", 9), SimulatedCrash);
     fault::set_crash_handler(prev);
   }
   // The staged snapshot tmp never renamed: generation 0 is still the world.

@@ -1,0 +1,312 @@
+// Replication chaos grid — the acceptance proof for the WAL-shipping tier.
+//
+// Seeded FaultPlans drive every failure mode the subsystem claims to
+// survive: dropped / duplicated / reordered / corrupted shipped batches,
+// follower apply stalls, and SIGKILL of the primary mid-stream (the
+// `replica.primary.kill` site fires inside the heartbeat, so the plan —
+// not the test — decides when the primary dies). Each grid cell replays
+// the SAME deterministic workload and checks, at every step:
+//
+//   * serve-once: an epoch visible on any serving surface (a follower's
+//     model, or the committed model) always has ONE content digest —
+//     recorded the first time it is seen, re-checked on every later
+//     sighting, and cross-checked against a fault-free control run;
+//   * monotonic committed watermark, committed model == committed epoch;
+//   * epoch-bounded staleness: any non-redirected read is at most
+//     `staleness_bound` epochs behind the committed watermark;
+//   * reads never fail — through the failover window included.
+//
+// After the faulted phase, the plan is lifted and the set drained: every
+// surviving node must converge to the primary's exact content (digest
+// equality), proving drops/dups/reorders only ever DELAYED the stream.
+// Kill cells additionally check no committed epoch is lost across the
+// promotion, and one durable cell reopens the dead primary's on-disk WAL
+// to cross-check its recovered state against the control digests.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "replica/replica_set.hpp"
+#include "serve/model_registry.hpp"
+
+namespace sdb::replica {
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifdef SDB_FAULT_INJECTION
+
+constexpr int kIterations = 120;
+constexpr u64 kStalenessBound = 3;
+
+u64 model_digest(const serve::ClusterModel& model) {
+  const std::vector<char> bytes = model.save();
+  u64 h = 1469598103934665603ull;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct ChaosOutcome {
+  /// Digest per epoch, first-seen on any SERVING surface; every later
+  /// sighting must match.
+  std::map<u64, u64> epoch_digest;
+  u64 final_committed = 0;
+  u64 final_primary_epoch = 0;
+  u64 committed_at_first_kill = 0;  ///< 0 = primary never died
+  u64 failovers = 0;
+  u64 rejected_writes = 0;  ///< writes refused during failover windows
+};
+
+ReplicaSet::Options chaos_options(const std::string& dir) {
+  ReplicaSet::Options opts;
+  opts.replicas = 3;
+  opts.staleness_bound = kStalenessBound;
+  opts.heartbeat_timeout = 2;
+  opts.batch_records = 8;
+  opts.pipeline_batches = 2;
+  opts.ack_replicas = 1;
+  opts.dir = dir;
+  opts.registry.params = dbscan::DbscanParams{0.2, 2};
+  opts.registry.publish_every = 0;  // the workload publishes explicitly
+  return opts;
+}
+
+/// Record/check digests of every SERVING surface. Pending primary epochs
+/// are deliberately not sampled: they are not served (primary reads go to
+/// the committed model) and may be reassigned after a failover.
+void sweep_invariants(const ReplicaSet& set, ChaosOutcome* out,
+                      u64* committed_floor) {
+  const u64 committed = set.committed_epoch();
+  ASSERT_GE(committed, *committed_floor) << "committed watermark regressed";
+  *committed_floor = committed;
+
+  const auto check = [&](const serve::ClusterModel& model) {
+    const u64 e = model.epoch();
+    const u64 d = model_digest(model);
+    const auto [it, inserted] = out->epoch_digest.emplace(e, d);
+    ASSERT_EQ(it->second, d) << "epoch " << e << " served with two contents";
+  };
+  const std::shared_ptr<const serve::ClusterModel> committed_model =
+      set.committed_model();
+  ASSERT_NE(committed_model, nullptr);
+  ASSERT_EQ(committed_model->epoch(), committed);
+  check(*committed_model);
+  for (size_t i = 0; i < set.replicas(); ++i) {
+    if (i == set.primary_index() || !set.alive(i)) continue;
+    const auto reg = set.node_registry(i);
+    ASSERT_NE(reg, nullptr);
+    check(*reg->model());
+  }
+
+  // Epoch-bounded staleness + reads-never-fail, on every preference.
+  const double q[2] = {0.35, 0.5};
+  for (size_t i = 0; i < set.replicas(); ++i) {
+    const ReplicaSet::ClassifyResult r = set.classify(q, i);
+    if (!r.redirected) {
+      ASSERT_LE(committed, r.epoch + kStalenessBound)
+          << "node " << i << " served beyond the staleness bound";
+    } else {
+      ASSERT_EQ(r.epoch, committed);  // redirects land on the committed model
+    }
+  }
+}
+
+/// The deterministic workload, identical for every grid cell; only the
+/// installed FaultPlan differs. Returns the run's observable history.
+ChaosOutcome run_cell(const std::string& plan_spec, const std::string& dir) {
+  ReplicaSet set(chaos_options(dir), 2);
+  ChaosOutcome out;
+  u64 committed_floor = 0;
+  bool primary_was_live = true;
+  {
+    fault::FaultPlan plan = fault::FaultPlan::parse(
+        plan_spec.empty() ? "seed=0" : plan_spec);
+    fault::FaultPlan::install(&plan);
+    for (int i = 0; i < kIterations; ++i) {
+      const double coords[2] = {0.07 * (i % 25), 0.09 * (i / 25)};
+      if (!set.insert(coords).has_value()) ++out.rejected_writes;
+      if (i % 4 == 3 && !set.publish().has_value()) ++out.rejected_writes;
+      if (i == 50) (void)set.compact();  // exercise the snapshot handshake
+      set.pump();
+      set.tick();
+      if (primary_was_live && !set.has_live_primary()) {
+        primary_was_live = false;
+        if (out.committed_at_first_kill == 0) {
+          out.committed_at_first_kill = set.committed_epoch();
+        }
+      }
+      if (set.has_live_primary()) primary_was_live = true;
+      sweep_invariants(set, &out, &committed_floor);
+      if (::testing::Test::HasFatalFailure()) break;
+    }
+    fault::FaultPlan::install(nullptr);
+  }
+  // Drain: faults lifted, the stream must fully converge — channel faults
+  // only ever delay, never lose or fork committed history.
+  for (int i = 0; i < kIterations; ++i) {
+    set.tick();  // finishes any in-progress failover
+    set.pump();
+    sweep_invariants(set, &out, &committed_floor);
+    if (::testing::Test::HasFatalFailure()) return out;
+  }
+  EXPECT_TRUE(set.has_live_primary());
+  const auto primary = set.node_registry(set.primary_index());
+  out.final_primary_epoch = primary->epoch();
+  out.final_committed = set.committed_epoch();
+  out.failovers = set.failovers();
+  EXPECT_EQ(out.final_committed, out.final_primary_epoch);
+  const u64 primary_digest = model_digest(*primary->model());
+  for (size_t i = 0; i < set.replicas(); ++i) {
+    if (!set.alive(i)) continue;
+    const auto reg = set.node_registry(i);
+    EXPECT_EQ(reg->epoch(), out.final_primary_epoch) << "node " << i;
+    EXPECT_EQ(model_digest(*reg->model()), primary_digest) << "node " << i;
+  }
+  return out;
+}
+
+/// Digest cross-check against the fault-free control. Channel faults never
+/// touch the primary's stream, so every epoch's content is determined by
+/// the insert sequence alone — any divergence is a replication bug. After
+/// a kill the insert sequence forks (failover-window writes are refused),
+/// so only epochs committed before the first kill are comparable.
+void expect_matches_control(const ChaosOutcome& control,
+                            const ChaosOutcome& cell) {
+  const u64 comparable_through = cell.committed_at_first_kill == 0
+                                     ? ~u64{0}
+                                     : cell.committed_at_first_kill;
+  for (const auto& [epoch, digest] : cell.epoch_digest) {
+    if (epoch > comparable_through) continue;
+    // Epoch 0 is a follower's pre-bootstrap empty model. The fault-free
+    // control never observes it (followers apply the primary's base epoch-1
+    // marker before the first sweep), but a cell that drops the very first
+    // frame does. It is still serve-once WITHIN the cell via epoch_digest.
+    if (epoch == 0) continue;
+    const auto it = control.epoch_digest.find(epoch);
+    ASSERT_NE(it, control.epoch_digest.end()) << "epoch " << epoch;
+    EXPECT_EQ(it->second, digest) << "epoch " << epoch;
+  }
+}
+
+class ReplicaChaosGrid : public ::testing::Test {
+ protected:
+  static const ChaosOutcome& control() {
+    static const ChaosOutcome c = run_cell("", "");
+    return c;
+  }
+};
+
+TEST_F(ReplicaChaosGrid, ControlRunConverges) {
+  const ChaosOutcome& c = control();
+  EXPECT_EQ(c.failovers, 0u);
+  EXPECT_EQ(c.rejected_writes, 0u);
+  EXPECT_GT(c.final_committed, 30u);  // ~30 publishes + compaction
+}
+
+TEST_F(ReplicaChaosGrid, ChannelFaultGridMatchesControl) {
+  const std::vector<std::string> plans = {
+      "replica.ship.drop:p=0.3",
+      "replica.ship.duplicate:p=0.4",
+      "replica.ship.reorder:p=0.4",
+      "replica.ship.corrupt:p=0.25",
+      "replica.apply.stall:p=0.3",
+      // everything at once, plus stalls
+      "replica.ship.drop:p=0.15,budget=200;replica.ship.duplicate:p=0.2;"
+      "replica.ship.reorder:p=0.2;replica.ship.corrupt:p=0.1;"
+      "replica.apply.stall:p=0.1",
+  };
+  for (const u64 seed : {1, 2, 3}) {
+    for (const std::string& sites : plans) {
+      const std::string spec = "seed=" + std::to_string(seed) + ";" + sites;
+      SCOPED_TRACE(spec);
+      const ChaosOutcome cell = run_cell(spec, "");
+      ASSERT_FALSE(::testing::Test::HasFatalFailure());
+      EXPECT_EQ(cell.failovers, 0u);
+      EXPECT_EQ(cell.committed_at_first_kill, 0u);
+      // Faults only delay: the run ends at the control's exact history.
+      EXPECT_EQ(cell.final_committed, control().final_committed);
+      expect_matches_control(control(), cell);
+    }
+  }
+}
+
+TEST_F(ReplicaChaosGrid, PrimaryKillPromotesWithoutLosingCommits) {
+  for (const u64 seed : {1, 2}) {
+    // Deterministic kill on the 40th heartbeat; channel chaos throughout.
+    const std::string spec =
+        "seed=" + std::to_string(seed) +
+        ";replica.primary.kill:every=40,budget=1;replica.ship.drop:p=0.2;"
+        "replica.ship.duplicate:p=0.2;replica.ship.reorder:p=0.2";
+    SCOPED_TRACE(spec);
+    const ChaosOutcome cell = run_cell(spec, "");
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    EXPECT_EQ(cell.failovers, 1u);
+    EXPECT_GT(cell.committed_at_first_kill, 0u);
+    EXPECT_GT(cell.rejected_writes, 0u);  // the failover window existed
+    // The acceptance bar: nothing committed before the kill was lost or
+    // re-served with different content.
+    EXPECT_GE(cell.final_committed, cell.committed_at_first_kill);
+    expect_matches_control(control(), cell);
+  }
+}
+
+TEST_F(ReplicaChaosGrid, CascadingKillsFallBackToLastReplica) {
+  // Two kills: 3 replicas -> 2 -> 1. The last node commits alone
+  // (required acks clamp to the live follower count) and reads never fail.
+  const std::string spec =
+      "seed=5;replica.primary.kill:every=35,budget=2;replica.ship.drop:p=0.1";
+  const ChaosOutcome cell = run_cell(spec, "");
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  EXPECT_EQ(cell.failovers, 2u);
+  EXPECT_GE(cell.final_committed, cell.committed_at_first_kill);
+  expect_matches_control(control(), cell);
+}
+
+TEST_F(ReplicaChaosGrid, DurableKillCellAuditsDeadPrimaryWal) {
+  // Same kill cell over durable node WALs, then reopen the dead primary's
+  // directory as a standalone registry — its recovered committed state must
+  // match the control run's digest for that epoch (the dead primary's
+  // history up to its last durable commit is the control's history), and
+  // its durable commit can never lag what the replica set had committed.
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("sdb_replica_chaos_p" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+  const std::string spec =
+      "seed=9;replica.primary.kill:every=40,budget=1;"
+      "replica.ship.drop:p=0.2;replica.ship.reorder:p=0.2";
+  const ChaosOutcome cell = run_cell(spec, dir);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  ASSERT_EQ(cell.failovers, 1u);
+  expect_matches_control(control(), cell);
+
+  serve::ModelRegistry::Config cfg;
+  cfg.params = dbscan::DbscanParams{0.2, 2};
+  cfg.publish_every = 0;
+  cfg.wal_dir = dir + "/node_0";  // the killed original primary
+  serve::ModelRegistry reopened(cfg, 2);
+  const u64 durable_epoch = reopened.epoch();
+  EXPECT_GE(durable_epoch, cell.committed_at_first_kill)
+      << "the primary's durable commit lags the replicated watermark";
+  const auto it = control().epoch_digest.find(durable_epoch);
+  ASSERT_NE(it, control().epoch_digest.end());
+  EXPECT_EQ(model_digest(*reopened.model()), it->second)
+      << "on-disk recovery diverged from the replicated history";
+  fs::remove_all(dir);
+}
+
+#else   // !SDB_FAULT_INJECTION
+TEST(ReplicaChaosGrid, RequiresFaultInjectionBuild) { GTEST_SKIP(); }
+#endif  // SDB_FAULT_INJECTION
+
+}  // namespace
+}  // namespace sdb::replica
