@@ -2,6 +2,38 @@
 
 namespace sdb::dbscan {
 
+namespace {
+
+/// v2 raw framing sentinel. A v1 stream starts with write_i64(partition)
+/// and partitions are always >= 0, so any negative leading i64 is
+/// unambiguously a v2 header. ("SDB2" with the sign bit.)
+constexpr i64 kRawMagicV2 = -0x53444232;
+
+}  // namespace
+
+std::vector<SeedEdge> flatten_seed_edges(const LocalClusterResult& result) {
+  std::vector<SeedEdge> edges;
+  u64 total = 0;
+  for (const auto& c : result.clusters) total += c.seeds.size();
+  edges.reserve(total);
+  for (const auto& c : result.clusters) {
+    for (const PointId q : c.seeds) edges.push_back({c.uid, q});
+  }
+  return edges;
+}
+
+bool seed_edges_consistent(const LocalClusterResult& result) {
+  size_t pos = 0;
+  for (const auto& c : result.clusters) {
+    for (const PointId q : c.seeds) {
+      if (pos >= result.seed_edges.size()) return false;
+      const SeedEdge& e = result.seed_edges[pos++];
+      if (e.origin_uid != c.uid || e.seed != q) return false;
+    }
+  }
+  return pos == result.seed_edges.size();
+}
+
 void serialize(const PartialCluster& pc, BinaryWriter& w) {
   w.write_u64(pc.uid);
   w.write_i64(pc.partition);
@@ -19,23 +51,62 @@ PartialCluster deserialize_partial_cluster(BinaryReader& r) {
 }
 
 void serialize(const LocalClusterResult& result, BinaryWriter& w) {
+  // v2: header, members-only cluster records, per-point facts, then the
+  // seed-edge section — each cluster's seed list in clusters order (the
+  // byte content of the v1 nested lists, relocated so the driver's merge
+  // can treat the section as one flat edge array).
+  w.write_i64(kRawMagicV2);
+  w.write_u32(kLocalResultWireV2);
   w.write_i64(result.partition);
   w.write_u64(result.clusters.size());
-  for (const auto& c : result.clusters) serialize(c, w);
+  for (const auto& c : result.clusters) {
+    w.write_u64(c.uid);
+    w.write_i64(c.partition);
+    w.write_i64_vec(c.members);
+  }
   w.write_i64_vec(result.core_points);
   w.write_i64_vec(result.noise);
+  for (const auto& c : result.clusters) {
+    w.write_i64_vec(c.seeds);
+  }
 }
 
 LocalClusterResult deserialize_local_result(BinaryReader& r) {
   LocalClusterResult result;
+  const i64 head = r.read_i64();
+  if (head >= 0) {
+    // Legacy v1: `head` is the partition id, clusters carry nested seeds.
+    result.partition = static_cast<PartitionId>(head);
+    const u64 n = r.read_u64();
+    result.clusters.reserve(n);
+    for (u64 i = 0; i < n; ++i) {
+      result.clusters.push_back(deserialize_partial_cluster(r));
+    }
+    result.core_points = r.read_i64_vec();
+    result.noise = r.read_i64_vec();
+    result.seed_edges = flatten_seed_edges(result);
+    return result;
+  }
+  SDB_CHECK(head == kRawMagicV2, "LocalClusterResult: bad wire magic");
+  const u32 version = r.read_u32();
+  SDB_CHECK(version == kLocalResultWireV2,
+            "LocalClusterResult: unknown wire version");
   result.partition = static_cast<PartitionId>(r.read_i64());
   const u64 n = r.read_u64();
   result.clusters.reserve(n);
   for (u64 i = 0; i < n; ++i) {
-    result.clusters.push_back(deserialize_partial_cluster(r));
+    PartialCluster pc;
+    pc.uid = r.read_u64();
+    pc.partition = static_cast<PartitionId>(r.read_i64());
+    pc.members = r.read_i64_vec();
+    result.clusters.push_back(std::move(pc));
   }
   result.core_points = r.read_i64_vec();
   result.noise = r.read_i64_vec();
+  for (u64 i = 0; i < n; ++i) {
+    result.clusters[i].seeds = r.read_i64_vec();
+  }
+  result.seed_edges = flatten_seed_edges(result);
   return result;
 }
 

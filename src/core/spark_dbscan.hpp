@@ -42,6 +42,11 @@ struct SparkDbscanConfig {
   PartitionerKind partitioner = PartitionerKind::kBlock;
   SeedStrategy seed_strategy = SeedStrategy::kAllForeign;
   MergeStrategy merge_strategy = MergeStrategy::kUnionFind;
+  /// Driver threads for the kUnionFind merge (see MergeOptions::
+  /// merge_threads). Labels are byte-identical for any value; affects wall
+  /// time and the counter accounting model only, so it is excluded from the
+  /// job fingerprint (checkpoints from different values interoperate).
+  unsigned merge_threads = 1;
   /// Approximate kd-tree search ("pruning branches", used for r1m).
   QueryBudget budget;
   /// Worker threads for the driver's kd-tree build (0 = auto, 1 =

@@ -1,0 +1,125 @@
+// Lock-free disjoint-set forest for the parallel edge-based merge.
+//
+// The driver-side merge (core/merge.cpp) reduces Algorithm 4 to a bag of
+// (seed cluster, master cluster) edges and processes them concurrently on
+// the thread pool. This structure is the concurrent counterpart of
+// spatial/union_find.hpp (Patwary et al.'s PDSDBSCAN disjoint sets; Wang et
+// al.'s parallel DBSCAN unite-and-compress):
+//
+//   * parent array of std::atomic<u64>; no locks anywhere;
+//   * unite() is CAS union-by-min-root: the root with the LARGER index is
+//     attached under the root with the smaller index, so parent values are
+//     strictly decreasing along any path (acyclicity is structural, not
+//     probabilistic) and the final root of every component is its minimum
+//     element — a deterministic outcome for ANY schedule, which is what
+//     makes the byte-identical relabel pass in merge.cpp possible;
+//   * find() uses path halving. Each halving step either shortcuts x to its
+//     grandparent or observes a root; because parents strictly decrease,
+//     the loop takes at most O(path) steps regardless of concurrent
+//     unions — finds are wait-free, unions are lock-free (a failed CAS
+//     means some other union made progress).
+//
+// Unlike the sequential UnionFind this class never touches the thread-local
+// work counters: pool workers have no active ScopedCounters sink, and
+// path-length-dependent charges would make the simulated clock depend on
+// the thread schedule. The merge driver charges deterministic per-edge
+// costs instead (see merge.cpp) and reports the schedule-dependent CAS
+// retry count separately via cas_retries().
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "util/common.hpp"
+
+namespace sdb {
+
+class ConcurrentUnionFind {
+ public:
+  explicit ConcurrentUnionFind(size_t n)
+      : parent_(std::make_unique<std::atomic<u64>[]>(n)), size_(n) {
+    for (size_t i = 0; i < n; ++i) {
+      parent_[i].store(i, std::memory_order_relaxed);
+    }
+  }
+
+  /// Representative of x's set. Wait-free: the traversal strictly descends
+  /// in index, so it finishes in at most O(depth) loads even while other
+  /// threads are uniting. Path halving is a best-effort CAS — a lost race
+  /// just skips one shortcut.
+  u64 find(u64 x) {
+    SDB_DCHECK(x < size_, "ConcurrentUnionFind::find out of range");
+    while (true) {
+      u64 p = parent_[x].load(std::memory_order_acquire);
+      if (p == x) return x;
+      const u64 g = parent_[p].load(std::memory_order_acquire);
+      if (g == p) return p;
+      // Halve: x -> grandparent. Failure means someone else already moved
+      // parent_[x] (necessarily to a smaller index); either way descend.
+      parent_[x].compare_exchange_weak(p, g, std::memory_order_release,
+                                       std::memory_order_relaxed);
+      x = g;
+    }
+  }
+
+  /// Merge the sets of a and b; the smaller root index wins (union by min
+  /// root). Returns true if the sets were distinct. Lock-free: the only
+  /// reason to retry is that a competing unite changed one of the roots.
+  bool unite(u64 a, u64 b) {
+    while (true) {
+      a = find(a);
+      b = find(b);
+      if (a == b) return false;
+      if (a > b) {
+        const u64 t = a;
+        a = b;
+        b = t;
+      }
+      // Attach the larger root b under the smaller root a. The CAS only
+      // succeeds while b is still a root (parent_[b] == b), which is what
+      // keeps the strictly-decreasing-parent invariant: a < b.
+      u64 expected = b;
+      if (parent_[b].compare_exchange_strong(expected, a,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        return true;
+      }
+      cas_retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// True when a and b are currently in the same set (exact once all
+  /// uniting threads have joined).
+  [[nodiscard]] bool same(u64 a, u64 b) { return find(a) == find(b); }
+
+  [[nodiscard]] size_t size() const { return size_; }
+
+  /// Raw parent link (quiescent inspection; tests assert parent(x) <= x).
+  [[nodiscard]] u64 parent_of(u64 x) const {
+    SDB_DCHECK(x < size_, "ConcurrentUnionFind::parent_of out of range");
+    return parent_[x].load(std::memory_order_acquire);
+  }
+
+  /// Number of disjoint sets. Quiescent: call after the uniting threads
+  /// have joined (a racing unite can make the count momentarily stale).
+  [[nodiscard]] size_t set_count() const {
+    size_t roots = 0;
+    for (size_t i = 0; i < size_; ++i) {
+      if (parent_[i].load(std::memory_order_acquire) == i) ++roots;
+    }
+    return roots;
+  }
+
+  /// Failed root CASes across all unite() calls — schedule-dependent, so it
+  /// feeds MergeStats (observability) and never the work counters.
+  [[nodiscard]] u64 cas_retries() const {
+    return cas_retries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::unique_ptr<std::atomic<u64>[]> parent_;
+  size_t size_;
+  std::atomic<u64> cas_retries_{0};
+};
+
+}  // namespace sdb

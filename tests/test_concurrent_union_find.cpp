@@ -1,0 +1,126 @@
+// ConcurrentUnionFind: sequential semantics plus a multi-thread stress
+// battery. The file carries the `sanitize` ctest label, so the stress tests
+// run under ThreadSanitizer in the sanitizer configuration — the CAS
+// union-by-min-root and path-halving protocols are exactly the code TSan
+// needs to watch.
+#include "spatial/concurrent_union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "spatial/union_find.hpp"
+#include "util/rng.hpp"
+
+namespace sdb {
+namespace {
+
+TEST(ConcurrentUnionFind, SingletonsInitially) {
+  ConcurrentUnionFind uf(5);
+  EXPECT_EQ(uf.size(), 5u);
+  EXPECT_EQ(uf.set_count(), 5u);
+  for (u64 i = 0; i < 5; ++i) EXPECT_EQ(uf.find(i), i);
+  EXPECT_FALSE(uf.same(0, 4));
+}
+
+TEST(ConcurrentUnionFind, UniteReturnsTrueOnceAndRootIsMinimum) {
+  ConcurrentUnionFind uf(6);
+  EXPECT_TRUE(uf.unite(4, 2));
+  EXPECT_FALSE(uf.unite(2, 4));
+  EXPECT_EQ(uf.find(4), 2u);
+  EXPECT_TRUE(uf.unite(4, 5));
+  EXPECT_TRUE(uf.unite(1, 5));
+  // Union-by-min-root: whichever order the unions arrive, the component's
+  // root is its minimum element.
+  EXPECT_EQ(uf.find(5), 1u);
+  EXPECT_EQ(uf.find(2), 1u);
+  EXPECT_EQ(uf.set_count(), 3u);  // {1,2,4,5} {0} {3}
+  EXPECT_EQ(uf.cas_retries(), 0u);  // single-threaded: no contention
+}
+
+TEST(ConcurrentUnionFind, DeepChainFindsTerminate) {
+  constexpr u64 kN = 2048;
+  ConcurrentUnionFind uf(kN);
+  for (u64 i = kN - 1; i > 0; --i) uf.unite(i, i - 1);
+  for (u64 i = 0; i < kN; ++i) EXPECT_EQ(uf.find(i), 0u);
+  EXPECT_EQ(uf.set_count(), 1u);
+}
+
+/// Shared stress driver: `threads` workers each apply a slice of `edges`
+/// concurrently, then the final forest is validated quiescently against a
+/// sequential UnionFind oracle fed the same edge multiset.
+void stress(u64 n, const std::vector<std::pair<u64, u64>>& edges,
+            unsigned threads) {
+  ConcurrentUnionFind cuf(n);
+  std::vector<std::thread> workers;
+  const size_t chunk = (edges.size() + threads - 1) / threads;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const size_t begin = t * chunk;
+      const size_t end = std::min(edges.size(), begin + chunk);
+      for (size_t e = begin; e < end; ++e) {
+        cuf.unite(edges[e].first, edges[e].second);
+        // Interleave finds so halving races with root CASes.
+        cuf.find(edges[e].second);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  UnionFind oracle(n);
+  for (const auto& [a, b] : edges) oracle.unite(a, b);
+
+  // Structural invariants: parents never increase (acyclicity), every
+  // root is the minimum of its component, components match the oracle.
+  for (u64 i = 0; i < n; ++i) {
+    EXPECT_LE(cuf.parent_of(i), i);
+    EXPECT_LE(cuf.find(i), i);
+  }
+  EXPECT_EQ(cuf.set_count(), oracle.set_count());
+  for (u64 i = 0; i + 1 < n; ++i) {
+    EXPECT_EQ(cuf.same(i, i + 1), oracle.same(i, i + 1)) << i;
+  }
+  // Determinism of the final roots (the property merge.cpp's relabel pass
+  // rests on): root of every component == its minimum element, regardless
+  // of schedule. Cross-check via the oracle's component partition.
+  std::vector<u64> min_of_root(n, n);
+  for (u64 i = 0; i < n; ++i) {
+    const u64 r = static_cast<u64>(oracle.find(i));
+    if (i < min_of_root[r]) min_of_root[r] = i;
+  }
+  for (u64 i = 0; i < n; ++i) {
+    EXPECT_EQ(cuf.find(i), min_of_root[static_cast<u64>(oracle.find(i))]);
+  }
+}
+
+TEST(ConcurrentUnionFindStress, ChainTopology) {
+  // Worst case for path length and for CAS contention on the low roots:
+  // every thread's slice keeps attaching to the same growing component.
+  std::vector<std::pair<u64, u64>> edges;
+  for (u64 i = 1; i < 800; ++i) edges.emplace_back(i, i - 1);
+  stress(800, edges, 4);
+}
+
+TEST(ConcurrentUnionFindStress, StarTopology) {
+  // All unions share element 0: maximal root contention.
+  std::vector<std::pair<u64, u64>> edges;
+  for (u64 i = 1; i < 800; ++i) edges.emplace_back(0, i);
+  stress(800, edges, 4);
+}
+
+TEST(ConcurrentUnionFindStress, RandomTopologies) {
+  for (u64 seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    const u64 n = 200 + rng.uniform_index(600);
+    std::vector<std::pair<u64, u64>> edges;
+    const u64 e = n / 2 + rng.uniform_index(2 * n);
+    for (u64 i = 0; i < e; ++i) {
+      edges.emplace_back(rng.uniform_index(n), rng.uniform_index(n));
+    }
+    stress(n, edges, 2 + static_cast<unsigned>(seed % 3));
+  }
+}
+
+}  // namespace
+}  // namespace sdb
