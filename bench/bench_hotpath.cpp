@@ -19,9 +19,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "geom/distance_simd.hpp"
 
 using namespace sdb;
 
@@ -37,8 +40,10 @@ struct QueryNumbers {
   u64 queries = 0;
   double legacy_qps = 0.0;
   double blocked_qps = 0.0;
+  double scalar_qps = 0.0;  ///< blocked layout, forced-scalar kernel
   u64 distance_evals_legacy = 0;
   u64 distance_evals_blocked = 0;
+  u64 distance_evals_scalar = 0;
   u64 neighbors = 0;
 };
 
@@ -79,68 +84,147 @@ double best_build_ms(const PointSet& points, const KdTreeOptions& options,
   return best;
 }
 
-/// Exact range queries from `queries` dataset points, round-robin.
+/// Round-robins the configs inside each rep so host-speed drift (routine on
+/// virtualized hosts) hits every config equally instead of penalizing
+/// whichever one happens to run last; each config reports its best pass.
+void best_build_ms_interleaved(const PointSet& points,
+                               std::span<const KdTreeOptions> options,
+                               std::span<double* const> out, int reps) {
+  for (double* o : out) *o = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    for (size_t c = 0; c < options.size(); ++c) {
+      Stopwatch sw;
+      const KdTree tree(points, options[c]);
+      *out[c] = std::min(*out[c], sw.millis());
+    }
+  }
+}
+
+/// Exact range queries from `queries` dataset points, round-robin. Each
+/// variant is timed `reps` times and reports its best pass — on shared /
+/// virtualized hosts the run-to-run swing is easily 2x, and best-of keeps
+/// the legacy/blocked RATIO meaningful even when a slow window hits one of
+/// the passes.
 QueryNumbers measure_queries(const PointSet& points, const KdTree& legacy,
-                             const KdTree& blocked, double eps, u64 queries) {
+                             const KdTree& blocked, double eps, u64 queries,
+                             int reps) {
   QueryNumbers out;
   out.queries = queries;
   const size_t stride = std::max<size_t>(1, points.size() / queries);
   std::vector<PointId> hits;
+  u64 blocked_neighbors = 0;
   auto run = [&](const KdTree& tree, u64* evals, double* qps) {
-    WorkCounters wc;
-    Stopwatch sw;
     u64 neighbors = 0;
-    {
-      ScopedCounters scope(&wc);
-      u64 done = 0;
-      for (size_t i = 0; done < queries && i < points.size();
-           i += stride, ++done) {
-        hits.clear();
-        tree.range_query_budgeted(points[static_cast<PointId>(i)], eps,
-                                  QueryBudget{}, hits);
-        neighbors += hits.size();
+    double best_qps = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      WorkCounters wc;
+      Stopwatch sw;
+      neighbors = 0;
+      {
+        ScopedCounters scope(&wc);
+        u64 done = 0;
+        for (size_t i = 0; done < queries && i < points.size();
+             i += stride, ++done) {
+          hits.clear();
+          tree.range_query_budgeted(points[static_cast<PointId>(i)], eps,
+                                    QueryBudget{}, hits);
+          neighbors += hits.size();
+        }
       }
+      best_qps = std::max(best_qps, static_cast<double>(queries) / sw.seconds());
+      *evals = wc.distance_evals;
     }
-    *qps = static_cast<double>(queries) / sw.seconds();
-    *evals = wc.distance_evals;
+    *qps = best_qps;
     out.neighbors = neighbors;
+    return neighbors;
   };
   run(legacy, &out.distance_evals_legacy, &out.legacy_qps);
-  run(blocked, &out.distance_evals_blocked, &out.blocked_qps);
+  blocked_neighbors =
+      run(blocked, &out.distance_evals_blocked, &out.blocked_qps);
+  // Scalar-vs-SIMD self-check: the same blocked tree re-queried with the
+  // dispatched kernel pinned to the scalar fallback must report the exact
+  // same distance_evals and neighbor totals (the kernels' bit-identical
+  // contract, distance_simd.hpp). scalar_qps also isolates the kernel's
+  // contribution from the layout/traversal work shared by both variants.
+  simd::force_scalar(true);
+  const u64 scalar_neighbors =
+      run(blocked, &out.distance_evals_scalar, &out.scalar_qps);
+  simd::force_scalar(false);
+  out.neighbors = blocked_neighbors;
+  SDB_CHECK(out.distance_evals_scalar == out.distance_evals_blocked,
+            "forced-scalar rerun must evaluate the same candidates");
+  SDB_CHECK(scalar_neighbors == blocked_neighbors,
+            "forced-scalar rerun must find the same neighbors");
   return out;
 }
 
 /// Aggregate range-query throughput with `threads` concurrent query threads
-/// sharing one (immutable) tree. Each thread walks its own strided slice of
-/// the dataset with its own hits buffer and thread-local WorkCounters, so
-/// the only shared state is the read-only index — this measures how the
-/// packed-leaf layout scales when every core hits it at once.
+/// sharing one (immutable) tree. STRONG scaling: `total_queries` is fixed
+/// across thread counts and partitioned — each thread runs its share over
+/// its own CONTIGUOUS chunk of the dataset at the same stride every arm
+/// uses (the same access shape as the real pipeline, where every executor
+/// range-queries its own spatial partition's points), with its own hits
+/// buffer and thread-local WorkCounters, so the only shared state is the
+/// read-only index. Fixed total work + equal stride keeps the 1-vs-N rows
+/// comparable: earlier versions fixed PER-THREAD work, so higher thread
+/// counts queried at a denser stride and the rows measured different
+/// locality, not scaling. Chunked (not interleaved) assignment matters on a
+/// timeslicing host: threads roaming the whole dataset evict each other's
+/// tree regions at every context switch.
+///
+/// Measurement discipline (the old version's 1->4 thread "regression" was
+/// entirely harness artifact): every worker warms up (faults in its stack,
+/// hits buffer, and first tree pages), parks on a start flag, and only once
+/// ALL workers are parked does the clock start — so thread spawn cost and
+/// ragged starts are off the books. Best-of-`reps` absorbs scheduler noise,
+/// which dominates when `threads` exceeds the host's cores and the workers
+/// are purely timeslicing.
 double threaded_query_qps(const PointSet& points, const KdTree& tree,
-                          double eps, u64 queries_per_thread,
-                          unsigned threads) {
-  std::atomic<u64> total{0};
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  Stopwatch sw;
-  for (unsigned t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      WorkCounters wc;
-      ScopedCounters scope(&wc);
-      std::vector<PointId> hits;
-      const size_t stride =
-          std::max<size_t>(1, points.size() / std::max<u64>(1, queries_per_thread));
-      u64 done = 0;
-      for (size_t i = t; done < queries_per_thread && i < points.size();
-           i += stride, ++done) {
-        hits.clear();
-        tree.range_query_budgeted(points[static_cast<PointId>(i)], eps,
+                          double eps, u64 total_queries, unsigned threads,
+                          int reps) {
+  double best_qps = 0.0;
+  const size_t stride =
+      std::max<size_t>(1, points.size() / std::max<u64>(1, total_queries));
+  for (int rep = 0; rep < reps; ++rep) {
+    std::atomic<unsigned> ready{0};
+    std::atomic<bool> go{false};
+    std::atomic<u64> total{0};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        WorkCounters wc;
+        ScopedCounters scope(&wc);
+        std::vector<PointId> hits;
+        const size_t chunk = points.size() / threads;
+        const size_t begin = t * chunk;
+        const size_t end = (t + 1 == threads) ? points.size() : begin + chunk;
+        const u64 quota = total_queries / threads +
+                          (t + 1 == threads ? total_queries % threads : 0);
+        hits.clear();  // warmup query before signalling ready
+        tree.range_query_budgeted(points[static_cast<PointId>(begin)], eps,
                                   QueryBudget{}, hits);
-      }
-      total.fetch_add(done, std::memory_order_relaxed);
-    });
+        ready.fetch_add(1, std::memory_order_release);
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        u64 done = 0;
+        for (size_t i = begin; done < quota && i < end; i += stride, ++done) {
+          hits.clear();
+          tree.range_query_budgeted(points[static_cast<PointId>(i)], eps,
+                                    QueryBudget{}, hits);
+        }
+        total.fetch_add(done, std::memory_order_relaxed);
+      });
+    }
+    while (ready.load(std::memory_order_acquire) < threads) {
+      std::this_thread::yield();
+    }
+    Stopwatch sw;
+    go.store(true, std::memory_order_release);
+    for (std::thread& w : workers) w.join();
+    best_qps = std::max(best_qps,
+                        static_cast<double>(total.load()) / sw.seconds());
   }
-  for (std::thread& w : workers) w.join();
-  return static_cast<double>(total.load()) / sw.seconds();
+  return best_qps;
 }
 
 E2eNumbers measure_e2e(const PointSet& points, const synth::DatasetSpec& spec,
@@ -179,6 +263,8 @@ void write_json(const std::string& path, const std::string& mode,
   SDB_CHECK(f != nullptr, "cannot open bench output file");
   std::fprintf(f, "{\n  \"bench\": \"hotpath\",\n  \"mode\": \"%s\",\n",
                mode.c_str());
+  std::fprintf(f, "  \"kernel_variant\": \"%s\",\n",
+               simd::active_variant_name());
   std::fprintf(f, "  \"host_threads\": %u,\n",
                std::max(1u, std::thread::hardware_concurrency()));
   std::fprintf(f, "  \"build_threads\": %u,\n  \"seed\": %llu,\n", threads,
@@ -200,12 +286,14 @@ void write_json(const std::string& path, const std::string& mode,
     std::fprintf(f,
                  "     \"query\": {\"queries\": %llu, \"legacy_qps\": %.1f, "
                  "\"blocked_qps\": %.1f, \"speedup\": %.3f, "
+                 "\"scalar_qps\": %.1f, \"simd_speedup\": %.3f, "
                  "\"neighbors\": %llu,\n"
                  "               \"distance_evals_legacy\": %llu, "
                  "\"distance_evals_blocked\": %llu}",
                  static_cast<unsigned long long>(r.query.queries),
                  r.query.legacy_qps, r.query.blocked_qps,
-                 r.query.blocked_qps / r.query.legacy_qps,
+                 r.query.blocked_qps / r.query.legacy_qps, r.query.scalar_qps,
+                 r.query.blocked_qps / r.query.scalar_qps,
                  static_cast<unsigned long long>(r.query.neighbors),
                  static_cast<unsigned long long>(r.query.distance_evals_legacy),
                  static_cast<unsigned long long>(
@@ -257,7 +345,7 @@ int main(int argc, char** argv) {
       static_cast<u64>(flags.i64_flag("queries")) / (smoke ? 4 : 1);
   unsigned threads = static_cast<unsigned>(flags.i64_flag("threads"));
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  const int build_reps = smoke ? 1 : 2;
+  const int build_reps = smoke ? 2 : 3;
 
   // 100k and 1M uniform points at the paper's d=10 (Table I r100k / r1m);
   // smoke shrinks both so the perf-label ctest stays in the seconds range.
@@ -282,16 +370,19 @@ int main(int argc, char** argv) {
     r.dim = points.dim();
     r.eps = spec.eps;
 
-    r.build.seq_legacy_ms = best_build_ms(
-        points, {.build_threads = 1, .reorder = false}, build_reps);
-    r.build.seq_reorder_ms = best_build_ms(
-        points, {.build_threads = 1, .reorder = true}, build_reps);
-    r.build.parallel_ms = best_build_ms(
-        points, {.build_threads = threads, .reorder = true}, build_reps);
+    const KdTreeOptions build_cfgs[] = {
+        {.build_threads = 1, .reorder = false},
+        {.build_threads = 1, .reorder = true},
+        {.build_threads = threads, .reorder = true}};
+    double* const build_outs[] = {&r.build.seq_legacy_ms,
+                                  &r.build.seq_reorder_ms,
+                                  &r.build.parallel_ms};
+    best_build_ms_interleaved(points, build_cfgs, build_outs, build_reps);
 
     const KdTree legacy(points, {.build_threads = 1, .reorder = false});
     const KdTree blocked(points, {.build_threads = threads, .reorder = true});
-    r.query = measure_queries(points, legacy, blocked, spec.eps, queries);
+    r.query = measure_queries(points, legacy, blocked, spec.eps, queries,
+                              smoke ? 2 : 3);
     SDB_CHECK(r.query.distance_evals_legacy == r.query.distance_evals_blocked,
               "blocked kernel must evaluate exactly the scalar path's "
               "candidates");
@@ -307,14 +398,28 @@ int main(int argc, char** argv) {
     scale_threads.erase(std::unique(scale_threads.begin(),
                                     scale_threads.end()),
                         scale_threads.end());
+    // Interleave the reps across thread counts (round-robin, like the build
+    // arms): on a throttled host, drift between back-to-back measurement
+    // windows otherwise shows up as fake scaling dips.
     for (const unsigned t : scale_threads) {
       ScalingPoint sp;
       sp.threads = t;
-      sp.build_ms = best_build_ms(
-          points, {.build_threads = t, .reorder = true}, build_reps);
-      sp.query_qps = threaded_query_qps(points, blocked, spec.eps,
-                                        queries / scale_threads.size(), t);
+      sp.build_ms = 1e300;
+      sp.query_qps = 0.0;
       r.scaling.push_back(sp);
+    }
+    for (int rep = 0; rep < (smoke ? 2 : 5); ++rep) {
+      for (size_t s = 0; s < scale_threads.size(); ++s) {
+        ScalingPoint& sp = r.scaling[s];
+        sp.build_ms = std::min(
+            sp.build_ms,
+            best_build_ms(points,
+                          {.build_threads = sp.threads, .reorder = true}, 1));
+        sp.query_qps = std::max(
+            sp.query_qps,
+            threaded_query_qps(points, blocked, spec.eps, queries, sp.threads,
+                               1));
+      }
     }
 
     if (run.e2e) {
@@ -332,6 +437,10 @@ int main(int argc, char** argv) {
         {"query (q/s)", TablePrinter::cell(r.query.legacy_qps, 0),
          TablePrinter::cell(r.query.blocked_qps, 0),
          TablePrinter::cell(r.query.blocked_qps / r.query.legacy_qps, 2)});
+    table.add_row(
+        {"query scalar-kernel (q/s)", TablePrinter::cell(r.query.scalar_qps, 0),
+         TablePrinter::cell(r.query.blocked_qps, 0),
+         TablePrinter::cell(r.query.blocked_qps / r.query.scalar_qps, 2)});
     if (r.has_e2e) {
       table.add_row(
           {"e2e wall (s)", TablePrinter::cell(r.e2e.legacy_wall_s, 2),
@@ -342,7 +451,8 @@ int main(int argc, char** argv) {
     bench::emit(table,
                 "hot path: " + r.name + " (" + std::to_string(r.n) +
                     " points, d=" + std::to_string(r.dim) + ", " +
-                    std::to_string(threads) + " build threads)",
+                    std::to_string(threads) + " build threads, kernel=" +
+                    simd::active_variant_name() + ")",
                 flags.boolean("csv"));
 
     TablePrinter scaling_table(

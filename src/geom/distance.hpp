@@ -1,23 +1,40 @@
 // Distance kernels. Every full distance evaluation is counted so the
-// simulated cluster clock can price executor work exactly.
+// simulated cluster clock can price executor work exactly; hot-path callers
+// (the spatial indexes) batch their counts per query and flush once through
+// counters::add — same totals, no thread-local lookup per evaluation.
+//
+// The vectorized leaf-scan kernels live in distance_simd.hpp: a runtime-
+// dispatched AVX2/NEON strip kernel over a strip-transposed (SoA) layout,
+// bit-identical to the scalar loops here (unfused multiply+add, ascending-d
+// accumulation) so eps-membership decisions never depend on the host ISA.
 #pragma once
 
+#include <bit>
 #include <cmath>
 #include <span>
 
+#include "geom/distance_simd.hpp"
 #include "util/counters.hpp"
 
 namespace sdb {
 
-/// Squared Euclidean distance between two points of equal dimension.
-/// Counted as one distance evaluation.
-inline double squared_distance(std::span<const double> a,
-                               std::span<const double> b) {
+/// Squared Euclidean distance, uncounted — for callers that tally
+/// distance_evals themselves and flush in a batch (see counters::add).
+inline double squared_distance_uncounted(std::span<const double> a,
+                                         std::span<const double> b) {
   double s = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {
     const double d = a[i] - b[i];
     s += d * d;
   }
+  return s;
+}
+
+/// Squared Euclidean distance between two points of equal dimension.
+/// Counted as one distance evaluation.
+inline double squared_distance(std::span<const double> a,
+                               std::span<const double> b) {
+  const double s = squared_distance_uncounted(a, b);
   counters::distance_evals(1);
   return s;
 }
@@ -33,20 +50,124 @@ inline bool within_eps(std::span<const double> a, std::span<const double> b,
   return squared_distance(a, b) <= eps * eps;
 }
 
-/// Strip width of the blocked kernel: callers evaluate candidates in chunks
-/// of at most this many points (small enough for a stack buffer, large
-/// enough that the inner loops vectorize and amortize the counter update).
-inline constexpr size_t kDistanceStrip = 32;
+// ---------------------------------------------------------------------------
+// Strip-transposed (SoA) layout helpers — the layout the SIMD kernels scan.
+// See distance_simd.hpp for the full layout + determinism contract. Global
+// position i lives in block i / kDistanceStrip at lane i % kDistanceStrip;
+// within a block coordinates are dimension-major with lane stride
+// kDistanceStrip.
+// ---------------------------------------------------------------------------
 
-/// Blocked kernel: squared distances from `q` to `count` points stored
-/// contiguously row-major at `rows` (row stride == q.size() doubles), one
-/// result per row into `out`. This is the leaf-scan workhorse: a strip of
-/// packed candidates is evaluated in one call with no per-point id
-/// indirection, so the loops below compile to straight-line vectorizable
-/// code. Counted as exactly `count` distance evaluations — one per row, the
-/// same count the scalar squared_distance path would produce — so
-/// counter-based cost models stay exact. Callers that must honor a neighbor
-/// budget mid-strip should fall back to the scalar path instead of passing
+/// Buffer length (in doubles) for n points of dimension dim, padded to whole
+/// strip blocks. Builders zero the final partial block's padding lanes so
+/// vector loads never touch uninitialized memory.
+inline constexpr size_t strip_padded_len(size_t n, size_t dim) {
+  return ((n + kDistanceStrip - 1) / kDistanceStrip) * kDistanceStrip * dim;
+}
+
+/// Address of position `pos`'s lane within its block.
+inline const double* strip_lane(const double* base, size_t pos, size_t dim) {
+  return base + (pos / kDistanceStrip) * (kDistanceStrip * dim) +
+         pos % kDistanceStrip;
+}
+inline double* strip_lane(double* base, size_t pos, size_t dim) {
+  return base + (pos / kDistanceStrip) * (kDistanceStrip * dim) +
+         pos % kDistanceStrip;
+}
+
+/// Scatter one coordinate row into its strip lane (builder-side transpose).
+inline void strip_store_row(double* base, size_t pos,
+                            std::span<const double> p) {
+  double* lane = strip_lane(base, pos, p.size());
+  for (size_t d = 0; d < p.size(); ++d) lane[d * kDistanceStrip] = p[d];
+}
+
+/// Eps-membership mask for `count` strip-layout points starting at global
+/// position `pos` in `strips`: bit j of the result is set iff the squared
+/// distance from `q` to point pos + j is <= eps2. `count` must not cross a
+/// strip-block boundary: count <= kDistanceStrip - pos % kDistanceStrip.
+/// Dispatches to the active SIMD kernel; counted as exactly `count`
+/// distance evaluations — one per candidate row, matching the scalar path,
+/// even though the kernel may abandon a lane's accumulation early once its
+/// partial sum exceeds eps2 (see distance_simd.hpp). Hot loops should
+/// instead fetch simd::detail::strip_kernel() once per query, call it per
+/// block, and batch-flush their counts (see KdTree::run_query).
+inline std::uint32_t within_eps_strip(std::span<const double> q, double eps2,
+                                      const double* strips, size_t pos,
+                                      size_t count) {
+  const std::uint32_t mask = simd::detail::strip_kernel()(
+      q.data(), q.size(), eps2, strip_lane(strips, pos, q.size()), count);
+  counters::distance_evals(count);
+  return mask;
+}
+
+/// Neighbor-budgeted scan of packed strip positions [begin, end) through the
+/// dispatched SIMD kernel, with SCALAR stop-and-count semantics: the scalar
+/// reference loop walks rows in packed order, charges one distance_eval per
+/// row it visits, and returns the moment `found` reaches `max_neighbors` —
+/// charging the stopping row but nothing after it. This helper reproduces
+/// that observable behavior exactly from the kernel's per-segment masks
+/// (eps decisions are bit-identical by the kernel contract, so the stopping
+/// row is the same row): a segment where the budget cannot fire is charged
+/// whole; in the segment where it fires, rows after the stopping match are
+/// neither pushed nor charged, even though the kernel already evaluated
+/// them — physical over-evaluation inside one strip is an implementation
+/// detail of the evaluation, like partial-distance abandonment, and never
+/// shows up in counters or output. `push(pos)` receives each matching
+/// packed position in ascending order; `found`/`evals` are updated in
+/// place. Returns true when the budget fired (caller stops its scan).
+/// Requires max_neighbors > 0; `found` may be nonzero from earlier ranges.
+template <typename PushFn>
+inline bool strip_scan_budgeted(simd::StripKernelFn kernel,
+                                std::span<const double> q, double eps2,
+                                const double* strips, size_t begin, size_t end,
+                                u64 max_neighbors, u64& found, u64& evals,
+                                PushFn&& push) {
+  const size_t dim = q.size();
+  for (size_t i = begin; i < end;) {
+    const size_t lane = i % kDistanceStrip;
+    const size_t m = std::min(kDistanceStrip - lane, end - i);
+    std::uint32_t mask =
+        kernel(q.data(), dim, eps2, strip_lane(strips, i, dim), m);
+    const u64 hits = static_cast<u64>(std::popcount(mask));
+    if (found + hits < max_neighbors) {
+      // Budget cannot fire inside this segment: the scalar loop would have
+      // visited (and charged) every row of it.
+      evals += m;
+      found += hits;
+      while (mask != 0) {
+        push(i + static_cast<size_t>(std::countr_zero(mask)));
+        mask &= mask - 1;
+      }
+      i += m;
+      continue;
+    }
+    // The budget fires at the (max_neighbors - found)-th match of this
+    // segment; the scalar loop stops right after that row.
+    while (mask != 0) {
+      const size_t j = static_cast<size_t>(std::countr_zero(mask));
+      push(i + j);
+      mask &= mask - 1;
+      if (++found >= max_neighbors) {
+        evals += static_cast<u64>(j) + 1;  // rows i .. i+j inclusive
+        return true;
+      }
+    }
+    evals += m;  // unreachable when hits >= needed, kept for safety
+    i += m;
+  }
+  return false;
+}
+
+/// Blocked row-major (AoS) kernel: squared distances from `q` to `count`
+/// points stored contiguously row-major at `rows` (row stride == q.size()
+/// doubles), one result per row into `out`. The pre-SIMD leaf-scan
+/// workhorse, kept as the reference batch path for callers without a
+/// strip-transposed layout and as the oracle the strip kernels are tested
+/// against. Counted as exactly `count` distance evaluations — one per row,
+/// the same count the scalar squared_distance path would produce. Callers
+/// that must honor a neighbor budget mid-strip should use
+/// strip_scan_budgeted (strip layout) or the scalar path instead of passing
 /// rows they might not consume.
 inline void squared_distance_batch(std::span<const double> q,
                                    const double* rows, size_t count,

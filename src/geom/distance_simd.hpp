@@ -1,0 +1,126 @@
+// Runtime-dispatched SIMD distance kernels over the strip-transposed (SoA)
+// coordinate layout.
+//
+// The broadcast kd-tree's eps-range leaf scan is the hottest loop in the
+// whole system, and the GPU DBSCAN literature (Prokopenko et al.; Wang et
+// al.) shows the winning idiom: coalesced structure-of-arrays accesses and
+// divergence-free inner loops. This header ports that idiom to SIMD lanes.
+//
+// Layout contract (the "strip" layout): candidate points are stored in
+// blocks of kDistanceStrip lanes. Within a block, coordinates are
+// dimension-major — all d=0 values of the block's points, then all d=1
+// values, and so on — so the distance loop over `dim` is a pure vertical
+// reduction: each vector lane accumulates one point's squared distance with
+// unit-stride loads and no per-point pointer chasing. Blocks are addressed
+// by global position: position i lives in block i / kDistanceStrip at lane
+// i % kDistanceStrip, and a scan may enter a block at any lane offset (a
+// kd-tree leaf or grid cell can start mid-block).
+//
+// Determinism contract: every variant (scalar fallback, AVX2, AVX-512, NEON)
+// returns bit-identical eps-decision masks. Each lane accumulates
+// (q[d] - p[d])^2 in ascending-d order with UNFUSED multiply and add — the
+// same operation sequence as the scalar squared_distance() — so
+// eps-membership decisions, cluster labels, and exactly-eps boundary pairs
+// agree byte-for-byte across variants and hosts. FMA contraction is
+// deliberately not used: a fused multiply-add rounds once instead of twice,
+// which would flip points that land within one ulp of the eps boundary.
+// -ffp-contract=off is pinned PROJECT-WIDE (top-level CMakeLists), not just
+// on the vector TUs — the scalar reference loops are header-inline in every
+// spatial TU, and on targets where fmadd is baseline (aarch64) the compiler
+// would otherwise contract them while the kernels stay unfused.
+//
+// Abandonment: a kernel MAY stop accumulating a lane — or stop fetching
+// further dimension rows for the whole strip — once the partial sums it is
+// tracking already exceed eps^2. The accumulation is monotone (every term
+// is non-negative, and IEEE round-to-nearest addition of a non-negative
+// value never decreases a sum), so a partial sum above eps^2 decides the
+// final test exactly; abandonment changes how many bytes the kernel reads,
+// never which bits it returns. This is why the contract hands the kernel
+// eps^2 and takes back a decision mask instead of raw squared distances:
+// returning the distances would force every lane to full depth, and the
+// leaf scan at scale is bound by strip memory traffic, not arithmetic.
+// Callers that need actual squared distances still get kernel help: kNN
+// filters leaf candidates through the mask with eps^2 = its current worst
+// heap distance and computes exact distances only for survivors, and
+// neighbor-budgeted scans reconstruct the scalar loop's exact stop row and
+// distance_evals charge from the mask (strip_scan_budgeted, distance.hpp).
+//
+// Dispatch: the kernel is a function pointer resolved on first use — CPU
+// feature detection (AVX-512F then AVX2 on x86-64, NEON on aarch64) gated by the
+// SDB_SIMD cmake option, the SDB_SIMD=scalar environment variable, and the
+// force_scalar() test hook. The scalar fallback is always compiled, so a
+// scalar-only build (-DSDB_SIMD=OFF) is just the permanent fallback.
+//
+// Counters: these entry points do NOT touch work counters — callers charge
+// distance_evals themselves (see distance.hpp's counted wrappers and the
+// per-query batching in the spatial indexes), keeping counts exact and the
+// hot loop free of thread-local lookups.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace sdb {
+
+/// Strip width of the blocked/SIMD kernels: callers evaluate candidates in
+/// blocks of at most this many points (small enough for a stack result
+/// buffer, large enough that the vector loops amortize dispatch).
+inline constexpr size_t kDistanceStrip = 32;
+
+namespace simd {
+
+enum class KernelVariant { kScalar = 0, kAvx2 = 1, kNeon = 2, kAvx512 = 3 };
+
+/// fn(q, dim, eps2, lanes, count) -> mask:
+///   bit j of the result is set iff
+///   sum_d (q[d] - lanes[d * kDistanceStrip + j])^2 <= eps2,   for j < count;
+///   bits >= count are always zero (count <= kDistanceStrip = 32, so the
+///   mask fits a u32 exactly).
+/// `lanes` points at the first lane to evaluate inside one strip block
+/// (block base + lane offset); `count` never crosses a block boundary, so
+/// count + (lanes - block_base) % kDistanceStrip <= kDistanceStrip. Inputs
+/// are assumed finite (no NaN/inf coordinates or eps).
+using StripKernelFn = std::uint32_t (*)(const double* q, size_t dim,
+                                        double eps2, const double* lanes,
+                                        size_t count);
+
+namespace detail {
+
+/// The dispatched kernel; null until first resolution. Relaxed atomics: all
+/// candidate values are interchangeable (bit-identical results), so racing
+/// initializations are benign.
+extern std::atomic<StripKernelFn> g_strip;
+
+/// Scalar reference implementation — always built, and the ground truth the
+/// vector variants are tested bit-equal against.
+std::uint32_t strip_scalar(const double* q, size_t dim, double eps2,
+                           const double* lanes, size_t count);
+
+/// CPU detection + SDB_SIMD env + force_scalar() -> best kernel. Stores the
+/// choice in g_strip and returns it.
+StripKernelFn resolve();
+
+/// The active strip kernel (resolving on first use). Fetch once per query,
+/// not per strip, to keep the atomic load off the inner loop.
+inline StripKernelFn strip_kernel() {
+  StripKernelFn fn = g_strip.load(std::memory_order_relaxed);
+  return fn != nullptr ? fn : resolve();
+}
+
+}  // namespace detail
+
+/// Which kernel the dispatcher currently selects.
+KernelVariant active_variant();
+const char* variant_name(KernelVariant v);
+inline const char* active_variant_name() { return variant_name(active_variant()); }
+
+/// Test hook: pin the dispatcher to the scalar fallback (true) or restore
+/// CPU-detected dispatch (false). The SDB_SIMD=scalar environment variable
+/// applies the same pin at startup — that is how the forced-scalar ctest
+/// cell runs the whole suite on the fallback path.
+void force_scalar(bool on);
+[[nodiscard]] bool scalar_forced();
+
+}  // namespace simd
+}  // namespace sdb

@@ -1,10 +1,21 @@
 #include "spatial/brute_force.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "geom/distance.hpp"
 
 namespace sdb {
+
+BruteForceIndex::BruteForceIndex(const PointSet& points) : points_(points) {
+  const size_t n = points_.size();
+  if (n == 0) return;
+  const size_t dim = static_cast<size_t>(points_.dim());
+  strips_.assign(strip_padded_len(n, dim), 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    strip_store_row(strips_.data(), i, points_[static_cast<PointId>(i)]);
+  }
+}
 
 void BruteForceIndex::range_query(std::span<const double> q, double eps,
                                   std::vector<PointId>& out) const {
@@ -18,29 +29,40 @@ void BruteForceIndex::range_query_budgeted(std::span<const double> q,
   const double eps2 = eps * eps;
   const size_t n = points_.size();
   if (budget.max_neighbors == 0) {
-    // PointSet rows are already contiguous, so the exact scan is one long
-    // run of the blocked kernel — no id indirection at all.
-    const size_t dim = static_cast<size_t>(points_.dim());
-    const double* rows = points_.raw().data();
-    double d2[kDistanceStrip];
+    // Ids are packed-position order here, so the exact scan is one long run
+    // of full strip blocks through the dispatched SIMD kernel (the final
+    // block is the only partial one).
+    const size_t dim = static_cast<size_t>(q.size());
+    const simd::StripKernelFn kernel = simd::detail::strip_kernel();
     for (size_t i = 0; i < n;) {
       const size_t m = std::min(kDistanceStrip, n - i);
-      squared_distance_batch(q, rows + i * dim, m, d2);
-      for (size_t j = 0; j < m; ++j) {
-        if (d2[j] <= eps2) out.push_back(static_cast<PointId>(i + j));
+      u32 mask = kernel(q.data(), dim, eps2,
+                        strips_.data() + (i / kDistanceStrip) *
+                            (kDistanceStrip * dim),
+                        m);
+      while (mask != 0) {
+        const u32 j = static_cast<u32>(std::countr_zero(mask));
+        out.push_back(static_cast<PointId>(i + j));
+        mask &= mask - 1;
       }
       i += m;
     }
+    counters::distance_evals(n);
     return;
   }
+  // Neighbor-budgeted scan through the same strip kernel and snapshot the
+  // exact path reads (no live-PointSet gather): the mask walk reconstructs
+  // the scalar loop's exact stop row and distance_evals charge
+  // (strip_scan_budgeted), byte-identical output and counters.
   u64 found = 0;
-  for (PointId i = 0; i < static_cast<PointId>(n); ++i) {
-    if (squared_distance(q, points_[i]) <= eps2) {
-      out.push_back(i);
-      ++found;
-      if (found >= budget.max_neighbors) return;
-    }
-  }
+  u64 evals = 0;
+  const simd::StripKernelFn kernel = simd::detail::strip_kernel();
+  strip_scan_budgeted(kernel, q, eps2, strips_.data(), 0, n,
+                      budget.max_neighbors, found, evals,
+                      [&](size_t pos) {
+                        out.push_back(static_cast<PointId>(pos));
+                      });
+  counters::distance_evals(evals);
 }
 
 }  // namespace sdb

@@ -1,5 +1,13 @@
 // Naive O(n) per query index — the paper's "O(n^2) linear search" baseline.
+//
+// Exact scans stream the same strip-transposed (SoA) layout and runtime-
+// dispatched SIMD kernel as the kd-tree leaf scan (see distance_simd.hpp):
+// the constructor keeps a strip-transposed copy of the coordinates, built
+// once, so every query is one long run of vertical-reduction blocks with no
+// id indirection at all.
 #pragma once
+
+#include <vector>
 
 #include "spatial/spatial_index.hpp"
 
@@ -7,9 +15,12 @@ namespace sdb {
 
 class BruteForceIndex final : public SpatialIndex {
  public:
-  /// The index keeps a reference to `points`; the caller must keep the
-  /// PointSet alive for the index's lifetime.
-  explicit BruteForceIndex(const PointSet& points) : points_(points) {}
+  /// The index keeps a reference to `points` AND snapshots the coordinates
+  /// into its strip-transposed buffer at construction; the caller must keep
+  /// the PointSet alive and unmutated for the index's lifetime (a mutation
+  /// after build would not be observed — the same immutability assumption
+  /// as KdTree's and GridIndex's packed layouts).
+  explicit BruteForceIndex(const PointSet& points);
 
   void range_query(std::span<const double> q, double eps,
                    std::vector<PointId>& out) const override;
@@ -19,11 +30,15 @@ class BruteForceIndex final : public SpatialIndex {
                             std::vector<PointId>& out) const override;
 
   [[nodiscard]] size_t size() const override { return points_.size(); }
-  [[nodiscard]] u64 byte_size() const override { return points_.byte_size(); }
+  [[nodiscard]] u64 byte_size() const override {
+    return points_.byte_size() + strips_.size() * sizeof(double);
+  }
   [[nodiscard]] const char* name() const override { return "brute-force"; }
 
  private:
   const PointSet& points_;
+  std::vector<double> strips_;  // strip-transposed coords in id order,
+                                // padded to whole blocks (padding zeroed)
 };
 
 }  // namespace sdb

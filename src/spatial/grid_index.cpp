@@ -1,5 +1,6 @@
 #include "spatial/grid_index.hpp"
 
+#include <bit>
 #include <cmath>
 
 #include "geom/distance.hpp"
@@ -24,19 +25,18 @@ GridIndex::GridIndex(const PointSet& points, double cell)
     it->second.push_back(i);
   }
 
-  // Pass 2: flatten into cell-contiguous id + coordinate arrays.
+  // Pass 2: flatten into cell-contiguous id + strip-transposed coordinate
+  // arrays (padding lanes of the final block zeroed by assign).
   packed_ids_.reserve(n);
-  packed_coords_.reserve(n * dim);
+  packed_coords_.assign(strip_padded_len(n, dim), 0.0);
   cells_.reserve(buckets.size());
-  const double* src = points_.raw().data();
   for (const u64 key : cell_order) {
     const std::vector<PointId>& members = buckets.at(key);
     CellRange range;
     range.begin = static_cast<u32>(packed_ids_.size());
     for (const PointId id : members) {
+      strip_store_row(packed_coords_.data(), packed_ids_.size(), points_[id]);
       packed_ids_.push_back(id);
-      const double* from = src + static_cast<size_t>(id) * dim;
-      packed_coords_.insert(packed_coords_.end(), from, from + dim);
     }
     range.end = static_cast<u32>(packed_ids_.size());
     cells_.emplace(key, range);
@@ -81,8 +81,10 @@ void GridIndex::range_query_budgeted(std::span<const double> q, double eps,
   cell_coords(q, base);
 
   const double eps2 = eps * eps;
+  const simd::StripKernelFn kernel = simd::detail::strip_kernel();
   u64 found = 0;
   u64 visited_cells = 0;
+  u64 evals = 0;
   bool stopped = false;
 
   // Enumerate the (2*reach+1)^dim neighbor cells by odometer.
@@ -91,44 +93,40 @@ void GridIndex::range_query_budgeted(std::span<const double> q, double eps,
   for (;;) {
     for (int d = 0; d < dim; ++d) coords[d] = base[d] + offset[d];
     ++visited_cells;
-    counters::tree_nodes(1);
     if (budget.max_nodes != 0 && visited_cells > budget.max_nodes) break;
     if (auto it = cells_.find(coords_key(coords)); it != cells_.end()) {
       const CellRange range = it->second;
       if (budget.max_neighbors == 0) {
-        // Blocked kernel over the cell's packed rows. Candidate order and
-        // distance_evals match the scalar path exactly.
-        double d2[kDistanceStrip];
+        // SIMD strip kernel over the cell's packed blocks; a cell may enter
+        // its first block at any lane offset. Ascending mask-bit order is
+        // ascending packed position, so candidate order and the
+        // distance_evals tally match the scalar path exactly (one eval per
+        // candidate row, regardless of the kernel's internal abandonment).
+        evals += range.end - range.begin;
         for (u32 i = range.begin; i < range.end;) {
-          const u32 m =
-              std::min<u32>(static_cast<u32>(kDistanceStrip), range.end - i);
-          squared_distance_batch(
-              q,
-              packed_coords_.data() +
-                  static_cast<size_t>(i) * static_cast<size_t>(dim),
-              m, d2);
-          for (u32 j = 0; j < m; ++j) {
-            if (d2[j] <= eps2) out.push_back(packed_ids_[i + j]);
+          const u32 lane = i % static_cast<u32>(kDistanceStrip);
+          const u32 m = std::min<u32>(static_cast<u32>(kDistanceStrip) - lane,
+                                      range.end - i);
+          u32 mask = kernel(q.data(), static_cast<size_t>(dim), eps2,
+                            strip_lane(packed_coords_.data(), i,
+                                       static_cast<size_t>(dim)),
+                            m);
+          while (mask != 0) {
+            const u32 j = static_cast<u32>(std::countr_zero(mask));
+            out.push_back(packed_ids_[i + j]);
+            mask &= mask - 1;
           }
           i += m;
         }
       } else {
-        // Scalar path: the neighbor budget may stop mid-cell, and a strip
-        // evaluated past the stop would overcount distance_evals.
-        for (u32 i = range.begin; i < range.end; ++i) {
-          const std::span<const double> p{
-              packed_coords_.data() +
-                  static_cast<size_t>(i) * static_cast<size_t>(dim),
-              static_cast<size_t>(dim)};
-          if (squared_distance(q, p) <= eps2) {
-            out.push_back(packed_ids_[i]);
-            ++found;
-            if (found >= budget.max_neighbors) {
-              stopped = true;
-              break;
-            }
-          }
-        }
+        // Neighbor-budgeted cell scan, still through the strip kernel: the
+        // mask walk reconstructs the scalar loop's exact stop row and
+        // distance_evals charge (strip_scan_budgeted), so output, counters,
+        // and the stop point are byte-identical to a per-row scalar gather.
+        stopped = strip_scan_budgeted(
+            kernel, q, eps2, packed_coords_.data(), range.begin, range.end,
+            budget.max_neighbors, found, evals,
+            [&](size_t pos) { out.push_back(packed_ids_[pos]); });
       }
     }
     if (stopped) break;
@@ -140,6 +138,9 @@ void GridIndex::range_query_budgeted(std::span<const double> q, double eps,
     }
     if (d == dim) break;
   }
+  // One thread-local flush per query (exact totals — see counters::add).
+  counters::tree_nodes(visited_cells);
+  counters::distance_evals(evals);
 }
 
 u64 GridIndex::byte_size() const {

@@ -7,10 +7,12 @@
 // choice for the 2-D example applications.
 //
 // Layout: cells are (begin, end) ranges into two packed arrays — the member
-// point ids, and their coordinate rows copied cell-contiguously — so a cell
-// scan streams linear doubles through the blocked distance kernel instead of
-// gathering rows point-by-point (same scheme as the kd-tree's
-// leaf-contiguous buffer).
+// point ids, and their coordinates stored strip-transposed (SoA) in packed
+// order (see distance_simd.hpp) — so a cell scan streams blocks through the
+// runtime-dispatched SIMD strip kernel instead of gathering rows
+// point-by-point (same scheme as the kd-tree's leaf-order buffer). A cell
+// may enter its first block at any lane offset, exactly like a kd-tree
+// leaf.
 #pragma once
 
 #include <unordered_map>
@@ -39,7 +41,7 @@ class GridIndex final : public SpatialIndex {
   [[nodiscard]] size_t cell_count() const { return cells_.size(); }
 
  private:
-  /// Half-open range into packed_ids_ / packed_coords_ (rows, * dim).
+  /// Half-open range into packed_ids_ (and, by position, packed_coords_).
   struct CellRange {
     u32 begin = 0;
     u32 end = 0;
@@ -53,7 +55,9 @@ class GridIndex final : public SpatialIndex {
   double cell_;
   std::unordered_map<u64, CellRange> cells_;
   std::vector<PointId> packed_ids_;    // cell-contiguous, id order per cell
-  std::vector<double> packed_coords_;  // coordinate rows in packed_ids_ order
+  std::vector<double> packed_coords_;  // strip-transposed coords in
+                                       // packed_ids_ order, padded to whole
+                                       // blocks (padding lanes zero)
 };
 
 }  // namespace sdb

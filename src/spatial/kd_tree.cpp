@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
 #include <numeric>
 #include <queue>
@@ -10,10 +11,18 @@
 #include "geom/distance.hpp"
 #include "util/thread_pool.hpp"
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
 namespace sdb {
 
 namespace {
 
+/// Dimension cap for the fused leaf scatter+box pass's stack accumulators;
+/// wider points take the strip export plus the plain per-row box loop.
+constexpr int kMaxFusedDim = 64;
 /// Below this many points a build is sequential regardless of the thread
 /// option: thread-spawn plus task overhead would dominate.
 constexpr u32 kParallelBuildThreshold = 1u << 14;
@@ -22,30 +31,68 @@ constexpr unsigned kMaxBuildThreads = 16;
 
 }  // namespace
 
-/// Shared state of one (possibly parallel) build. Node slots come from one
+/// Shared state of one build. Parallel builds claim node slots from one
 /// atomic cursor over preallocated arrays, so forked subtree tasks never
 /// touch a shared container: every task writes only its own node slots and
-/// its own disjoint subrange of ids_. Visibility of the writes back to the
-/// constructing thread is established by ThreadPool::wait_idle().
+/// its own disjoint subrange of ids_ (and disjoint strip lanes). Visibility
+/// of the writes back to the constructing thread is established by
+/// ThreadPool::wait_idle(). Sequential builds (pool == nullptr) skip the
+/// machinery entirely and use the plain counters — no atomic RMW per node.
 struct KdTree::BuildCtx {
   std::atomic<u32> node_cursor{0};
   std::atomic<int> max_depth{0};
+  u32 seq_cursor = 0;   // plain cursor, pool == nullptr only
+  int seq_depth = 0;    // plain depth high-water, pool == nullptr only
   u32 max_nodes = 0;
   u32 seq_cutoff = 0;  // subtree ranges <= this build inline (no fork)
   ThreadPool* pool = nullptr;
 
   u32 alloc_node() {
+    if (pool == nullptr) {
+      SDB_CHECK(seq_cursor < max_nodes, "kd-tree node bound exceeded");
+      return seq_cursor++;
+    }
     const u32 idx = node_cursor.fetch_add(1, std::memory_order_relaxed);
     SDB_CHECK(idx < max_nodes, "kd-tree node bound exceeded");
     return idx;
   }
 
+  /// Claim two ADJACENT slots for a sibling pair (left = base, right =
+  /// base + 1). Adjacency is guaranteed even under parallel builds — one
+  /// fetch_add(2) instead of two racing fetch_add(1)s — so the query loop
+  /// can prefetch both children's node records and (contiguous) box rows
+  /// with a fixed number of cache-line touches.
+  u32 alloc_children() {
+    if (pool == nullptr) {
+      SDB_CHECK(seq_cursor + 1 < max_nodes, "kd-tree node bound exceeded");
+      const u32 base = seq_cursor;
+      seq_cursor += 2;
+      return base;
+    }
+    const u32 base = node_cursor.fetch_add(2, std::memory_order_relaxed);
+    SDB_CHECK(base + 1 < max_nodes, "kd-tree node bound exceeded");
+    return base;
+  }
+
   void note_depth(int depth) {
+    if (pool == nullptr) {
+      if (depth > seq_depth) seq_depth = depth;
+      return;
+    }
     int seen = max_depth.load(std::memory_order_relaxed);
     while (depth > seen &&
            !max_depth.compare_exchange_weak(seen, depth,
                                             std::memory_order_relaxed)) {
     }
+  }
+
+  [[nodiscard]] u32 nodes_allocated() const {
+    return pool == nullptr ? seq_cursor
+                           : node_cursor.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int depth_seen() const {
+    return pool == nullptr ? seq_depth
+                           : max_depth.load(std::memory_order_relaxed);
   }
 };
 
@@ -68,6 +115,38 @@ KdTree::KdTree(const PointSet& points, const KdTreeOptions& options)
   nodes_.resize(max_nodes);
   boxes_.resize(max_nodes * 2 * dim);
 
+  if (options.reorder) {
+    // Strip-transposed leaf-order buffer, filled in place as leaves
+    // finalize. Allocate without zero-filling the whole buffer (the leaf
+    // stores overwrite every live lane); only the final block's padding
+    // lanes need zeros so vector loads never read uninitialized memory.
+    leaf_coords_len_ = strip_padded_len(n, dim);
+    leaf_coords_ = std::make_unique_for_overwrite<double[]>(leaf_coords_len_);
+#if defined(__linux__)
+    // The buffer is large, written exactly once (by the leaf scatters), and
+    // freshly mmapped by the allocator at this size — so at 4KiB pages the
+    // build pays one minor fault per page (~2k faults at 1m points), a cost
+    // the legacy build simply doesn't have. Ask for transparent huge pages
+    // on the page-aligned interior; a kernel without (or with disabled) THP
+    // just returns EINVAL/ENOMEM and nothing changes.
+    {
+      const auto page = static_cast<uintptr_t>(sysconf(_SC_PAGESIZE));
+      const auto lo =
+          (reinterpret_cast<uintptr_t>(leaf_coords_.get()) + page - 1) &
+          ~(page - 1);
+      const auto hi = (reinterpret_cast<uintptr_t>(leaf_coords_.get()) +
+                       leaf_coords_len_ * sizeof(double)) &
+                      ~(page - 1);
+      if (hi > lo) {
+        (void)madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE);
+      }
+    }
+#endif
+    const size_t live = ((n - 1) / kDistanceStrip) * kDistanceStrip * dim;
+    std::fill(leaf_coords_.get() + live, leaf_coords_.get() + leaf_coords_len_,
+              0.0);
+  }
+
   unsigned threads = options.build_threads;
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
@@ -88,14 +167,30 @@ KdTree::KdTree(const PointSet& points, const KdTreeOptions& options)
   build_range(root_, 0, static_cast<u32>(n), 0, ctx);
   if (ctx.pool != nullptr) ctx.pool->wait_idle();
 
-  depth_ = ctx.max_depth.load(std::memory_order_relaxed);
-  const u32 node_count = ctx.node_cursor.load(std::memory_order_relaxed);
+  depth_ = ctx.depth_seen();
+  // Median splits bound the depth at ~log2(n) + 1; enforce that the query
+  // stack capacity covers it so a future split-policy change cannot turn
+  // into silent stack corruption (see kQueryStackCap).
+  SDB_CHECK(depth_ + 1 <= kQueryStackCap,
+            "kd-tree depth exceeds query stack capacity");
+  const u32 node_count = ctx.nodes_allocated();
   nodes_.resize(node_count);
   nodes_.shrink_to_fit();
   boxes_.resize(static_cast<size_t>(node_count) * 2 * dim);
   boxes_.shrink_to_fit();
+}
 
-  if (options.reorder) build_reordered(pool.get(), threads);
+/// Scatter rows [begin, end) of the id permutation into the strip buffer.
+/// Row-major reads (each row contiguous), lane-strided writes that stay
+/// inside the leaf's few L1-resident strip blocks. Non-temporal stores were
+/// measured here and lost: on this class of host plain stores win at both
+/// 100k and 1m points (partial-line NT writes cost more than the RFO they
+/// save, and the staged-tile variant pays an extra copy).
+void KdTree::export_leaf_strips(u32 begin, u32 end) {
+  double* strips = leaf_coords_.get();
+  for (u32 i = begin; i < end; ++i) {
+    strip_store_row(strips, i, points_[ids_[i]]);
+  }
 }
 
 void KdTree::build_range(i32 idx, u32 begin, u32 end, int depth,
@@ -108,34 +203,87 @@ void KdTree::build_range(i32 idx, u32 begin, u32 end, int depth,
   node.end = end;
   node.box = static_cast<u32>(idx) * 2 * static_cast<u32>(dim);
 
-  // Tight bounding box over [begin, end).
-  double* lo = boxes_.data() + node.box;
-  double* hi = lo + dim;
-  std::fill(lo, lo + dim, std::numeric_limits<double>::infinity());
-  std::fill(hi, hi + dim, -std::numeric_limits<double>::infinity());
-  for (u32 i = begin; i < end; ++i) {
-    const auto p = points_[ids_[i]];
-    for (int d = 0; d < dim; ++d) {
-      lo[d] = std::min(lo[d], p[d]);
-      hi[d] = std::max(hi[d], p[d]);
-    }
+  // Tight bounding box over [begin, end), interleaved [lo, hi] per dim.
+  double* b = boxes_.data() + node.box;
+  for (int d = 0; d < dim; ++d) {
+    b[2 * d] = std::numeric_limits<double>::infinity();
+    b[2 * d + 1] = -std::numeric_limits<double>::infinity();
   }
 
   if (end - begin <= static_cast<u32>(leaf_size_)) {
+    // Size-bounded leaf. Reorder mode scatters the rows into the
+    // strip-transposed buffer in place (no build-then-copy), fused with the
+    // bounding-box reduction in a single pass over the rows.
+    if (leaf_coords_ != nullptr && dim <= kMaxFusedDim) {
+      // STACK-LOCAL min/max accumulators: locals provably don't alias the
+      // lane stores, so the accumulators live in registers/L1 instead of
+      // the load-modify-store chain on b that the legacy branch pays per
+      // element (b could alias the coordinate loads as far as the compiler
+      // can prove).
+      double lo[kMaxFusedDim], hi[kMaxFusedDim];
+      for (int d = 0; d < dim; ++d) {
+        lo[d] = std::numeric_limits<double>::infinity();
+        hi[d] = -std::numeric_limits<double>::infinity();
+      }
+      double* strips = leaf_coords_.get();
+      for (u32 i = begin; i < end; ++i) {
+        const auto p = points_[ids_[i]];
+        double* lane = strip_lane(strips, i, static_cast<size_t>(dim));
+        for (int d = 0; d < dim; ++d) {
+          const double v = p[d];
+          lane[static_cast<size_t>(d) * kDistanceStrip] = v;
+          lo[d] = std::min(lo[d], v);
+          hi[d] = std::max(hi[d], v);
+        }
+      }
+      for (int d = 0; d < dim; ++d) {
+        b[2 * d] = lo[d];
+        b[2 * d + 1] = hi[d];
+      }
+    } else {
+      // Legacy layout, or a dimensionality too wide for the stack
+      // accumulators (rare): plain per-row box update, plus the strip
+      // export when the packed layout is on.
+      if (leaf_coords_ != nullptr) export_leaf_strips(begin, end);
+      for (u32 i = begin; i < end; ++i) {
+        const auto p = points_[ids_[i]];
+        for (int d = 0; d < dim; ++d) {
+          b[2 * d] = std::min(b[2 * d], p[d]);
+          b[2 * d + 1] = std::max(b[2 * d + 1], p[d]);
+        }
+      }
+    }
     nodes_[static_cast<size_t>(idx)] = node;
     return;
+  }
+
+  for (u32 i = begin; i < end; ++i) {
+    const auto p = points_[ids_[i]];
+    for (int d = 0; d < dim; ++d) {
+      b[2 * d] = std::min(b[2 * d], p[d]);
+      b[2 * d + 1] = std::max(b[2 * d + 1], p[d]);
+    }
   }
 
   // Split on the dimension of largest spread at the median.
   int best_dim = 0;
   double best_spread = -1.0;
   for (int d = 0; d < dim; ++d) {
-    const double spread = hi[d] - lo[d];
+    const double spread = b[2 * d + 1] - b[2 * d];
     if (spread > best_spread) {
       best_spread = spread;
       best_dim = d;
     }
   }
+
+  // Degenerate spread (all coordinates equal): keep as leaf to guarantee
+  // termination.
+  if (best_spread <= 0.0) {
+    if (leaf_coords_ != nullptr) export_leaf_strips(begin, end);
+    nodes_[static_cast<size_t>(idx)] = node;
+    return;
+  }
+
   const u32 mid = begin + (end - begin) / 2;
   std::nth_element(ids_.begin() + begin, ids_.begin() + mid,
                    ids_.begin() + end, [&](PointId a, PointId b) {
@@ -144,18 +292,13 @@ void KdTree::build_range(i32 idx, u32 begin, u32 end, int depth,
   node.split_dim = best_dim;
   node.split_value = points_[ids_[mid]][best_dim];
 
-  // Degenerate spread (all coordinates equal): keep as leaf to guarantee
-  // termination.
-  if (best_spread <= 0.0) {
-    nodes_[static_cast<size_t>(idx)] = node;
-    return;
-  }
-
   // Children slots are claimed by the parent so the node can be finalized
   // before the subtree tasks run — no post-hoc patching, no joins inside
-  // tasks (the simple pool would deadlock on nested waits).
-  const i32 left = static_cast<i32>(ctx.alloc_node());
-  const i32 right = static_cast<i32>(ctx.alloc_node());
+  // tasks (the simple pool would deadlock on nested waits). The pair is
+  // adjacent (alloc_children) so queries can prefetch both siblings.
+  const u32 base = ctx.alloc_children();
+  const i32 left = static_cast<i32>(base);
+  const i32 right = static_cast<i32>(base + 1);
   node.left = left;
   node.right = right;
   nodes_[static_cast<size_t>(idx)] = node;
@@ -174,40 +317,22 @@ void KdTree::build_range(i32 idx, u32 begin, u32 end, int depth,
   build_range(right, mid, end, depth + 1, ctx);
 }
 
-void KdTree::build_reordered(ThreadPool* pool, unsigned tasks) {
-  const size_t n = ids_.size();
-  const size_t dim = static_cast<size_t>(points_.dim());
-  leaf_coords_.resize(n * dim);
-  const double* src = points_.raw().data();
-  auto copy_rows = [this, src, dim](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const double* from = src + static_cast<size_t>(ids_[i]) * dim;
-      std::copy(from, from + dim, leaf_coords_.data() + i * dim);
-    }
-  };
-  if (pool == nullptr || n < kParallelBuildThreshold) {
-    copy_rows(0, n);
-    return;
-  }
-  const size_t chunk = (n + tasks - 1) / tasks;
-  for (size_t begin = 0; begin < n; begin += chunk) {
-    const size_t end = std::min(n, begin + chunk);
-    pool->submit([copy_rows, begin, end] { copy_rows(begin, end); });
-  }
-  pool->wait_idle();
-}
-
-double KdTree::box_distance2(const Node& node,
-                             std::span<const double> q) const {
+double KdTree::box_distance2(const Node& node, std::span<const double> q,
+                             double cutoff) const {
+  // Branchless clamp: the outside-the-box excess per dimension is
+  // max(lo-q, q-hi, 0). Accumulation stays a single ascending-d chain so
+  // the result is identical for every build/query configuration; the
+  // early exit only ever skips dimensions once "result > cutoff" is already
+  // decided (the sum is monotone), and with the interleaved [lo, hi] box
+  // rows it keeps most pruned nodes inside their first cache line.
   const int dim = points_.dim();
-  const double* lo = boxes_.data() + node.box;
-  const double* hi = lo + dim;
+  const double* b = boxes_.data() + node.box;
   double s = 0.0;
   for (int d = 0; d < dim; ++d) {
-    double diff = 0.0;
-    if (q[d] < lo[d]) diff = lo[d] - q[d];
-    else if (q[d] > hi[d]) diff = q[d] - hi[d];
+    const double diff =
+        std::max(std::max(b[2 * d] - q[d], q[d] - b[2 * d + 1]), 0.0);
     s += diff * diff;
+    if (s > cutoff) break;
   }
   return s;
 }
@@ -222,61 +347,113 @@ void KdTree::range_query_budgeted(std::span<const double> q, double eps,
                                   std::vector<PointId>& out) const {
   if (root_ < 0) return;
   QueryState st{eps, eps * eps, &budget, &out};
-  query_node(root_, q, st);
+  st.kernel = simd::detail::strip_kernel();
+  run_query(q, st);
+  // One thread-local flush per query instead of one per node/evaluation;
+  // totals are exactly what the per-op increments would have produced.
+  counters::tree_nodes(st.nodes_visited);
+  counters::distance_evals(st.distance_evals);
 }
 
-void KdTree::query_node(i32 node_id, std::span<const double> q,
-                        QueryState& st) const {
-  if (st.stopped) return;
-  const Node& node = nodes_[static_cast<size_t>(node_id)];
-  ++st.nodes_visited;
-  counters::tree_nodes(1);
-  if (st.budget->max_nodes != 0 && st.nodes_visited > st.budget->max_nodes) {
-    st.stopped = true;  // the paper's branch-pruning cutoff
-    return;
-  }
-  if (box_distance2(node, q) > st.eps2) return;
+void KdTree::run_query(std::span<const double> q, QueryState& st) const {
+  // Explicit-stack depth-first descent, near child popped first — the same
+  // node sequence the recursive formulation visits, minus the call frames.
+  // Median splits halve the range every level, so the depth (== max live
+  // far-children on the stack) is bounded by ~log2(n) + 1; 64 covers any
+  // 32-bit point count with a wide margin.
+  const size_t dim = static_cast<size_t>(points_.dim());
+  const double* strips = leaf_coords_.get();
+  i32 stack[kQueryStackCap];  // depth_ + 1 <= cap, checked at build
+  int top = 0;
+  stack[top++] = root_;
+  while (top > 0) {
+    const Node& node = nodes_[static_cast<size_t>(stack[--top])];
+    ++st.nodes_visited;
+    if (st.budget->max_nodes != 0 && st.nodes_visited > st.budget->max_nodes) {
+      return;  // the paper's branch-pruning cutoff
+    }
+    if (box_distance2(node, q, st.eps2) > st.eps2) continue;
 
-  if (node.is_leaf()) {
-    if (!leaf_coords_.empty() && st.budget->max_neighbors == 0) {
-      // Hot path: stream the packed leaf rows through the blocked kernel,
-      // then filter. Candidate order matches the scalar path (ids_ order),
-      // and so does the distance_evals count — every leaf row is evaluated
-      // exactly once either way.
-      const size_t dim = static_cast<size_t>(points_.dim());
-      double d2[kDistanceStrip];
+    if (!node.is_leaf()) {
+      // The sibling pair is adjacent (alloc_children): start both children's
+      // node records and box rows toward the cache while this iteration
+      // finishes — the near child is popped immediately after.
+      __builtin_prefetch(nodes_.data() + node.left);
+      __builtin_prefetch(nodes_.data() + node.right);
+      __builtin_prefetch(boxes_.data() +
+                         static_cast<size_t>(node.left) * 2 * dim);
+      __builtin_prefetch(boxes_.data() +
+                         static_cast<size_t>(node.right) * 2 * dim);
+      // Descend the side containing q first: with a neighbor budget this
+      // reports the densest nearby region before the cutoff fires.
+      const bool left_first = q[node.split_dim] <= node.split_value;
+      stack[top++] = left_first ? node.right : node.left;  // far: visited later
+      stack[top++] = left_first ? node.left : node.right;  // near: popped next
+      continue;
+    }
+
+    if (strips != nullptr && st.budget->max_neighbors != 0) {
+      // Neighbor-budgeted leaf scan, still through the strip kernel: the
+      // mask walk reconstructs the scalar loop's exact stop row and
+      // distance_evals charge (see strip_scan_budgeted), so wide vector-era
+      // leaves don't degrade the paper's pruned 1M-point mode to per-row
+      // scalar evaluation. Output, counters, and the stop point are byte-
+      // identical to the scalar path below.
+      const bool stop = strip_scan_budgeted(
+          st.kernel, q, st.eps2, strips, node.begin, node.end,
+          st.budget->max_neighbors, st.found, st.distance_evals,
+          [&](size_t pos) { st.out->push_back(ids_[pos]); });
+      if (stop) return;
+      continue;
+    }
+    if (strips != nullptr) {
+      // Hot path: stream the strip-transposed blocks through the dispatched
+      // SIMD kernel and walk the returned eps-decision mask. A leaf may
+      // enter its first block at any lane offset; segments never cross a
+      // block boundary. Ascending bit order is ascending position, so
+      // candidate order matches the scalar path (ids_ order). The
+      // distance_evals tally charges one evaluation per candidate row,
+      // matching the scalar path's count exactly — the kernel's internal
+      // partial-distance abandonment is an implementation detail of the
+      // evaluation, like box_distance2's monotone early exit, and never
+      // shows up in the counters.
+      st.distance_evals += node.end - node.begin;
       for (u32 i = node.begin; i < node.end;) {
-        const u32 m =
-            std::min<u32>(static_cast<u32>(kDistanceStrip), node.end - i);
-        squared_distance_batch(
-            q, leaf_coords_.data() + static_cast<size_t>(i) * dim, m, d2);
-        for (u32 j = 0; j < m; ++j) {
-          if (d2[j] <= st.eps2) st.out->push_back(ids_[i + j]);
+        const u32 lane = i % static_cast<u32>(kDistanceStrip);
+        const u32 m = std::min<u32>(static_cast<u32>(kDistanceStrip) - lane,
+                                    node.end - i);
+        if (i + m < node.end) {
+          // Start the next segment's first dimension rows toward L1 while
+          // the kernel chews this one; a leaf spans several strip blocks
+          // and the blocks are not adjacent in memory.
+          __builtin_prefetch(strip_lane(strips, i + m, dim));
+          __builtin_prefetch(strip_lane(strips, i + m, dim) + 8);
+        }
+        u32 mask =
+            st.kernel(q.data(), dim, st.eps2, strip_lane(strips, i, dim), m);
+        while (mask != 0) {
+          const u32 j = static_cast<u32>(std::countr_zero(mask));
+          st.out->push_back(ids_[i + j]);
+          mask &= mask - 1;
         }
         i += m;
       }
-      return;
+      continue;
     }
-    // Scalar path: legacy layout, or a neighbor budget that may stop
-    // mid-leaf (evaluating a whole strip would overcount distance_evals).
-    for (u32 i = node.begin; i < node.end && !st.stopped; ++i) {
-      if (squared_distance(q, row(i)) <= st.eps2) {
+    // Scalar path: legacy (reorder=false) layout only — the reference the
+    // strip paths above are bit-identical to, budgeted or not.
+    for (u32 i = node.begin; i < node.end; ++i) {
+      ++st.distance_evals;
+      if (squared_distance_uncounted(q, row(i)) <= st.eps2) {
         st.out->push_back(ids_[i]);
         ++st.found;
         if (st.budget->max_neighbors != 0 &&
             st.found >= st.budget->max_neighbors) {
-          st.stopped = true;
+          return;
         }
       }
     }
-    return;
   }
-
-  // Descend the side containing q first: with a neighbor budget this
-  // reports the densest nearby region before the cutoff fires.
-  const bool left_first = q[node.split_dim] <= node.split_value;
-  query_node(left_first ? node.left : node.right, q, st);
-  query_node(left_first ? node.right : node.left, q, st);
 }
 
 std::vector<PointId> KdTree::knn(std::span<const double> q, size_t k) const {
@@ -287,11 +464,57 @@ std::vector<PointId> KdTree::knn(std::span<const double> q, size_t k) const {
 
   // Iterative best-first would be faster; recursive depth-first with heap
   // pruning is simpler and the call sites (examples, tests) are small.
+  const double* strips = leaf_coords_.get();
+  const simd::StripKernelFn kernel =
+      strips != nullptr ? simd::detail::strip_kernel() : nullptr;
   auto visit = [&](auto&& self, i32 node_id) -> void {
     const Node& node = nodes_[static_cast<size_t>(node_id)];
     counters::tree_nodes(1);
-    if (heap.size() == k && box_distance2(node, q) > heap.top().first) return;
+    if (heap.size() == k &&
+        box_distance2(node, q, heap.top().first) > heap.top().first) {
+      return;
+    }
     if (node.is_leaf()) {
+      // The kernel contract requires a finite eps^2; a heap of overflowed
+      // (inf) distances — possible with ~1e154-magnitude coordinates —
+      // falls back to the scalar loop.
+      if (strips != nullptr && heap.size() == k &&
+          std::isfinite(heap.top().first)) {
+        // Kernel-filtered leaf scan: with the heap full, a row can only
+        // matter if d2 < heap.top(), and heap.top() never increases — so
+        // the mask at cutoff = heap.top()-at-leaf-entry is a superset of
+        // every row the scalar loop below would insert (its <= keeps the
+        // d2 == cutoff rows the scalar < then rejects). Survivors get the
+        // exact distance from the same unfused scalar accumulation, so the
+        // heap evolves identically; rows the filter drops satisfy
+        // d2 > cutoff >= heap.top()-current and were no-ops anyway. Charged
+        // one eval per row, exactly like the scalar loop.
+        counters::distance_evals(node.end - node.begin);
+        const double cutoff = heap.top().first;
+        for (u32 i = node.begin; i < node.end;) {
+          const u32 lane = i % static_cast<u32>(kDistanceStrip);
+          const u32 m = std::min<u32>(static_cast<u32>(kDistanceStrip) - lane,
+                                      node.end - i);
+          u32 mask = kernel(q.data(), static_cast<size_t>(points_.dim()),
+                            cutoff, strip_lane(strips, i,
+                                               static_cast<size_t>(
+                                                   points_.dim())),
+                            m);
+          while (mask != 0) {
+            const u32 j = static_cast<u32>(std::countr_zero(mask));
+            const double d2 = squared_distance_uncounted(q, row(i + j));
+            if (d2 < heap.top().first) {
+              heap.pop();
+              heap.emplace(d2, ids_[i + j]);
+            }
+            mask &= mask - 1;
+          }
+          i += m;
+        }
+        return;
+      }
+      // Scalar leaf scan — always while the heap is filling (the first
+      // leaves), and the whole query on legacy (reorder=false) trees.
       for (u32 i = node.begin; i < node.end; ++i) {
         const double d2 = squared_distance(q, row(i));
         if (heap.size() < k) {
@@ -320,7 +543,7 @@ std::vector<PointId> KdTree::knn(std::span<const double> q, size_t k) const {
 u64 KdTree::byte_size() const {
   return points_.byte_size() + ids_.size() * sizeof(PointId) +
          nodes_.size() * sizeof(Node) + boxes_.size() * sizeof(double) +
-         leaf_coords_.size() * sizeof(double);
+         leaf_coords_len_ * sizeof(double);
 }
 
 }  // namespace sdb

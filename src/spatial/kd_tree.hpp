@@ -6,19 +6,28 @@
 // two subtree recursions as util/thread_pool tasks (with a sequential
 // cutoff); nth_element operates on disjoint id subranges, so the tasks
 // share no mutable state and the resulting tree is bit-identical in
-// structure to a sequential build.
-// Layout: with `reorder` on (the default), the tree keeps a leaf-contiguous
-// copy of the coordinates — the rows of every leaf bucket packed
-// back-to-back in traversal order — so leaf scans stream linear doubles
-// through the blocked distance kernel instead of gathering rows through the
-// id permutation. ids_ doubles as the remap table back to original PointIds.
+// structure to a sequential build. Sequential builds (build_threads <= 1,
+// or below the size threshold) skip the parallel machinery entirely —
+// plain slot counters, no atomics, no pool.
+// Layout: with `reorder` on (the default), the tree keeps a strip-transposed
+// (SoA) copy of the coordinates in leaf-traversal order — blocks of
+// kDistanceStrip points stored dimension-major (see distance_simd.hpp) —
+// filled IN PLACE as each leaf is finalized during the build, so the packed
+// layout costs the leaf stores only, not a second full pass. Leaf scans
+// stream the blocks through the runtime-dispatched SIMD strip kernel;
+// ids_ doubles as the remap table back to original PointIds.
 // Query: classic ball-overlap descent with AABB pruning; an optional
 // QueryBudget implements the paper's "kd-tree with pruning branches"
 // approximation used for the 1M-point experiments (it bounds the neighbor
 // count / node visits, trading exactness for time — see the approximation
-// contract on QueryBudget in spatial_index.hpp).
+// contract on QueryBudget in spatial_index.hpp). Work counters are tallied
+// locally during the descent and flushed once per query (counters::add) —
+// exact totals, one thread-local access per query.
 #pragma once
 
+#include <memory>
+
+#include "geom/distance_simd.hpp"
 #include "spatial/spatial_index.hpp"
 
 namespace sdb {
@@ -26,14 +35,20 @@ namespace sdb {
 /// Build-time knobs. The defaults are the fast path; the legacy flags exist
 /// for parity tests and before/after benchmarking (bench_hotpath).
 struct KdTreeOptions {
-  /// Leaf bucket capacity.
-  int leaf_size = 16;
+  /// Leaf bucket capacity. 192 is the vector-era tuning: wider leaves
+  /// convert expensive per-node box tests into strip-kernel lanes that cost
+  /// a fraction of a scalar evaluation each, and the kernels' partial-
+  /// distance abandonment keeps the extra candidates cheap — most of them
+  /// stop a few dimensions in (16 was the scalar-era default; see DESIGN.md
+  /// §14 for the sweep).
+  int leaf_size = 192;
   /// Worker threads for the build. 0 = auto (hardware concurrency, capped);
   /// 1 = fully sequential. Parallelism only engages above a size threshold,
   /// so small builds never pay thread-spawn cost.
   unsigned build_threads = 0;
-  /// Keep the leaf-contiguous coordinate copy (one extra n*dim*8-byte
-  /// buffer, reflected in byte_size()). false = legacy gather path.
+  /// Keep the strip-transposed leaf-order coordinate copy (one extra
+  /// ~n*dim*8-byte buffer, reflected in byte_size()). false = legacy gather
+  /// path (scalar per-point evaluation through the id permutation).
   bool reorder = true;
 };
 
@@ -42,8 +57,11 @@ class ThreadPool;
 class KdTree final : public SpatialIndex {
  public:
   /// Build over all points in `points`. The tree keeps a reference to the
-  /// PointSet; the caller must keep it alive.
-  explicit KdTree(const PointSet& points, int leaf_size = 16)
+  /// PointSet (and, with reorder on, a strip-transposed coordinate
+  /// snapshot); the caller must keep it alive and unmutated for the tree's
+  /// lifetime — post-build mutations would not be reflected in the packed
+  /// layout, the split structure, or the bounding boxes.
+  explicit KdTree(const PointSet& points, int leaf_size = 192)
       : KdTree(points, KdTreeOptions{.leaf_size = leaf_size}) {}
 
   KdTree(const PointSet& points, const KdTreeOptions& options);
@@ -68,8 +86,8 @@ class KdTree final : public SpatialIndex {
   /// Number of internal + leaf nodes (exposed for tests/benches).
   [[nodiscard]] size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] int depth() const { return depth_; }
-  /// Whether the leaf-contiguous coordinate buffer is active.
-  [[nodiscard]] bool reordered() const { return !leaf_coords_.empty(); }
+  /// Whether the strip-transposed leaf-order coordinate buffer is active.
+  [[nodiscard]] bool reordered() const { return leaf_coords_len_ != 0; }
 
  private:
   struct Node {
@@ -81,39 +99,62 @@ class KdTree final : public SpatialIndex {
     i32 split_dim = -1;
     double split_value = 0.0;
     // Tight bounding box of the subtree, flattened into boxes_ at
-    // node_index * 2 * dim (lo values then hi values).
+    // node_index * 2 * dim, INTERLEAVED per dimension:
+    // [lo0, hi0, lo1, hi1, ...]. The interleave keeps the early-exit
+    // distance loop inside the first cache line for most pruned nodes.
     u32 box = 0;
     [[nodiscard]] bool is_leaf() const { return left < 0; }
   };
 
   struct BuildCtx;
   void build_range(i32 idx, u32 begin, u32 end, int depth, BuildCtx& ctx);
-  void build_reordered(ThreadPool* pool, unsigned tasks);
+  /// Scatter one finalized leaf's rows into the strip-transposed buffer.
+  /// (The common-dimensionality leaf path fuses this scatter with the
+  /// bounding-box reduction inline in build_range; this standalone version
+  /// serves degenerate-spread and very-wide-dimension leaves.)
+  void export_leaf_strips(u32 begin, u32 end);
+
+  /// Capacity of run_query's fixed descent stack. Max occupancy is
+  /// depth_ + 1 (each descent pops one node and pushes its two children),
+  /// and with exact-median splits depth_ <= ~log2(n) + 1 <= 33 for 32-bit
+  /// point counts — but that bound is a property of the SPLIT POLICY, so
+  /// the constructor checks depth_ + 1 against this capacity after every
+  /// build rather than trusting the invariant silently (an unbalanced
+  /// split policy would otherwise corrupt the stack).
+  static constexpr int kQueryStackCap = 64;
 
   struct QueryState {
     double eps;
     double eps2;
     const QueryBudget* budget;
     std::vector<PointId>* out;
+    /// Strip kernel fetched once per query (atomic dispatch load hoisted
+    /// out of the leaf loop).
+    simd::StripKernelFn kernel = nullptr;
     u64 nodes_visited = 0;
+    u64 distance_evals = 0;
     u64 found = 0;
-    bool stopped = false;
   };
-  void query_node(i32 node_id, std::span<const double> q, QueryState& st) const;
+  /// Iterative depth-first descent from the root (explicit stack, near
+  /// child popped first). Visit order, counter totals, and output order are
+  /// exactly those of the textbook recursive formulation.
+  void run_query(std::span<const double> q, QueryState& st) const;
 
-  /// Row i of the build permutation: the coordinates of point ids_[i],
-  /// served from the packed buffer when reordering is on.
+  /// Row i of the build permutation: the coordinates of point ids_[i]. The
+  /// strip buffer has no contiguous rows, so scalar consumers (knn, the
+  /// budgeted fallback) gather through the id permutation — the same doubles
+  /// bit-for-bit.
   [[nodiscard]] std::span<const double> row(u32 i) const {
-    if (!leaf_coords_.empty()) {
-      const size_t dim = static_cast<size_t>(points_.dim());
-      return {leaf_coords_.data() + static_cast<size_t>(i) * dim, dim};
-    }
     return points_[ids_[i]];
   }
 
-  /// Squared distance from q to the node's bounding box.
-  [[nodiscard]] double box_distance2(const Node& node,
-                                     std::span<const double> q) const;
+  /// Squared distance from q to the node's bounding box, with an early exit
+  /// once the partial sum exceeds `cutoff`: the sum is monotone in d, so
+  /// "result > cutoff" is decided identically whether or not the remaining
+  /// dimensions are accumulated. Callers must only compare the result
+  /// against `cutoff` (prune when greater).
+  [[nodiscard]] double box_distance2(const Node& node, std::span<const double> q,
+                                     double cutoff) const;
 
   const PointSet& points_;
   int leaf_size_;
@@ -121,9 +162,13 @@ class KdTree final : public SpatialIndex {
   std::vector<PointId> ids_;  // permutation of point ids, bucketed by leaf;
                               // the remap table: position -> original PointId
   std::vector<Node> nodes_;
-  std::vector<double> boxes_;        // per node: dim lo values then hi values
-  std::vector<double> leaf_coords_;  // leaf-contiguous rows (ids_ order);
-                                     // empty when reorder is off
+  std::vector<double> boxes_;  // per node: interleaved [lo, hi] per dim
+  // Strip-transposed leaf-order coordinates (see distance_simd.hpp);
+  // len == 0 when reorder is off. unique_ptr + explicit length instead of a
+  // vector so the build can allocate without a redundant zero-fill (only the
+  // final block's padding lanes need zeroing).
+  std::unique_ptr<double[]> leaf_coords_;
+  size_t leaf_coords_len_ = 0;
   i32 root_ = -1;
 };
 

@@ -13,6 +13,19 @@
 //   WorkCounters wc;
 //   { ScopedCounters scope(&wc);  ...hot code...; }
 //   // wc now holds every operation performed in the scope on this thread.
+//
+// There are no process-global counter atomics anywhere on the hot path:
+// every increment lands in the calling thread's active sink, and cross-
+// thread totals exist only on demand — whoever owns the sinks aggregates
+// them with operator+= after the threads join. Concurrent query threads
+// therefore never share a counter cache line.
+//
+// Batching: the per-increment helpers below each cost one thread-local
+// lookup. Hot loops (index queries, local_dbscan's expansion sweep) instead
+// tally into a plain local WorkCounters (or plain u64 locals) and flush once
+// per call through counters::add — the totals any enclosing scope observes
+// are exactly the same, there is just one TLS access per query instead of
+// one per operation.
 #pragma once
 
 #include "util/common.hpp"
@@ -107,6 +120,14 @@ inline void frontier_peak(u64 depth) {
   if (WorkCounters* c = active()) {
     if (depth > c->frontier_peak) c->frontier_peak = depth;
   }
+}
+
+/// Flush a locally-tallied batch into the active sink in one step (counts
+/// add, frontier_peak combines by max — WorkCounters::operator+=). Exactness
+/// contract: a call site that replaces N per-op increments with one add of
+/// their tally produces byte-identical totals in every enclosing scope.
+inline void add(const WorkCounters& batch) {
+  if (WorkCounters* c = active()) *c += batch;
 }
 
 }  // namespace counters

@@ -1,0 +1,437 @@
+// SIMD strip-kernel contract tests (see distance_simd.hpp).
+//
+// The dispatched kernel (AVX2/NEON when the host has it, scalar otherwise)
+// returns an eps-decision bitmask and must match the scalar reference AND
+// the per-point full-sum oracle bit-for-bit on every input — including
+// exactly-eps boundary pairs (eps2 values chosen to land exactly on a
+// point's squared distance), denormals, huge magnitudes, and partial final
+// strips. The kernels abandon a lane's accumulation once its partial sum
+// exceeds eps2; these tests pin that the abandonment never changes a
+// decision. Cluster labels must not depend on which variant ran. The
+// forced-scalar ctest cell (test_distance_kernels_scalar, SDB_SIMD=scalar in
+// the environment) re-runs this whole binary with dispatch pinned to the
+// fallback, so both sides of every comparison are exercised on SIMD hosts.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "core/dbscan_seq.hpp"
+#include "geom/distance.hpp"
+#include "spatial/brute_force.hpp"
+#include "spatial/grid_index.hpp"
+#include "spatial/kd_tree.hpp"
+#include "synth/generators.hpp"
+#include "util/counters.hpp"
+#include "util/rng.hpp"
+
+namespace sdb {
+namespace {
+
+/// Oracle mask: full-sum squared distance per lane (same ascending-d unfused
+/// accumulation as the kernels), compared against eps2 with <= — the
+/// decision every variant must reproduce regardless of how early it
+/// abandons a lane.
+u32 oracle_mask(std::span<const double> q,
+                const std::vector<std::vector<double>>& rows, size_t pos,
+                size_t count, double eps2) {
+  u32 mask = 0;
+  for (size_t j = 0; j < count; ++j) {
+    if (squared_distance_uncounted(q, rows[pos + j]) <= eps2) {
+      mask |= u32{1} << j;
+    }
+  }
+  return mask;
+}
+
+/// Adversarial coordinate rows for one strip block: exact duplicates of the
+/// query, partners offset by exactly eps along one axis, denormal and huge
+/// magnitudes, negative zeros, and plain random values.
+std::vector<std::vector<double>> adversarial_rows(size_t n, size_t dim,
+                                                  double eps,
+                                                  std::span<const double> q,
+                                                  Rng& rng) {
+  std::vector<std::vector<double>> rows;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> p(dim);
+    switch (i % 6) {
+      case 0:  // exact duplicate of q -> distance exactly 0
+        p.assign(q.begin(), q.end());
+        break;
+      case 1:  // exactly eps along one axis -> d2 lands on eps^2
+        p.assign(q.begin(), q.end());
+        p[rng.uniform_index(dim)] += eps;
+        break;
+      case 2:  // denormal coordinates
+        for (auto& x : p) x = 1e-310;
+        break;
+      case 3:  // huge magnitudes (squares near the overflow edge)
+        for (auto& x : p) x = (rng.uniform(0.0, 1.0) < 0.5 ? -1e150 : 1e150);
+        break;
+      case 4:  // negative zero vs positive zero
+        for (auto& x : p) x = -0.0;
+        break;
+      default:
+        for (auto& x : p) x = rng.uniform(-100.0, 100.0);
+        break;
+    }
+    rows.push_back(std::move(p));
+  }
+  return rows;
+}
+
+class StripKernelBitExact : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(StripKernelBitExact, MatchesScalarReferenceAndPerPointLoop) {
+  const size_t dim = GetParam();
+  const double eps = 25.0;
+  Rng rng(1234 + static_cast<u64>(dim));
+  std::vector<double> q(dim);
+  for (auto& x : q) x = rng.uniform(-100.0, 100.0);
+
+  // Two full blocks plus a partial one, every lane offset exercised below.
+  const size_t n = 2 * kDistanceStrip + 7;
+  const auto rows = adversarial_rows(n, dim, eps, q, rng);
+  std::vector<double> strips(strip_padded_len(n, dim), 0.0);
+  for (size_t i = 0; i < n; ++i) strip_store_row(strips.data(), i, rows[i]);
+
+  // Thresholds that make the decision a one-ulp question: 0 (only exact
+  // duplicates pass), eps^2 exactly (the offset-by-eps partners land ON the
+  // boundary), one ulp below it (they must flip out), exact squared
+  // distances of individual rows (<= must include them), tiny and huge.
+  std::vector<double> eps2s = {0.0, eps * eps,
+                               std::nextafter(eps * eps, 0.0), 1e-310, 1e5,
+                               1e300};
+  for (size_t i = 0; i < n; i += 5) {
+    eps2s.push_back(squared_distance_uncounted(q, rows[i]));
+  }
+
+  const simd::StripKernelFn dispatched = simd::detail::strip_kernel();
+  for (const double eps2 : eps2s) {
+    if (!std::isfinite(eps2)) continue;  // huge-coordinate rows overflow d2
+    for (size_t pos = 0; pos < n;) {
+      const size_t lane = pos % kDistanceStrip;
+      const size_t count = std::min(kDistanceStrip - lane, n - pos);
+      const double* lanes = strip_lane(strips.data(), pos, dim);
+      const u32 got = dispatched(q.data(), dim, eps2, lanes, count);
+      const u32 ref = simd::detail::strip_scalar(q.data(), dim, eps2, lanes,
+                                                 count);
+      const u32 want = oracle_mask(q, rows, pos, count, eps2);
+      EXPECT_EQ(got, ref) << "dispatched vs strip_scalar: dim=" << dim
+                          << " pos=" << pos << " eps2=" << eps2;
+      EXPECT_EQ(got, want) << "dispatched vs full-sum oracle: dim=" << dim
+                           << " pos=" << pos << " eps2=" << eps2;
+      pos += count;
+    }
+  }
+}
+
+TEST_P(StripKernelBitExact, EveryLaneOffsetAndCount) {
+  // A scan may enter a block at any lane and take any count up to the block
+  // end — sweep them all, checking masks and that no bit at or past `count`
+  // is ever set.
+  const size_t dim = GetParam();
+  const double eps = 4.0;
+  Rng rng(99 + static_cast<u64>(dim));
+  std::vector<double> q(dim);
+  for (auto& x : q) x = rng.uniform(-10.0, 10.0);
+
+  const size_t n = kDistanceStrip;
+  const auto rows = adversarial_rows(n, dim, eps, q, rng);
+  std::vector<double> strips(strip_padded_len(n, dim), 0.0);
+  for (size_t i = 0; i < n; ++i) strip_store_row(strips.data(), i, rows[i]);
+
+  const simd::StripKernelFn dispatched = simd::detail::strip_kernel();
+  for (const double eps2 : {0.0, eps * eps, 1e4}) {
+    for (size_t lane = 0; lane < kDistanceStrip; ++lane) {
+      for (size_t count = 1; count <= kDistanceStrip - lane; ++count) {
+        const u32 got = dispatched(q.data(), dim, eps2,
+                                   strip_lane(strips.data(), lane, dim),
+                                   count);
+        const u32 want = oracle_mask(q, rows, lane, count, eps2);
+        EXPECT_EQ(got, want)
+            << "lane=" << lane << " count=" << count << " eps2=" << eps2;
+        if (count < 32) {
+          EXPECT_EQ(got >> count, 0u)
+              << "mask bit at/past count: lane=" << lane
+              << " count=" << count << " eps2=" << eps2;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, StripKernelBitExact,
+                         ::testing::Values<size_t>(1, 2, 3, 10, 64));
+
+// ---------------------------------------------------------------------------
+// Index-level regression: partial final strips / strip-boundary counts.
+// ---------------------------------------------------------------------------
+
+class StripBoundarySizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(StripBoundarySizes, ReorderedTreeMatchesLegacyAndBruteExactly) {
+  // Dataset sizes straddling the strip width: 1, kDistanceStrip +- 1, etc.
+  // With leaf_size >= n the whole dataset is one leaf, so the query IS one
+  // kernel call with a partial final strip — the tail-handling regression
+  // this suite pins down. Results AND distance_evals must match the scalar
+  // paths exactly.
+  const size_t n = GetParam();
+  const double eps = 30.0;
+  Rng rng(7 + static_cast<u64>(n));
+  PointSet ps(3);
+  std::vector<double> p(3);
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& x : p) x = rng.uniform(0.0, 60.0);
+    ps.add(p);
+  }
+  const KdTree legacy(ps, KdTreeOptions{.build_threads = 1, .reorder = false});
+  const KdTree blocked(ps, KdTreeOptions{.build_threads = 1, .reorder = true});
+  const BruteForceIndex brute(ps);
+
+  for (size_t qi = 0; qi < n; ++qi) {
+    const auto q = ps[static_cast<PointId>(qi)];
+    WorkCounters wc_legacy, wc_blocked, wc_brute;
+    std::vector<PointId> out_legacy, out_blocked, out_brute;
+    {
+      ScopedCounters scope(&wc_legacy);
+      legacy.range_query(q, eps, out_legacy);
+    }
+    {
+      ScopedCounters scope(&wc_blocked);
+      blocked.range_query(q, eps, out_blocked);
+    }
+    {
+      ScopedCounters scope(&wc_brute);
+      brute.range_query(q, eps, out_brute);
+    }
+    EXPECT_EQ(out_blocked, out_legacy) << "n=" << n << " q=" << qi;
+    EXPECT_EQ(wc_blocked.distance_evals, wc_legacy.distance_evals)
+        << "n=" << n << " q=" << qi;
+    EXPECT_EQ(wc_blocked.tree_nodes, wc_legacy.tree_nodes)
+        << "n=" << n << " q=" << qi;
+    // Brute force streams the same kernel over id order; same totals.
+    std::sort(out_blocked.begin(), out_blocked.end());
+    EXPECT_EQ(out_blocked, out_brute) << "n=" << n << " q=" << qi;
+    EXPECT_EQ(wc_brute.distance_evals, n) << "n=" << n << " q=" << qi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AroundStripWidth, StripBoundarySizes,
+                         ::testing::Values<size_t>(1, kDistanceStrip - 1,
+                                                   kDistanceStrip,
+                                                   kDistanceStrip + 1,
+                                                   2 * kDistanceStrip - 1,
+                                                   2 * kDistanceStrip + 1));
+
+// ---------------------------------------------------------------------------
+// Budgeted queries through the strip kernel (strip_scan_budgeted): hits,
+// order, distance_evals, and the early-stop row must be exactly the scalar
+// loop's — across indexes, kernel variants, and strip-boundary sizes.
+// ---------------------------------------------------------------------------
+
+TEST(BudgetedStripScan, BitIdenticalAcrossVariantsAndLayouts) {
+  // Dataset sizes straddling the strip width so the budget can fire inside
+  // a full block, exactly at a block edge, and in a ragged tail; budgets
+  // straddling the typical hit counts so both the "whole segment consumed"
+  // and the "stop at bit j, charge j+1 rows" reconstruction paths run.
+  for (const size_t n : {size_t{1}, kDistanceStrip - 1, kDistanceStrip,
+                         kDistanceStrip + 1, 3 * kDistanceStrip + 5,
+                         size_t{400}}) {
+    Rng rng(31 + static_cast<u64>(n));
+    PointSet ps(4);
+    std::vector<double> p(4);
+    for (size_t i = 0; i < n; ++i) {
+      for (auto& x : p) x = rng.uniform(0.0, 50.0);
+      ps.add(p);
+    }
+    const KdTree legacy(ps,
+                        KdTreeOptions{.build_threads = 1, .reorder = false});
+    const KdTree blocked(ps,
+                         KdTreeOptions{.build_threads = 1, .reorder = true});
+    const BruteForceIndex brute(ps);
+    const GridIndex grid(ps, 20.0);
+
+    for (const u64 max_neighbors : {u64{1}, u64{3}, u64{31}, u64{32}, u64{33},
+                                    u64{64}}) {
+      QueryBudget budget;
+      budget.max_neighbors = max_neighbors;
+      for (size_t qi = 0; qi < n; qi += (n > 64 ? 7 : 1)) {
+        const auto q = ps[static_cast<PointId>(qi)];
+        auto run = [&](const SpatialIndex& index) {
+          WorkCounters wc;
+          std::vector<PointId> hits;
+          {
+            ScopedCounters scope(&wc);
+            index.range_query_budgeted(q, 20.0, budget, hits);
+          }
+          return std::make_pair(hits, wc.distance_evals);
+        };
+        // Kernel-vs-scalar parity on every index type.
+        for (const SpatialIndex* index :
+             {static_cast<const SpatialIndex*>(&blocked),
+              static_cast<const SpatialIndex*>(&brute),
+              static_cast<const SpatialIndex*>(&grid)}) {
+          const auto dispatched = run(*index);
+          simd::force_scalar(true);
+          const auto scalar = run(*index);
+          simd::force_scalar(false);
+          EXPECT_EQ(dispatched.first, scalar.first)
+              << index->name() << " n=" << n << " q=" << qi
+              << " max_neighbors=" << max_neighbors;
+          EXPECT_EQ(dispatched.second, scalar.second)
+              << index->name() << " n=" << n << " q=" << qi
+              << " max_neighbors=" << max_neighbors;
+        }
+        // Layout parity: the blocked tree must also reproduce the legacy
+        // (gather-path) tree's hits and charges exactly — same visit order,
+        // same stop row.
+        const auto blocked_run = run(blocked);
+        const auto legacy_run = run(legacy);
+        EXPECT_EQ(blocked_run.first, legacy_run.first)
+            << "n=" << n << " q=" << qi << " max_neighbors=" << max_neighbors;
+        EXPECT_EQ(blocked_run.second, legacy_run.second)
+            << "n=" << n << " q=" << qi << " max_neighbors=" << max_neighbors;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// kNN through the kernel filter: the heap-refinement path masks leaf
+// candidates with the current worst heap distance and must return exactly
+// the scalar path's neighbors and charges.
+// ---------------------------------------------------------------------------
+
+TEST(KnnKernelFilter, BitIdenticalScalarVsSimdAndLegacyLayout) {
+  Rng rng(4242);
+  synth::GaussianMixtureConfig cfg;
+  cfg.n = 1200;
+  cfg.dim = 6;
+  cfg.clusters = 4;
+  cfg.sigma = 3.0;
+  cfg.box_side = 80.0;
+  const PointSet ps = synth::gaussian_clusters(cfg, rng);
+  const KdTree legacy(ps, KdTreeOptions{.build_threads = 1, .reorder = false});
+  const KdTree blocked(ps, KdTreeOptions{.build_threads = 1, .reorder = true});
+
+  for (const size_t k : {size_t{1}, size_t{4}, size_t{33}, size_t{200}}) {
+    for (PointId q = 0; q < 60; ++q) {
+      const auto dispatched = blocked.knn(ps[q], k);
+      simd::force_scalar(true);
+      const auto scalar = blocked.knn(ps[q], k);
+      simd::force_scalar(false);
+      EXPECT_EQ(dispatched, scalar) << "k=" << k << " q=" << q;
+      EXPECT_EQ(dispatched, legacy.knn(ps[q], k)) << "k=" << k << " q=" << q;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch control.
+// ---------------------------------------------------------------------------
+
+TEST(KernelDispatch, ForceScalarPinsFallbackAndResultsAreIdentical) {
+  // Whatever the host dispatches, force_scalar(true) must land on the
+  // scalar fallback, and a query batch run on each side must agree bit-
+  // for-bit (same hits, same order, same counters).
+  const PointSet ps = [] {
+    Rng rng(555);
+    synth::GaussianMixtureConfig cfg;
+    cfg.n = 800;
+    cfg.dim = 10;
+    cfg.clusters = 3;
+    cfg.sigma = 4.0;
+    cfg.box_side = 60.0;
+    return synth::gaussian_clusters(cfg, rng);
+  }();
+  const KdTree tree(ps, KdTreeOptions{.build_threads = 1, .reorder = true});
+
+  auto run_queries = [&] {
+    std::vector<PointId> all;
+    WorkCounters wc;
+    ScopedCounters scope(&wc);
+    std::vector<PointId> hits;
+    for (PointId q = 0; q < 100; ++q) {
+      hits.clear();
+      tree.range_query(ps[q], 9.0, hits);
+      all.insert(all.end(), hits.begin(), hits.end());
+    }
+    return std::make_pair(all, wc.distance_evals);
+  };
+
+  const auto dispatched = run_queries();
+  simd::force_scalar(true);
+  EXPECT_EQ(simd::active_variant(), simd::KernelVariant::kScalar);
+  EXPECT_TRUE(simd::scalar_forced());
+  const auto scalar = run_queries();
+  simd::force_scalar(false);
+  EXPECT_FALSE(simd::scalar_forced());
+
+  EXPECT_EQ(dispatched.first, scalar.first);
+  EXPECT_EQ(dispatched.second, scalar.second);
+}
+
+TEST(KernelDispatch, EnvVarPinsScalar) {
+  // The forced-scalar ctest cell runs with SDB_SIMD=scalar in the
+  // environment; in that cell the dispatcher must never leave the fallback.
+  const char* env = std::getenv("SDB_SIMD");
+  if (env == nullptr) {
+    GTEST_SKIP() << "SDB_SIMD not set; covered by the forced-scalar cell";
+  }
+  EXPECT_EQ(simd::active_variant(), simd::KernelVariant::kScalar)
+      << "SDB_SIMD=" << env << " must pin the scalar fallback";
+}
+
+TEST(KernelDispatch, VariantNamesAreStable) {
+  EXPECT_STREQ(simd::variant_name(simd::KernelVariant::kScalar), "scalar");
+  EXPECT_STREQ(simd::variant_name(simd::KernelVariant::kAvx2), "avx2");
+  EXPECT_STREQ(simd::variant_name(simd::KernelVariant::kAvx512), "avx512");
+  EXPECT_STREQ(simd::variant_name(simd::KernelVariant::kNeon), "neon");
+  EXPECT_NE(simd::active_variant_name(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: cluster labels may not depend on the kernel.
+// ---------------------------------------------------------------------------
+
+TEST(KernelDeterminism, ClusterLabelsByteIdenticalScalarVsSimd) {
+  // Exactly-eps pairs make eps-membership a one-ulp question — if any
+  // variant rounded differently, a boundary point would flip core/border
+  // status and the labelings would diverge.
+  Rng rng(2024);
+  const double eps = 25.0;
+  PointSet ps(10);
+  std::vector<double> p(10), partner(10);
+  for (int i = 0; i < 600; ++i) {
+    for (auto& x : p) x = rng.uniform(0.0, 200.0);
+    ps.add(p);
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.2) {
+      partner = p;
+      partner[rng.uniform_index(10)] += eps;
+      ps.add(partner);
+    } else if (roll < 0.3) {
+      ps.add(p);  // duplicate
+    }
+  }
+  const dbscan::DbscanParams params{eps, 4};
+  const KdTree tree(ps, KdTreeOptions{.build_threads = 1, .reorder = true});
+
+  const auto with_dispatch = dbscan::dbscan_sequential(ps, tree, params);
+  simd::force_scalar(true);
+  const auto with_scalar = dbscan::dbscan_sequential(ps, tree, params);
+  simd::force_scalar(false);
+
+  EXPECT_EQ(with_dispatch.clustering.labels, with_scalar.clustering.labels);
+  EXPECT_EQ(with_dispatch.core_points, with_scalar.core_points);
+  EXPECT_EQ(with_dispatch.counters.distance_evals,
+            with_scalar.counters.distance_evals);
+  EXPECT_EQ(with_dispatch.counters.tree_nodes,
+            with_scalar.counters.tree_nodes);
+}
+
+}  // namespace
+}  // namespace sdb

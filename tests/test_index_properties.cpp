@@ -119,6 +119,17 @@ TEST_P(IndexParityAdversarial, AllIndexesAndLayoutsAgree) {
       index->range_query(ps[q], eps, out);
       EXPECT_EQ(sorted(out), expected)
           << index->name() << " dim=" << dim << " eps=" << eps << " q=" << q;
+      // Kernel-variant parity: the same query with dispatch pinned to the
+      // scalar fallback must return the exact same ids in the exact same
+      // (unsorted) order — the SIMD kernels' bit-identical contract, probed
+      // here on the adversarial exactly-eps / duplicate fixtures.
+      simd::force_scalar(true);
+      std::vector<PointId> out_scalar;
+      index->range_query(ps[q], eps, out_scalar);
+      simd::force_scalar(false);
+      EXPECT_EQ(out_scalar, out)
+          << index->name() << " scalar-vs-simd divergence, dim=" << dim
+          << " eps=" << eps << " q=" << q;
     }
   }
 }
