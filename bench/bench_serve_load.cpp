@@ -126,6 +126,9 @@ PhaseResult run_phase(const std::string& name, QueryEngine& engine,
   after.accepted -= before.accepted;
   after.shed -= before.shed;
   after.completed -= before.completed;
+  after.invalid -= before.invalid;
+  after.degraded -= before.degraded;
+  after.degraded_model_reads -= before.degraded_model_reads;
   after.cache_hits -= before.cache_hits;
   after.cache_misses -= before.cache_misses;
   for (size_t t = 0; t < kRequestTypes; ++t) {
@@ -352,11 +355,44 @@ TopologyResult run_topology(const PointSet& points,
 }
 
 void write_topology_json(const std::string& path, bool smoke, u64 seed,
-                         double seconds, const TopologyResult& r) {
+                         double seconds,
+                         const std::vector<PhaseResult>& phases,
+                         const TopologyResult& r) {
   FILE* f = std::fopen(path.c_str(), "w");
   SDB_CHECK(f != nullptr, "cannot open bench output file");
   std::fprintf(f, "{\n  \"bench\": \"serve_topology\",\n  \"mode\": \"%s\",\n",
                smoke ? "smoke" : "full");
+  // Single-node phases, with the backpressure/degradation counters the
+  // streaming ladder surfaces (shed + shed_rate prove admission control
+  // engaged in the overload phase; degraded_model_reads counts replies
+  // answered from a DBSCAN++-subsampled snapshot).
+  std::fprintf(f, "  \"phases\": [\n");
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseResult& p = phases[i];
+    const auto& m = p.metrics;
+    const double qps =
+        p.wall_s > 0 ? static_cast<double>(m.completed) / p.wall_s : 0.0;
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"wall_s\": %.2f, \"completed\": %llu, "
+        "\"qps\": %.0f,\n"
+        "     \"p50us\": %.2f, \"p99us\": %.2f, \"p999us\": %.2f,\n"
+        "     \"submitted\": %llu, \"accepted\": %llu, \"shed\": %llu, "
+        "\"shed_rate\": %.4f,\n"
+        "     \"degraded\": %llu, \"degraded_model_reads\": %llu}%s\n",
+        p.name.c_str(), p.wall_s,
+        static_cast<unsigned long long>(m.completed), qps,
+        m.classify_latency.quantile_micros(0.50),
+        m.classify_latency.quantile_micros(0.99),
+        m.classify_latency.quantile_micros(0.999),
+        static_cast<unsigned long long>(m.submitted),
+        static_cast<unsigned long long>(m.accepted),
+        static_cast<unsigned long long>(m.shed), m.shed_rate(),
+        static_cast<unsigned long long>(m.degraded),
+        static_cast<unsigned long long>(m.degraded_model_reads),
+        i + 1 < phases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f,
                "  \"shards\": %zu,\n  \"replicas\": %zu,\n  \"readers\": %zu,\n"
                "  \"points\": %zu,\n  \"seconds\": %.2f,\n  \"seed\": %llu,\n",
@@ -482,17 +518,18 @@ int main(int argc, char** argv) {
   TablePrinter table({"phase", "completed", "qps", "p50us", "p99us", "p999us",
                       "cache_hit", "shed_rate"});
 
+  std::vector<PhaseResult> phases;
   {
     QueryEngine engine(registry, engine_cfg);
-    table.add_row(phase_row(run_phase("capacity", engine, points,
-                                      TrafficMix{1.0, 0.0, 0.0}, secs, batch,
-                                      hot, hot_keys, seed + 1)));
+    phases.push_back(run_phase("capacity", engine, points,
+                               TrafficMix{1.0, 0.0, 0.0}, secs, batch, hot,
+                               hot_keys, seed + 1));
   }
   {
     QueryEngine engine(registry, engine_cfg);
-    table.add_row(phase_row(run_phase("mixed", engine, points,
-                                      TrafficMix{0.90, 0.05, 0.05}, secs,
-                                      batch, hot, hot_keys, seed + 2)));
+    phases.push_back(run_phase("mixed", engine, points,
+                               TrafficMix{0.90, 0.05, 0.05}, secs, batch, hot,
+                               hot_keys, seed + 2));
   }
   {
     // Deliberate overload: admission queue far below what the generator
@@ -501,10 +538,11 @@ int main(int argc, char** argv) {
     QueryEngine::Config overload_cfg = engine_cfg;
     overload_cfg.queue_capacity = 512;
     QueryEngine engine(registry, overload_cfg);
-    table.add_row(phase_row(run_phase("overload", engine, points,
-                                      TrafficMix{1.0, 0.0, 0.0}, secs, batch,
-                                      hot, hot_keys, seed + 3)));
+    phases.push_back(run_phase("overload", engine, points,
+                               TrafficMix{1.0, 0.0, 0.0}, secs, batch, hot,
+                               hot_keys, seed + 3));
   }
+  for (const PhaseResult& p : phases) table.add_row(phase_row(p));
 
   table.print("serve load (wall clock)");
   if (flags.boolean("csv")) std::fputs(table.to_csv().c_str(), stdout);
@@ -554,6 +592,7 @@ int main(int argc, char** argv) {
   std::printf("\n");
   SDB_CHECK(topo.lost_committed_epochs == 0,
             "failover lost committed epochs — replication bug");
-  write_topology_json(flags.string("out"), smoke, seed, topo_secs, topo);
+  write_topology_json(flags.string("out"), smoke, seed, topo_secs, phases,
+                      topo);
   return 0;
 }

@@ -1,0 +1,437 @@
+// Streaming-ingest firehose bench for src/stream/ (IngestPipeline).
+//
+// Pipeline under test: bootstrap a ModelRegistry with an n-point 2-D blob
+// dataset, wrap it in an IngestPipeline (bounded queue -> micro-epoch
+// batcher -> RCU publish) and a QueryEngine, then drive a sustained write
+// firehose from `--writers` unpaced producer threads while one reader
+// thread classifies against the live snapshot and records wall-clock
+// latency. Each scenario runs two phases:
+//
+//   firehose — writers submit as fast as the admission gate allows for
+//              `--seconds`; shed submits (the ladder's kShedding rung or a
+//              full queue) sleep out the returned retry-after hint;
+//   cooldown — writers stop, the reader keeps going for `--cooldown`
+//              seconds, then drain() flushes the queue and publishes the
+//              trailing lag. The run asserts the ladder walked back to
+//              kHealthy — overload must be a mode, not a ratchet.
+//
+// Four write distributions stress different incremental-DBSCAN paths:
+//
+//   drifting  — a tight hotspot sweeps across the space (affected region
+//               keeps moving; steady insert + trailing-edge removes);
+//   appearing — a brand-new dense cluster grows where the bootstrap had
+//               nothing (cluster birth under load);
+//   vanishing — removes eat the bootstrap points while background inserts
+//               continue (core demotions, cluster death);
+//   hot_cell  — most inserts land in one tiny cell (worst-case recluster
+//               contention; run with a smaller queue/lag budget so the
+//               degradation ladder VISIBLY engages — the run asserts
+//               nonzero up- and down-transitions here).
+//
+// Acceptance gates (SDB_CHECK, both modes): every scenario ends kHealthy
+// with zero queue depth and lag, classify p99 stays under `--slo_ms`, and
+// hot_cell shows ladder engagement + recovery. Results land in
+// machine-readable JSON (--out, schema in README "Streaming bench") so
+// future PRs diff against the committed BENCH_streaming.json. Like
+// bench_serve_load this measures the real wall clock — this host's
+// sustainable ingest rate, not the simulated cluster. --smoke shrinks the
+// run to seconds-scale for the `perf` ctest label.
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/latency_histogram.hpp"
+#include "serve/query_engine.hpp"
+#include "stream/ingest_pipeline.hpp"
+#include "synth/generators.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace sdb;
+using namespace sdb::serve;
+using namespace sdb::stream;
+
+namespace {
+
+enum class Scenario { kDrifting, kAppearing, kVanishing, kHotCell };
+
+const char* scenario_name(Scenario s) {
+  switch (s) {
+    case Scenario::kDrifting: return "drifting";
+    case Scenario::kAppearing: return "appearing";
+    case Scenario::kVanishing: return "vanishing";
+    case Scenario::kHotCell: return "hot_cell";
+  }
+  return "?";
+}
+
+/// Removable-id pool: fed by on_ack (applied inserts) on the batcher
+/// thread, popped by writer threads for remove traffic. Pop-once, so every
+/// remove targets a live id exactly once.
+struct IdPool {
+  std::mutex mu;
+  std::vector<PointId> ids;
+
+  void push(PointId id) {
+    std::scoped_lock lock(mu);
+    ids.push_back(id);
+  }
+  bool pop(Rng& rng, PointId& out) {
+    std::scoped_lock lock(mu);
+    if (ids.empty()) return false;
+    const size_t k = static_cast<size_t>(rng.uniform_index(ids.size()));
+    out = ids[k];
+    ids[k] = ids.back();
+    ids.pop_back();
+    return true;
+  }
+};
+
+/// Draw the next write for a scenario. `t` in [0,1) is firehose progress
+/// (drives the drifting hotspot). Returns false for a remove (id in `rid`).
+bool next_write(Scenario s, Rng& rng, double t, IdPool& pool,
+                std::vector<double>& coords, PointId& rid) {
+  const auto hotspot = [&](double cx, double cy, double sigma) {
+    coords = {rng.normal(cx, sigma), rng.normal(cy, sigma)};
+  };
+  switch (s) {
+    case Scenario::kDrifting:
+      // Trailing-edge removes keep the live set bounded as the spot sweeps.
+      if (rng.chance(0.25) && pool.pop(rng, rid)) return false;
+      hotspot(0.1 + 0.8 * t, 0.5, 0.02);
+      return true;
+    case Scenario::kAppearing:
+      if (rng.chance(0.9)) {
+        hotspot(0.85, 0.85, 0.015);  // the newborn cluster
+      } else {
+        coords = {rng.uniform(), rng.uniform()};
+      }
+      return true;
+    case Scenario::kVanishing:
+      if (rng.chance(0.6) && pool.pop(rng, rid)) return false;
+      coords = {rng.uniform(), rng.uniform()};
+      return true;
+    case Scenario::kHotCell:
+      if (rng.chance(0.05) && pool.pop(rng, rid)) return false;
+      if (rng.chance(0.85)) {
+        hotspot(0.5, 0.5, 0.004);  // one tiny cell, maximal contention
+      } else {
+        coords = {rng.uniform(), rng.uniform()};
+      }
+      return true;
+  }
+  return true;
+}
+
+struct ScenarioResult {
+  std::string name;
+  double firehose_s = 0.0;
+  double wall_s = 0.0;  ///< firehose + cooldown + drain
+  StreamMetrics stream;
+  u64 reads = 0;
+  u64 degraded_reads = 0;
+  HistogramSnapshot read_latency;
+  bool slo_met = false;
+
+  [[nodiscard]] double ingest_per_sec() const {
+    return wall_s > 0 ? static_cast<double>(stream.acked) / wall_s : 0.0;
+  }
+  [[nodiscard]] double mean_batch() const {
+    return stream.batches > 0 ? static_cast<double>(stream.batched_ops) /
+                                    static_cast<double>(stream.batches)
+                              : 0.0;
+  }
+};
+
+ScenarioResult run_scenario(Scenario scenario, const PointSet& base,
+                            const dbscan::DbscanParams& params,
+                            size_t writers, double firehose_s,
+                            double cooldown_s, double slo_ms, u64 seed) {
+  ModelRegistry::Config reg_cfg;
+  reg_cfg.params = params;
+  reg_cfg.publish_every = 0;  // the pipeline owns the epoch cadence
+  ModelRegistry registry(reg_cfg, base.dim());
+  registry.bootstrap(base);
+
+  IdPool pool;
+  if (scenario == Scenario::kVanishing || scenario == Scenario::kDrifting) {
+    // Seed remove traffic with the bootstrap ids (assigned 0..n-1).
+    std::scoped_lock lock(pool.mu);
+    pool.ids.reserve(base.size());
+    for (size_t i = 0; i < base.size(); ++i) {
+      pool.ids.push_back(static_cast<PointId>(i));
+    }
+  }
+
+  IngestPipeline::Config cfg;
+  if (scenario == Scenario::kHotCell) {
+    // Tight budgets: the firehose must outrun the batcher so the ladder
+    // demonstrably climbs (and, post-cooldown, demonstrably descends).
+    cfg.queue_capacity = 1024;
+    cfg.lag_capacity = 1024.0;
+  } else {
+    cfg.queue_capacity = 8192;
+    cfg.lag_capacity = 8192.0;
+  }
+  cfg.batch_max = 256;
+  cfg.batch_deadline_us = 1000;
+  cfg.retry_after_ms = 0.5;
+  using BatchOp = dbscan::IncrementalDbscan::BatchOp;
+  cfg.on_ack = [&pool](const Ack& ack) {
+    if (ack.applied && ack.op.kind == BatchOp::Kind::kInsert) {
+      pool.push(ack.id);
+    }
+  };
+  IngestPipeline pipeline(registry, cfg);
+
+  QueryEngine::Config eng_cfg;
+  eng_cfg.threads = 1;  // reads run synchronously on the reader thread
+  QueryEngine engine(registry, eng_cfg);
+
+  std::atomic<bool> stop_writers{false};
+  std::atomic<bool> stop_reader{false};
+
+  // Reader: classify near-data queries against whatever snapshot is
+  // published, recording wall latency. Runs through firehose AND cooldown.
+  LatencyHistogram read_hist;
+  u64 reads = 0;
+  u64 degraded_reads = 0;
+  std::thread reader([&] {
+    Rng rng(seed + 1);
+    Request req;
+    req.type = RequestType::kClassify;
+    while (!stop_reader.load(std::memory_order_relaxed)) {
+      const auto p =
+          base[static_cast<PointId>(rng.uniform_index(base.size()))];
+      req.point.assign(p.begin(), p.end());
+      req.point[0] += rng.uniform(-0.01, 0.01);
+      const auto t0 = std::chrono::steady_clock::now();
+      const Reply reply = engine.execute(req);
+      read_hist.record_nanos(static_cast<u64>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+      ++reads;
+      degraded_reads += reply.degraded_model ? 1 : 0;
+    }
+  });
+
+  // Writers: unpaced firehose; a shed submit sleeps out the backpressure
+  // hint (that IS the protocol) and moves on — open loop, no per-op retry.
+  std::vector<std::thread> writer_threads;
+  writer_threads.reserve(writers);
+  Stopwatch wall;
+  for (size_t w = 0; w < writers; ++w) {
+    writer_threads.emplace_back([&, w] {
+      Rng rng(seed + 100 + w);
+      std::vector<double> coords;
+      PointId rid = -1;
+      while (!stop_writers.load(std::memory_order_relaxed)) {
+        const double t = wall.seconds() / firehose_s;
+        const bool is_insert =
+            next_write(scenario, rng, t < 1.0 ? t : 1.0, pool, coords, rid);
+        const SubmitResult r = is_insert
+                                   ? pipeline.submit_insert(coords)
+                                   : pipeline.submit_remove(rid);
+        if (!r.accepted) {
+          if (!is_insert) pool.push(rid);  // shed remove: id is still live
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              static_cast<long>(r.retry_after_ms * 1000.0)));
+        }
+      }
+    });
+  }
+
+  while (wall.seconds() < firehose_s) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop_writers.store(true, std::memory_order_relaxed);
+  for (std::thread& t : writer_threads) t.join();
+  const double firehose_wall = wall.seconds();
+
+  // Cooldown: reads continue, the batcher works off the backlog, the
+  // ladder walks down. drain() is the explicit barrier + trailing publish.
+  Stopwatch cooldown;
+  while (cooldown.seconds() < cooldown_s) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  pipeline.drain();
+  stop_reader.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  ScenarioResult out;
+  out.name = scenario_name(scenario);
+  out.firehose_s = firehose_wall;
+  out.wall_s = wall.seconds();
+  out.stream = pipeline.metrics();
+  out.reads = reads;
+  out.degraded_reads = degraded_reads;
+  out.read_latency = read_hist.snapshot();
+  out.slo_met = out.read_latency.quantile_micros(0.99) <= slo_ms * 1000.0;
+  pipeline.stop();
+
+  // Overload must be a mode, not a ratchet: post-drain the pipeline is
+  // healthy, empty, fully published, and the registry knobs are restored.
+  SDB_CHECK(out.stream.rung == LadderRung::kHealthy,
+            "ladder did not recover to kHealthy after the firehose");
+  SDB_CHECK(out.stream.queue_depth == 0 && out.stream.lag == 0,
+            "drain left queued or unpublished ops");
+  SDB_CHECK(registry.core_sample_fraction() == 1.0,
+            "degraded-rung core fraction was not restored");
+  return out;
+}
+
+std::vector<std::string> scenario_row(const ScenarioResult& r) {
+  const auto& m = r.stream;
+  return {r.name,
+          TablePrinter::cell(r.ingest_per_sec(), 0),
+          TablePrinter::cell(m.acked),
+          TablePrinter::cell(m.shed),
+          TablePrinter::cell(r.mean_batch(), 1),
+          TablePrinter::cell(m.transitions_up),
+          TablePrinter::cell(m.transitions_down),
+          TablePrinter::cell(r.read_latency.quantile_micros(0.50), 1),
+          TablePrinter::cell(r.read_latency.quantile_micros(0.99), 1),
+          TablePrinter::cell(r.degraded_reads),
+          r.slo_met ? "yes" : "NO"};
+}
+
+void write_json(const std::string& path, bool smoke, u64 seed, size_t points,
+                size_t writers, double slo_ms,
+                const std::vector<ScenarioResult>& results) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  SDB_CHECK(f != nullptr, "cannot open bench output file");
+  std::fprintf(f, "{\n  \"bench\": \"streaming\",\n  \"mode\": \"%s\",\n",
+               smoke ? "smoke" : "full");
+  std::fprintf(f,
+               "  \"points\": %zu,\n  \"writers\": %zu,\n"
+               "  \"slo_ms\": %.2f,\n  \"seed\": %llu,\n  \"scenarios\": [\n",
+               points, writers, slo_ms,
+               static_cast<unsigned long long>(seed));
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    const auto& m = r.stream;
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"firehose_s\": %.2f, \"wall_s\": %.2f,\n"
+        "     \"ingest_ops_per_sec\": %.0f, \"submitted\": %llu, "
+        "\"accepted\": %llu, \"shed\": %llu,\n"
+        "     \"acked\": %llu, \"nacked\": %llu, \"batches\": %llu, "
+        "\"mean_batch\": %.1f, \"publishes\": %llu,\n"
+        "     \"max_queue_depth\": %llu, \"transitions_up\": %llu, "
+        "\"transitions_down\": %llu,\n"
+        "     \"rung_entries\": [%llu, %llu, %llu, %llu], "
+        "\"final_rung\": \"%s\",\n"
+        "     \"reads\": %llu, \"degraded_reads\": %llu, "
+        "\"read_p50_us\": %.1f, \"read_p99_us\": %.1f, "
+        "\"read_p999_us\": %.1f, \"slo_met\": %s}%s\n",
+        r.name.c_str(), r.firehose_s, r.wall_s, r.ingest_per_sec(),
+        static_cast<unsigned long long>(m.submitted),
+        static_cast<unsigned long long>(m.accepted),
+        static_cast<unsigned long long>(m.shed),
+        static_cast<unsigned long long>(m.acked),
+        static_cast<unsigned long long>(m.nacked),
+        static_cast<unsigned long long>(m.batches), r.mean_batch(),
+        static_cast<unsigned long long>(m.publishes),
+        static_cast<unsigned long long>(m.max_queue_depth),
+        static_cast<unsigned long long>(m.transitions_up),
+        static_cast<unsigned long long>(m.transitions_down),
+        static_cast<unsigned long long>(m.rung_entries[0]),
+        static_cast<unsigned long long>(m.rung_entries[1]),
+        static_cast<unsigned long long>(m.rung_entries[2]),
+        static_cast<unsigned long long>(m.rung_entries[3]),
+        rung_name(m.rung), static_cast<unsigned long long>(r.reads),
+        static_cast<unsigned long long>(r.degraded_reads),
+        r.read_latency.quantile_micros(0.50),
+        r.read_latency.quantile_micros(0.99),
+        r.read_latency.quantile_micros(0.999),
+        r.slo_met ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.add_i64("points", 20'000, "bootstrap model size (points)");
+  flags.add_f64("eps", 0.02, "DBSCAN eps");
+  flags.add_i64("minpts", 5, "DBSCAN minpts");
+  flags.add_i64("writers", 3, "unpaced producer threads");
+  flags.add_f64("seconds", 4.0, "firehose wall seconds per scenario");
+  flags.add_f64("cooldown", 1.0, "post-firehose read-only seconds");
+  flags.add_f64("slo_ms", 25.0, "classify p99 SLO (wall milliseconds)");
+  flags.add_i64("seed", 42, "rng seed");
+  flags.add_bool("csv", false, "also print CSV");
+  flags.add_bool("smoke", false,
+                 "seconds-scale run for the perf ctest label (small model, "
+                 "short phases)");
+  flags.add_string("out", "BENCH_streaming.json", "JSON output path");
+  flags.parse(argc, argv);
+
+  const bool smoke = flags.boolean("smoke");
+  const auto n =
+      static_cast<size_t>(flags.i64_flag("points") / (smoke ? 8 : 1));
+  const auto writers = static_cast<size_t>(flags.i64_flag("writers"));
+  const double seconds = flags.f64("seconds") / (smoke ? 8.0 : 1.0);
+  const double cooldown = flags.f64("cooldown") / (smoke ? 2.0 : 1.0);
+  const double slo_ms = flags.f64("slo_ms");
+  const u64 seed = static_cast<u64>(flags.i64_flag("seed"));
+
+  Rng rng(seed);
+  std::printf("generating %zu 2-D points...\n", n);
+  const PointSet base =
+      synth::blobs_2d(static_cast<i64>(n), 12, 0.02,
+                      static_cast<i64>(n) / 20, rng);
+  const dbscan::DbscanParams params{flags.f64("eps"),
+                                    flags.i64_flag("minpts")};
+
+  const Scenario scenarios[] = {Scenario::kDrifting, Scenario::kAppearing,
+                                Scenario::kVanishing, Scenario::kHotCell};
+  std::vector<ScenarioResult> results;
+  for (const Scenario s : scenarios) {
+    std::printf("scenario %s: %zu writers x %.2fs firehose + %.2fs "
+                "cooldown...\n",
+                scenario_name(s), writers, seconds, cooldown);
+    results.push_back(run_scenario(s, base, params, writers, seconds,
+                                   cooldown, slo_ms, seed));
+    const ScenarioResult& r = results.back();
+    std::printf("  %s: %.0f acked ops/s, shed %" PRIu64 ", ladder up %"
+                PRIu64 " / down %" PRIu64 ", read p99 %.1fus\n",
+                r.name.c_str(), r.ingest_per_sec(), r.stream.shed,
+                r.stream.transitions_up, r.stream.transitions_down,
+                r.read_latency.quantile_micros(0.99));
+  }
+
+  TablePrinter table({"scenario", "ingest/s", "acked", "shed", "mean_batch",
+                      "up", "down", "read_p50us", "read_p99us",
+                      "degraded_reads", "slo_met"});
+  for (const ScenarioResult& r : results) table.add_row(scenario_row(r));
+  table.print("streaming firehose (wall clock, SLO " +
+              TablePrinter::cell(slo_ms, 1) + "ms)");
+  if (flags.boolean("csv")) std::fputs(table.to_csv().c_str(), stdout);
+
+  // Acceptance gates: the ladder must VISIBLY engage under the hot-cell
+  // firehose (and recover — checked per-scenario inside run_scenario), and
+  // every scenario's classify p99 must hold the SLO.
+  for (const ScenarioResult& r : results) {
+    SDB_CHECK(r.slo_met, "classify p99 blew the --slo_ms budget");
+    if (r.name == "hot_cell") {
+      SDB_CHECK(r.stream.transitions_up > 0 && r.stream.transitions_down > 0,
+                "hot_cell firehose never engaged the degradation ladder");
+    }
+  }
+
+  write_json(flags.string("out"), smoke, seed, n, writers, slo_ms, results);
+  return 0;
+}

@@ -23,12 +23,23 @@
 // reads keep serving from the committed model while a follower is
 // promoted. Commands: `classify`, `insert`, `summary`, `kill <shard>`,
 // `quit`.
+//
+// --stream runs the STREAMING INGEST demo instead (src/stream/): the
+// clustered points bootstrap a live registry behind an IngestPipeline, then
+// `--stream-writers` unpaced producers firehose drifting-hotspot writes at
+// it for `--stream-seconds` while classify queries keep answering from the
+// last published epoch. Every degradation-ladder transition prints as it
+// happens (healthy -> pressured -> degraded -> shedding and back down), and
+// the run ends with a drain + final metrics — a terminal-sized tour of the
+// overload ladder bench_streaming measures.
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "core/dbscan_seq.hpp"
 #include "core/mr_dbscan.hpp"
@@ -38,9 +49,11 @@
 #include "replica/sharded_cluster.hpp"
 #include "serve/query_engine.hpp"
 #include "spatial/kd_tree.hpp"
+#include "stream/ingest_pipeline.hpp"
 #include "synth/generators.hpp"
 #include "synth/io.hpp"
 #include "util/flags.hpp"
+#include "util/stopwatch.hpp"
 
 using namespace sdb;
 
@@ -309,6 +322,124 @@ int serve_topology_loop(const PointSet& points,
   return 0;
 }
 
+/// --stream: self-driving streaming-ingest demo. Bootstraps a registry from
+/// the clustered points, then firehoses drifting-hotspot writes through an
+/// IngestPipeline while printing every ladder transition live; classify
+/// queries sample the published snapshot throughout. Exit 0 iff the ladder
+/// recovered to kHealthy after the drain.
+int stream_demo(const PointSet& points, const dbscan::DbscanParams& params,
+                size_t writers, double seconds) {
+  using namespace sdb::serve;
+  using namespace sdb::stream;
+  ModelRegistry::Config reg_cfg;
+  reg_cfg.params = params;
+  reg_cfg.publish_every = 0;  // the pipeline owns the epoch cadence
+  ModelRegistry registry(reg_cfg, points.dim());
+  std::fprintf(stderr, "stream: bootstrapping model over %zu points...\n",
+               points.size());
+  registry.bootstrap(points);
+
+  // Print transitions as they happen (fired with the pipeline lock held —
+  // stderr only, no calls back into the pipeline).
+  IngestPipeline::Config cfg;
+  cfg.queue_capacity = 1024;
+  cfg.lag_capacity = 1024.0;
+  cfg.batch_max = 64;
+  cfg.on_transition = [](const LadderTransition& t) {
+    std::fprintf(stderr,
+                 "stream: ladder %s -> %s (queue %zu, lag %llu, "
+                 "pressure %.2f)\n",
+                 rung_name(t.from), rung_name(t.to), t.queue_depth,
+                 static_cast<unsigned long long>(t.lag), t.pressure);
+  };
+  IngestPipeline pipeline(registry, cfg);
+  QueryEngine::Config eng_cfg;
+  eng_cfg.threads = 1;
+  QueryEngine engine(registry, eng_cfg);
+
+  // Bounding box of the input, so the demo hotspot drifts through the data.
+  std::vector<double> lo(static_cast<size_t>(points.dim()));
+  std::vector<double> hi(static_cast<size_t>(points.dim()));
+  for (size_t d = 0; d < lo.size(); ++d) {
+    lo[d] = hi[d] = points[0][d];
+  }
+  for (PointId i = 1; i < static_cast<PointId>(points.size()); ++i) {
+    const auto p = points[i];
+    for (size_t d = 0; d < lo.size(); ++d) {
+      lo[d] = std::min(lo[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(writers);
+  for (size_t w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(77 + w);
+      std::vector<double> coords(lo.size());
+      while (!stop.load(std::memory_order_relaxed)) {
+        const double t = std::min(wall.seconds() / seconds, 1.0);
+        for (size_t d = 0; d < coords.size(); ++d) {
+          const double center = lo[d] + (0.1 + 0.8 * t) * (hi[d] - lo[d]);
+          coords[d] = rng.normal(center, 0.02 * (hi[d] - lo[d]));
+        }
+        const SubmitResult r = pipeline.submit_insert(coords);
+        if (!r.accepted) {
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              static_cast<long>(r.retry_after_ms * 1000.0)));
+        }
+      }
+    });
+  }
+
+  // Sample the read path once in a while: reads never block on the ladder.
+  Request probe;
+  probe.type = RequestType::kClassify;
+  u64 probes = 0;
+  u64 degraded_probes = 0;
+  while (wall.seconds() < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Rng rng(probes);
+    const auto p =
+        points[static_cast<PointId>(rng.uniform_index(points.size()))];
+    probe.point.assign(p.begin(), p.end());
+    const Reply reply = engine.execute(probe);
+    ++probes;
+    degraded_probes += reply.degraded_model ? 1 : 0;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  std::fprintf(stderr, "stream: firehose over, draining...\n");
+  pipeline.drain();
+
+  const StreamMetrics m = pipeline.metrics();
+  std::fprintf(
+      stderr,
+      "stream: done — submitted %llu, accepted %llu, shed %llu, acked %llu "
+      "(%.0f ops/s), %llu micro-epochs, %llu publishes\n"
+      "stream: ladder up %llu / down %llu (entries: pressured %llu, "
+      "degraded %llu, shedding %llu); %llu/%llu probes answered from a "
+      "degraded snapshot; final rung %s\n",
+      static_cast<unsigned long long>(m.submitted),
+      static_cast<unsigned long long>(m.accepted),
+      static_cast<unsigned long long>(m.shed),
+      static_cast<unsigned long long>(m.acked),
+      wall.seconds() > 0 ? static_cast<double>(m.acked) / wall.seconds() : 0.0,
+      static_cast<unsigned long long>(m.batches),
+      static_cast<unsigned long long>(m.publishes),
+      static_cast<unsigned long long>(m.transitions_up),
+      static_cast<unsigned long long>(m.transitions_down),
+      static_cast<unsigned long long>(m.rung_entries[1]),
+      static_cast<unsigned long long>(m.rung_entries[2]),
+      static_cast<unsigned long long>(m.rung_entries[3]),
+      static_cast<unsigned long long>(degraded_probes),
+      static_cast<unsigned long long>(probes), rung_name(m.rung));
+  pipeline.stop();
+  return m.rung == LadderRung::kHealthy ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -344,6 +475,11 @@ int main(int argc, char** argv) {
   flags.add_i64("replicas", 1,
                 "with --serve: WAL-shipped replicas per shard (primary + "
                 "followers with automatic failover)");
+  flags.add_bool("stream", false,
+                 "after clustering, run the streaming-ingest firehose demo "
+                 "(see header)");
+  flags.add_i64("stream-writers", 2, "with --stream: producer threads");
+  flags.add_f64("stream-seconds", 3.0, "with --stream: firehose duration");
   flags.parse(argc, argv);
 
   // --- load points ---
@@ -429,6 +565,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown --engine '%s' (seq | spark | mr)\n",
                  engine.c_str());
     return 2;
+  }
+
+  if (flags.boolean("stream")) {
+    return stream_demo(
+        points, params,
+        std::max<size_t>(1, static_cast<size_t>(flags.i64_flag("stream-writers"))),
+        flags.f64("stream-seconds"));
   }
 
   if (flags.boolean("serve")) {

@@ -64,7 +64,10 @@ int main(int argc, char** argv) {
     }
     // Sliding window: expire the oldest burst.
     if (static_cast<i64>(burst_ids.size()) > flags.i64_flag("window")) {
-      for (const PointId id : burst_ids.front()) stream.remove(id);
+      for (const PointId id : burst_ids.front()) {
+        if (!stream.try_remove(id)) std::printf("stale id %lld\n",
+                                                static_cast<long long>(id));
+      }
       burst_ids.erase(burst_ids.begin());
     }
     // Hotspots drift between bursts; cluster 0 drifts toward cluster 2 so a
@@ -85,9 +88,9 @@ int main(int argc, char** argv) {
   // points must structurally match the maintained state.
   PointSet survivors(2);
   std::vector<PointId> survivor_ids;
-  for (PointId i = 0; i < static_cast<PointId>(stream.points().size()); ++i) {
+  for (PointId i = 0; i < static_cast<PointId>(stream.size()); ++i) {
     if (!stream.is_removed(i)) {
-      survivors.add(stream.points()[i]);
+      survivors.add(stream.coords_of(i));
       survivor_ids.push_back(i);
     }
   }

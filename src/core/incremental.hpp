@@ -14,18 +14,32 @@
 // after every insertion (tests/test_incremental.cpp).
 //
 // Deletions are supported via tombstones + affected-region re-clustering:
-// removing a point can demote cores and SPLIT clusters, so the union of the
-// affected clusters is re-clustered from its surviving cores (a bounded
-// local recomputation; the membership scan is O(n), documented trade-off).
-// Tombstoned storage is not reclaimed.
+// removing a point can demote cores and SPLIT clusters, so the affected
+// clusters are re-clustered from their surviving cores. The affected region
+// is discovered by graph search over the old core graph (eps-range queries
+// on the spatial index — the same eps-cell adjacency scoping as the paper's
+// grid partitioning), seeded at the removed cores and the demotions, so the
+// cost is proportional to the affected clusters, not to n. Components of an
+// affected cluster that the search never reaches provably keep their labels
+// and are left untouched.
 //
-// Index: a kd-tree over the points present at the last rebuild plus a
-// brute-force overflow buffer for newer points; the tree is rebuilt when the
+// Ids vs rows: callers hold stable external `PointId`s (dense, assigned in
+// insertion order, never reused). Storage is row-compacted internally:
+// tombstoned rows are RECLAIMED at every index rebuild (insert overflow or
+// `rebuild_threshold` accumulated removals), so resident memory tracks the
+// live set, not the insert history. A reclaimed id stays removed forever.
+//
+// Index: a kd-tree over the rows present at the last rebuild plus a
+// brute-force overflow buffer for newer rows; the tree is rebuilt when the
 // buffer exceeds `rebuild_threshold` (amortized O(log n) queries).
-// Tombstones are filtered from every query.
+// Tombstones are filtered from every query. The threshold is adjustable at
+// runtime (`set_rebuild_threshold`) — the streaming ladder's
+// deferred-rebuild rung raises it under pressure and restores it on
+// recovery.
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 
 #include "core/dbscan.hpp"
 #include "geom/point_set.hpp"
@@ -38,9 +52,36 @@ class IncrementalDbscan {
  public:
   struct Config {
     DbscanParams params;
-    /// Rebuild the kd-tree when this many points sit in the overflow
-    /// buffer (0 = never rebuild; queries degrade toward O(n)).
+    /// Rebuild the kd-tree (and reclaim tombstones) when this many points
+    /// sit in the overflow buffer or this many removals have accumulated
+    /// (0 = never rebuild; queries degrade toward O(n) and tombstones are
+    /// never reclaimed).
     size_t rebuild_threshold = 256;
+  };
+
+  /// One operation of a micro-batch (see apply_batch).
+  struct BatchOp {
+    enum class Kind : unsigned char { kInsert = 0, kRemove = 1 };
+    Kind kind = Kind::kInsert;
+    std::vector<double> coords;  ///< kInsert: the point
+    PointId id = -1;             ///< kRemove: the target id
+
+    static BatchOp make_insert(std::span<const double> c) {
+      BatchOp op;
+      op.coords.assign(c.begin(), c.end());
+      return op;
+    }
+    static BatchOp make_remove(PointId id) {
+      BatchOp op;
+      op.kind = Kind::kRemove;
+      op.id = id;
+      return op;
+    }
+  };
+  /// Per-op outcome, aligned with apply_batch's input.
+  struct BatchResult {
+    bool applied = false;
+    PointId id = -1;  ///< insert: the assigned id; remove: the target id
   };
 
   explicit IncrementalDbscan(Config config, int dim);
@@ -50,41 +91,131 @@ class IncrementalDbscan {
   /// border-point assignment).
   PointId insert(std::span<const double> coords);
 
-  /// Remove a point. Aborts on an invalid or already-removed id. The
-  /// clustering is updated to what batch DBSCAN would produce over the
-  /// surviving points (up to border-point assignment).
-  void remove(PointId id);
+  /// Re-insert a point under an explicit external id (snapshot restore).
+  /// `id` must be >= every id issued so far; ids skipped over are burned
+  /// (they report removed forever).
+  void restore(PointId id, std::span<const double> coords);
 
-  [[nodiscard]] bool is_removed(PointId id) const {
-    return removed_[static_cast<size_t>(id)] != 0;
+  /// Advance the id space to `next` without storing anything: ids in
+  /// [size(), next) report removed forever. Snapshot restore uses this to
+  /// line the id sequence up with the source registry's.
+  void burn_ids(PointId next) {
+    SDB_CHECK(next >= 0 && static_cast<u64>(next) >= next_id_,
+              "burn_ids: id space can only grow");
+    next_id_ = static_cast<u64>(next);
   }
 
-  /// Points currently present (inserted minus removed).
-  [[nodiscard]] size_t active_size() const { return points_.size() - removed_count_; }
+  /// Remove a point. Returns false — with no state change — when the id was
+  /// never issued, is already removed, or was reclaimed; a malformed client
+  /// write must not kill the server. The clustering is updated to what
+  /// batch DBSCAN would produce over the surviving points (up to
+  /// border-point assignment).
+  [[nodiscard]] bool try_remove(PointId id);
 
-  /// Current clustering snapshot (labels dense-renumbered; removed points
-  /// are reported as noise).
+  /// Apply a micro-batch: every insert in op order first, then every remove
+  /// in op order (within a batch, inserts happen-before removes). Removals
+  /// share ONE affected-region re-clustering, so a batch of k deletes from
+  /// the same cluster costs one region search instead of k. Returns per-op
+  /// outcomes aligned with `ops`; invalid removes report applied=false.
+  std::vector<BatchResult> apply_batch(std::span<const BatchOp> ops);
+
+  /// True when `id` was issued and is no longer live (removed or reclaimed).
+  /// Aborts on ids never issued.
+  [[nodiscard]] bool is_removed(PointId id) const;
+
+  /// Points currently present (inserted minus removed).
+  [[nodiscard]] size_t active_size() const {
+    return points_.size() - removed_count_;
+  }
+
+  /// Current clustering snapshot, indexed by external id over [0, size());
+  /// labels dense-renumbered; removed points are reported as noise.
   [[nodiscard]] Clustering clustering() const;
 
-  /// Current cluster label of one point (kNoise for noise), without the
-  /// snapshot cost.
+  /// Current cluster label of one point (kNoise for noise or removed),
+  /// without the snapshot cost.
   [[nodiscard]] ClusterId label_of(PointId id) const;
 
   [[nodiscard]] bool is_core(PointId id) const {
-    return core_[static_cast<size_t>(id)] != 0;
+    const u32 row = row_of(id);
+    return row != kInvalidRow && core_[row] != 0;
   }
 
-  [[nodiscard]] size_t size() const { return points_.size(); }
-  [[nodiscard]] const PointSet& points() const { return points_; }
+  /// External ids issued so far (the id space; includes removed ids).
+  [[nodiscard]] size_t size() const { return static_cast<size_t>(next_id_); }
+
+  /// Row-level view of the compacted storage for snapshot/model builders.
+  /// Rows carry tombstones until the next reclaim; `external_ids` is
+  /// strictly increasing, so live rows enumerate live ids in order.
+  struct StorageView {
+    const PointSet* rows = nullptr;
+    std::span<const PointId> external_ids;  ///< row -> stable id
+    std::span<const char> removed;          ///< row -> tombstone flag
+    std::span<const char> core;             ///< row -> core flag
+    u64 id_space = 0;                       ///< external ids issued so far
+  };
+  [[nodiscard]] StorageView storage_view() const {
+    return {&points_, external_of_, removed_, core_,
+            static_cast<u64>(next_id_)};
+  }
+
+  /// Coordinates of a live point (aborts on removed/unknown ids).
+  [[nodiscard]] std::span<const double> coords_of(PointId id) const {
+    const u32 row = row_of(id);
+    SDB_CHECK(row != kInvalidRow, "coords_of: id is not live");
+    return points_[static_cast<PointId>(row)];
+  }
+
+  void set_rebuild_threshold(size_t threshold) {
+    config_.rebuild_threshold = threshold;
+  }
+  [[nodiscard]] size_t rebuild_threshold() const {
+    return config_.rebuild_threshold;
+  }
+
+  /// Approximate bytes of resident state (storage + index + id maps). The
+  /// memory-bound regression test asserts this tracks the live set under
+  /// churn, not the insert history.
+  [[nodiscard]] size_t resident_bytes() const;
+
+  /// FNV-1a over the id-ordered live state: (id, coordinate bits, canonical
+  /// label) per live id, prefixed with the id-space size. Two instances that
+  /// applied the same operation sequence (same batch boundaries) digest
+  /// equal regardless of rebuild/reclaim timing — the streaming chaos
+  /// harness's convergence check.
+  [[nodiscard]] u64 digest() const;
 
   /// Number of cluster-merge events triggered by insertions (metrics).
   [[nodiscard]] u64 merges() const { return merges_; }
   /// Number of kd-tree rebuilds performed.
   [[nodiscard]] u64 rebuilds() const { return rebuilds_; }
+  /// Number of affected-region re-clusterings triggered by removals.
+  [[nodiscard]] u64 reclusterings() const { return reclusterings_; }
+  /// Tombstoned rows reclaimed at rebuilds.
+  [[nodiscard]] u64 reclaimed() const { return reclaimed_; }
 
  private:
-  /// All points within eps of q (tree + overflow buffer).
+  static constexpr u32 kInvalidRow = 0xffffffffu;
+
+  /// Row of a live external id; kInvalidRow when unknown/removed.
+  [[nodiscard]] u32 row_of(PointId id) const {
+    const auto it = internal_of_.find(id);
+    if (it == internal_of_.end()) return kInvalidRow;
+    return removed_[it->second] != 0 ? kInvalidRow : it->second;
+  }
+
+  /// All live rows within eps of q (tree + overflow buffer).
   void neighbors_of(std::span<const double> q, std::vector<PointId>& out) const;
+
+  /// The old insert body, in row space; does NOT touch the rebuild check.
+  void insert_row(PointId external_id, std::span<const double> coords);
+  /// Tombstone `victims` (live rows) and re-cluster the affected region.
+  void remove_rows(const std::vector<u32>& victims);
+
+  void maybe_rebuild_after_insert();
+  void maybe_rebuild_after_remove();
+  /// Drop tombstoned rows (remapping rows + slots), rebuild the kd-tree.
+  void rebuild_and_reclaim();
 
   /// Union-find over cluster slots, growable.
   size_t find_slot(size_t slot) const;
@@ -95,22 +226,22 @@ class IncrementalDbscan {
   static constexpr i64 kNone = -1;
 
   Config config_;
-  PointSet points_;
-  std::unique_ptr<KdTree> tree_;     // over points [0, tree_size_)
-  size_t tree_size_ = 0;             // points covered by tree_
+  u64 next_id_ = 0;                  // next external id
+  PointSet points_;                  // row storage (compacted at reclaim)
+  std::vector<PointId> external_of_; // row -> external id (increasing)
+  std::unordered_map<PointId, u32> internal_of_;  // external -> row
+  std::unique_ptr<KdTree> tree_;     // over rows [0, tree_size_)
+  size_t tree_size_ = 0;             // rows covered by tree_
   std::vector<char> core_;
   std::vector<u64> count_;           // self-inclusive eps-neighbor counts
-  std::vector<i64> slot_of_;         // point -> cluster slot (kNone = noise)
+  std::vector<i64> slot_of_;         // row -> cluster slot (kNone = noise)
   mutable std::vector<size_t> slot_parent_;  // union-find forest
   std::vector<char> removed_;        // tombstones
   size_t removed_count_ = 0;
   u64 merges_ = 0;
   u64 rebuilds_ = 0;
   u64 reclusterings_ = 0;
-
- public:
-  /// Number of affected-region re-clusterings triggered by removals.
-  [[nodiscard]] u64 reclusterings() const { return reclusterings_; }
+  u64 reclaimed_ = 0;
 };
 
 }  // namespace sdb::dbscan

@@ -11,7 +11,8 @@ namespace sdb::serve {
 namespace {
 
 constexpr u32 kMagic = 0x5342444d;  // "SDBM" little-endian-ish tag
-constexpr u32 kVersion = 1;
+// v2 adds core_sample_fraction (degraded-snapshot marker) after minpts.
+constexpr u32 kVersion = 2;
 
 u64 fnv1a(const char* data, size_t size) {
   u64 h = 1469598103934665603ull;
@@ -85,36 +86,66 @@ std::shared_ptr<ClusterModel> ClusterModel::build(
     const PointSet& points, const dbscan::Clustering& clustering,
     const std::vector<char>& core_mask, const dbscan::DbscanParams& params,
     const Options& options) {
-  SDB_CHECK(clustering.labels.size() == points.size(),
-            "clustering does not cover the point set");
-  SDB_CHECK(core_mask.size() == points.size(),
-            "core mask does not cover the point set");
+  // Trivial view: rows ARE ids.
+  return build_impl(points, {}, {}, points.size(), /*identity=*/true,
+                    clustering, core_mask, params, options);
+}
+
+std::shared_ptr<ClusterModel> ClusterModel::build_view(
+    const PointSet& rows, std::span<const PointId> external_ids,
+    std::span<const char> skip_rows, u64 id_space,
+    const dbscan::Clustering& clustering, const std::vector<char>& core_mask,
+    const dbscan::DbscanParams& params, const Options& options) {
+  return build_impl(rows, external_ids, skip_rows, id_space,
+                    /*identity=*/false, clustering, core_mask, params,
+                    options);
+}
+
+std::shared_ptr<ClusterModel> ClusterModel::build_impl(
+    const PointSet& rows, std::span<const PointId> external_ids,
+    std::span<const char> skip_rows, u64 id_space, bool identity,
+    const dbscan::Clustering& clustering, const std::vector<char>& core_mask,
+    const dbscan::DbscanParams& params, const Options& options) {
+  SDB_CHECK(identity ? id_space == rows.size()
+                     : external_ids.size() == rows.size(),
+            "external ids do not cover the rows");
+  SDB_CHECK(skip_rows.empty() || skip_rows.size() == rows.size(),
+            "skip mask does not cover the rows");
+  SDB_CHECK(clustering.labels.size() == id_space,
+            "clustering does not cover the id space");
+  SDB_CHECK(core_mask.size() == id_space,
+            "core mask does not cover the id space");
   SDB_CHECK(options.core_sample_fraction > 0.0 &&
                 options.core_sample_fraction <= 1.0,
             "core_sample_fraction must be in (0, 1]");
-  SDB_CHECK(points.dim() > 0, "model requires a dimensioned point set");
+  SDB_CHECK(rows.dim() > 0, "model requires a dimensioned point set");
 
   auto model = std::shared_ptr<ClusterModel>(new ClusterModel());
-  model->dim_ = points.dim();
+  model->dim_ = rows.dim();
   model->params_ = params;
   model->num_clusters_ = clustering.num_clusters;
   model->labels_ = clustering.labels;
-  model->core_points_ = PointSet(points.dim());
+  model->core_sample_fraction_ = options.core_sample_fraction;
+  model->core_points_ = PointSet(rows.dim());
   model->cluster_stats_.resize(clustering.num_clusters);
   model->centroids_.assign(
-      clustering.num_clusters * static_cast<size_t>(points.dim()), 0.0);
+      clustering.num_clusters * static_cast<size_t>(rows.dim()), 0.0);
 
   Rng rng(options.sample_seed);
   const bool subsample = options.core_sample_fraction < 1.0;
-  for (PointId id = 0; id < static_cast<PointId>(points.size()); ++id) {
+  for (PointId row = 0; row < static_cast<PointId>(rows.size()); ++row) {
+    if (!skip_rows.empty() && skip_rows[static_cast<size_t>(row)] != 0) {
+      continue;
+    }
+    const PointId id = identity ? row : external_ids[static_cast<size_t>(row)];
     const ClusterId label = clustering.labels[static_cast<size_t>(id)];
     if (label < 0) continue;
     auto& stats = model->cluster_stats_[static_cast<size_t>(label)];
     ++stats.size;
-    const std::span<const double> coords = points[id];
+    const std::span<const double> coords = rows[row];
     double* centroid =
-        model->centroids_.data() + static_cast<size_t>(label) * points.dim();
-    for (int d = 0; d < points.dim(); ++d) centroid[d] += coords[d];
+        model->centroids_.data() + static_cast<size_t>(label) * rows.dim();
+    for (int d = 0; d < rows.dim(); ++d) centroid[d] += coords[d];
     if (core_mask[static_cast<size_t>(id)] == 0) continue;
     ++stats.core_count;
     if (subsample && rng.uniform() >= options.core_sample_fraction) continue;
@@ -125,8 +156,8 @@ std::shared_ptr<ClusterModel> ClusterModel::build(
   for (size_t c = 0; c < model->cluster_stats_.size(); ++c) {
     const u64 n = model->cluster_stats_[c].size;
     if (n == 0) continue;
-    double* centroid = model->centroids_.data() + c * points.dim();
-    for (int d = 0; d < points.dim(); ++d) {
+    double* centroid = model->centroids_.data() + c * rows.dim();
+    for (int d = 0; d < rows.dim(); ++d) {
       centroid[d] /= static_cast<double>(n);
     }
   }
@@ -190,6 +221,7 @@ std::vector<char> ClusterModel::save() const {
   w.write_u32(static_cast<u32>(dim()));
   w.write_f64(params_.eps);
   w.write_i64(params_.minpts);
+  w.write_f64(core_sample_fraction_);
   w.write_u64(num_clusters_);
   w.write_i64_vec(labels_);
   w.write_i64_vec(core_ids_);
@@ -238,6 +270,7 @@ std::shared_ptr<ClusterModel> ClusterModel::load(
   const u32 dim = r.read_u32();
   const double eps = r.read_f64();
   const i64 minpts = r.read_i64();
+  const double core_sample_fraction = r.read_f64();
   const u64 num_clusters = r.read_u64();
   std::vector<i64> labels = r.read_i64_vec();
   std::vector<i64> core_ids = r.read_i64_vec();
@@ -277,10 +310,14 @@ std::shared_ptr<ClusterModel> ClusterModel::load(
   for (const i64 s : sizes) {
     if (s < 0) return invalid("negative cluster size");
   }
+  if (!(core_sample_fraction > 0.0 && core_sample_fraction <= 1.0)) {
+    return invalid("core sample fraction out of range");
+  }
 
   auto model = std::shared_ptr<ClusterModel>(new ClusterModel());
   model->dim_ = static_cast<int>(dim);
   model->params_ = dbscan::DbscanParams{eps, minpts};
+  model->core_sample_fraction_ = core_sample_fraction;
   model->num_clusters_ = num_clusters;
   model->labels_ = std::move(labels);
   model->core_ids_ = std::move(core_ids);

@@ -71,6 +71,18 @@ class ClusterModel {
       const PointSet& points, const dbscan::Clustering& clustering,
       const std::vector<char>& core_mask, const dbscan::DbscanParams& params);
 
+  /// Sparse-id build for row-compacted producers (IncrementalDbscan under
+  /// churn): `rows` holds the stored points, `external_ids[row]` the stable
+  /// id of each row, and rows flagged in `skip_rows` (tombstones) are
+  /// ignored. `clustering.labels` and `core_mask` are indexed by external
+  /// id over [0, id_space); ids with no live row are noise. For the trivial
+  /// view (ids 0..n-1, nothing skipped) this is byte-identical to build().
+  static std::shared_ptr<ClusterModel> build_view(
+      const PointSet& rows, std::span<const PointId> external_ids,
+      std::span<const char> skip_rows, u64 id_space,
+      const dbscan::Clustering& clustering, const std::vector<char>& core_mask,
+      const dbscan::DbscanParams& params, const Options& options);
+
   /// Which cluster would `point` join? Finds the nearest retained core
   /// point; within eps -> that core's cluster id, else kNoise. O(log cores).
   [[nodiscard]] ClusterId classify(std::span<const double> point) const;
@@ -91,6 +103,15 @@ class ClusterModel {
   [[nodiscard]] u64 num_clusters() const { return num_clusters_; }
   [[nodiscard]] const dbscan::DbscanParams& params() const { return params_; }
   [[nodiscard]] u64 core_count() const { return core_points_.size(); }
+
+  /// The core_sample_fraction this model was built with. < 1 marks a
+  /// DBSCAN++-degraded snapshot (the streaming ladder's degraded rung);
+  /// classify answers may misreport eps-boundary points as noise with
+  /// probability bounded by (1 - fraction) per retained-core miss.
+  [[nodiscard]] double core_sample_fraction() const {
+    return core_sample_fraction_;
+  }
+  [[nodiscard]] bool degraded() const { return core_sample_fraction_ < 1.0; }
 
   /// Publication epoch, stamped by ModelRegistry (0 for standalone models).
   /// Not serialized — an epoch identifies a snapshot within one registry.
@@ -113,6 +134,11 @@ class ClusterModel {
 
  private:
   ClusterModel() = default;
+  static std::shared_ptr<ClusterModel> build_impl(
+      const PointSet& rows, std::span<const PointId> external_ids,
+      std::span<const char> skip_rows, u64 id_space, bool identity,
+      const dbscan::Clustering& clustering, const std::vector<char>& core_mask,
+      const dbscan::DbscanParams& params, const Options& options);
   /// Rebuilds the kd-tree after the flat fields are populated.
   void finalize();
 
@@ -120,6 +146,7 @@ class ClusterModel {
   dbscan::DbscanParams params_;
   u64 num_clusters_ = 0;
   u64 epoch_ = 0;
+  double core_sample_fraction_ = 1.0;
   std::vector<ClusterId> labels_;       // per original point id
   PointSet core_points_;                // retained core coordinates
   std::vector<PointId> core_ids_;       // original id of each retained core

@@ -61,7 +61,8 @@ void ModelRegistry::recover_locked() {
         ++wal_replayed_;
         break;
       case WalRecordType::kRemove:
-        incremental_.remove(rec.point_id);
+        SDB_CHECK(incremental_.try_remove(rec.point_id),
+                  "WAL replay: remove of a dead id (log corrupted?)");
         ++wal_replayed_;
         break;
       case WalRecordType::kPublish:
@@ -90,29 +91,37 @@ void ModelRegistry::load_snapshot_locked(const std::string& blob, u64* epoch) {
   SDB_CHECK(static_cast<int>(dim) == dim_,
             "registry snapshot dimension mismatch");
   *epoch = r.read_u64();
-  const u64 n = r.read_u64();
+  const u64 id_space = r.read_u64();
+  const u64 live = r.read_u64();
+  // Live points only, (id, coords) in increasing id order. Ids skipped over
+  // (removed, possibly reclaimed, before the snapshot was cut) are burned —
+  // they report removed forever — so the restored id space lines up with
+  // the source registry's and logged remove ids stay meaningful.
   std::vector<double> coords(dim);
-  for (u64 i = 0; i < n; ++i) {
+  for (u64 i = 0; i < live; ++i) {
+    const auto id = static_cast<PointId>(r.read_u64());
     for (u32 d = 0; d < dim; ++d) coords[d] = r.read_f64();
-    incremental_.insert(coords);
+    incremental_.restore(id, coords);
   }
-  for (u64 i = 0; i < n; ++i) {
-    if (r.read_u8() != 0) incremental_.remove(static_cast<PointId>(i));
-  }
+  incremental_.burn_ids(static_cast<PointId>(id_space));
 }
 
 std::string ModelRegistry::encode_snapshot_locked(u64 epoch) const {
   BinaryWriter w;
   w.write_u32(static_cast<u32>(dim_));
   w.write_u64(epoch);
-  const PointSet& points = incremental_.points();  // includes tombstoned
-  w.write_u64(points.size());
-  for (size_t i = 0; i < points.size(); ++i) {
-    const auto p = points[static_cast<PointId>(i)];
-    for (int d = 0; d < dim_; ++d) w.write_f64(p[static_cast<size_t>(d)]);
+  const auto view = incremental_.storage_view();
+  w.write_u64(view.id_space);
+  u64 live = 0;
+  for (size_t row = 0; row < view.rows->size(); ++row) {
+    live += view.removed[row] == 0 ? 1 : 0;
   }
-  for (size_t i = 0; i < points.size(); ++i) {
-    w.write_u8(incremental_.is_removed(static_cast<PointId>(i)) ? 1 : 0);
+  w.write_u64(live);
+  for (size_t row = 0; row < view.rows->size(); ++row) {
+    if (view.removed[row] != 0) continue;
+    w.write_u64(static_cast<u64>(view.external_ids[row]));
+    const auto p = (*view.rows)[static_cast<PointId>(row)];
+    for (int d = 0; d < dim_; ++d) w.write_f64(p[static_cast<size_t>(d)]);
   }
   return std::string(w.buffer().data(), w.buffer().size());
 }
@@ -176,12 +185,9 @@ void ModelRegistry::apply_replicated(const WalRecord& rec) {
       // The primary validated the remove before logging it, and the
       // follower mirrors the primary's id space record-for-record, so the
       // id must be live here too.
-      SDB_CHECK(rec.point_id >= 0 &&
-                    static_cast<size_t>(rec.point_id) < incremental_.size() &&
-                    !incremental_.is_removed(rec.point_id),
-                "replicated remove of an unknown id: stream misaligned");
       wal_->append_remove(rec.point_id);
-      incremental_.remove(rec.point_id);
+      SDB_CHECK(incremental_.try_remove(rec.point_id),
+                "replicated remove of an unknown id: stream misaligned");
       ++mutations_;
       break;
     case WalRecordType::kPublish:
@@ -251,11 +257,90 @@ bool ModelRegistry::try_remove(PointId id) {
   }
   // Logged after validation: replay only ever sees applicable removes.
   if (wal_ != nullptr) wal_->append_remove(id);
-  incremental_.remove(id);
+  SDB_CHECK(incremental_.try_remove(id), "validated remove failed to apply");
   ++mutations_;
   ++since_publish_;
   maybe_publish_locked();
   return true;
+}
+
+std::vector<dbscan::IncrementalDbscan::BatchResult> ModelRegistry::apply_batch(
+    std::span<const dbscan::IncrementalDbscan::BatchOp> ops) {
+  using BatchOp = dbscan::IncrementalDbscan::BatchOp;
+  using BatchResult = dbscan::IncrementalDbscan::BatchResult;
+  const std::scoped_lock lock(writer_mu_);
+  SDB_CHECK(role_.load(std::memory_order_relaxed) == RegistryRole::kPrimary,
+            "apply_batch on a follower (writes go through replication)");
+  std::vector<BatchResult> results;
+  u64 applied = 0;
+  if (wal_ == nullptr) {
+    // In-memory standalone registry (the streaming pipeline's default):
+    // removals share one affected-region re-clustering.
+    results = incremental_.apply_batch(ops);
+    for (const BatchResult& r : results) applied += r.applied ? 1 : 0;
+  } else {
+    // With a WAL the record stream must EQUAL the state evolution op for op
+    // — replay and replication re-apply records one at a time, and a
+    // batched region re-clustering may land ambiguous borders differently.
+    // Same canonical order (inserts, then removes), no shared region.
+    results.resize(ops.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].kind != BatchOp::Kind::kInsert) continue;
+      wal_->append_insert(ops[i].coords);
+      results[i] = {true, incremental_.insert(ops[i].coords)};
+      ++applied;
+    }
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].kind != BatchOp::Kind::kRemove) continue;
+      const PointId id = ops[i].id;
+      results[i].id = id;
+      if (id < 0 || static_cast<size_t>(id) >= incremental_.size() ||
+          incremental_.is_removed(id)) {
+        continue;
+      }
+      wal_->append_remove(id);
+      SDB_CHECK(incremental_.try_remove(id),
+                "validated remove failed to apply");
+      results[i].applied = true;
+      ++applied;
+    }
+  }
+  mutations_ += applied;
+  since_publish_ += applied;
+  maybe_publish_locked();
+  return results;
+}
+
+void ModelRegistry::set_rebuild_threshold(size_t threshold) {
+  const std::scoped_lock lock(writer_mu_);
+  incremental_.set_rebuild_threshold(threshold);
+}
+
+size_t ModelRegistry::rebuild_threshold() const {
+  const std::scoped_lock lock(writer_mu_);
+  return incremental_.rebuild_threshold();
+}
+
+void ModelRegistry::set_core_sample_fraction(double fraction) {
+  SDB_CHECK(fraction > 0.0 && fraction <= 1.0,
+            "core_sample_fraction must be in (0, 1]");
+  const std::scoped_lock lock(writer_mu_);
+  config_.model_options.core_sample_fraction = fraction;
+}
+
+double ModelRegistry::core_sample_fraction() const {
+  const std::scoped_lock lock(writer_mu_);
+  return config_.model_options.core_sample_fraction;
+}
+
+u64 ModelRegistry::unpublished_mutations() const {
+  const std::scoped_lock lock(writer_mu_);
+  return since_publish_;
+}
+
+u64 ModelRegistry::state_digest() const {
+  const std::scoped_lock lock(writer_mu_);
+  return incremental_.digest();
 }
 
 void ModelRegistry::bootstrap(const PointSet& points) {
@@ -290,15 +375,19 @@ u64 ModelRegistry::publish_locked() {
 }
 
 u64 ModelRegistry::publish_as_locked(u64 epoch, bool log_marker) {
-  std::vector<char> core_mask(incremental_.size(), 0);
-  for (PointId id = 0; id < static_cast<PointId>(incremental_.size()); ++id) {
-    if (!incremental_.is_removed(id) && incremental_.is_core(id)) {
-      core_mask[static_cast<size_t>(id)] = 1;
+  // Row-compacted build: no dense copy of the id space, only the stored
+  // rows plus an O(id_space) label scatter (the stable-id lookup contract).
+  const auto view = incremental_.storage_view();
+  std::vector<char> core_mask(view.id_space, 0);
+  for (size_t row = 0; row < view.rows->size(); ++row) {
+    if (view.removed[row] == 0 && view.core[row] != 0) {
+      core_mask[static_cast<size_t>(view.external_ids[row])] = 1;
     }
   }
-  std::shared_ptr<ClusterModel> model =
-      ClusterModel::build(incremental_.points(), incremental_.clustering(),
-                          core_mask, config_.params, config_.model_options);
+  std::shared_ptr<ClusterModel> model = ClusterModel::build_view(
+      *view.rows, view.external_ids, view.removed, view.id_space,
+      incremental_.clustering(), core_mask, config_.params,
+      config_.model_options);
   model->set_epoch(epoch);
   // The commit marker hits the log before the in-memory swap: once any
   // reader can observe this epoch, a restart will recover it.

@@ -120,6 +120,14 @@ class ModelRegistry {
   PointId insert(std::span<const double> coords);
   /// Remove a point; false if the id is unknown or already removed.
   bool try_remove(PointId id);
+  /// Apply one micro-epoch of mutations atomically w.r.t. readers: all
+  /// inserts (in op order), then all removes (in op order) sharing one
+  /// affected-region re-clustering. WAL records are appended in that same
+  /// canonical order, so replay and replication reproduce ids exactly.
+  /// Returns per-op outcomes aligned with `ops`; counts toward the publish
+  /// cadence like individual mutations.
+  std::vector<dbscan::IncrementalDbscan::BatchResult> apply_batch(
+      std::span<const dbscan::IncrementalDbscan::BatchOp> ops);
   /// Insert every point of `points` (bulk bootstrap), then publish once.
   void bootstrap(const PointSet& points);
   /// Build and publish a snapshot of the current state now; returns the new
@@ -132,6 +140,24 @@ class ModelRegistry {
   [[nodiscard]] u64 publishes() const;
   [[nodiscard]] u64 mutations() const;
   [[nodiscard]] size_t active_points() const;
+  /// Mutations applied since the last publish (the streaming ladder's
+  /// epoch-lag watermark input).
+  [[nodiscard]] u64 unpublished_mutations() const;
+  /// Digest of the live data-plane state (IncrementalDbscan::digest under
+  /// the writer lock) — equality against a control replay proves no
+  /// acknowledged write was lost or reordered.
+  [[nodiscard]] u64 state_digest() const;
+
+  /// --- runtime knobs (the streaming degradation ladder's levers) ---
+  /// Raise the kd-tree rebuild threshold under pressure (defer rebuilds),
+  /// restore it on recovery. Thread-safe w.r.t. the writer.
+  void set_rebuild_threshold(size_t threshold);
+  [[nodiscard]] size_t rebuild_threshold() const;
+  /// DBSCAN++ core subsampling applied to FUTURE publishes (the data plane
+  /// stays exact; only the serving snapshot approximates). Models built
+  /// with fraction < 1 report degraded() — see cluster_model.hpp.
+  void set_core_sample_fraction(double fraction);
+  [[nodiscard]] double core_sample_fraction() const;
 
   /// --- replication (Config::replicated / Config::role; see class comment) ---
   [[nodiscard]] RegistryRole role() const {

@@ -73,6 +73,7 @@ Reply QueryEngine::execute(const Request& request) {
     case RequestType::kClassify: {
       const std::shared_ptr<const ClusterModel> model = registry_.model();
       reply.epoch = model->epoch();
+      reply.degraded_model = model->degraded();
       if (static_cast<int>(request.point.size()) != model->dim()) {
         reply.status = ReplyStatus::kInvalid;
         return reply;
@@ -93,6 +94,7 @@ Reply QueryEngine::execute(const Request& request) {
     case RequestType::kLookup: {
       const std::shared_ptr<const ClusterModel> model = registry_.model();
       reply.epoch = model->epoch();
+      reply.degraded_model = model->degraded();
       reply.id = request.id;
       if (!model->has(request.id)) {
         // Malformed ids are kInvalid; well-formed ids the snapshot simply
@@ -177,6 +179,9 @@ void QueryEngine::complete(const Request& request, const Reply& reply,
   if (reply.status == ReplyStatus::kDegraded) {
     degraded_.fetch_add(1, std::memory_order_relaxed);
   }
+  if (reply.degraded_model) {
+    degraded_model_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 MetricsSnapshot QueryEngine::metrics() const {
@@ -187,6 +192,8 @@ MetricsSnapshot QueryEngine::metrics() const {
   m.completed = completed_.load(std::memory_order_relaxed);
   m.invalid = invalid_.load(std::memory_order_relaxed);
   m.degraded = degraded_.load(std::memory_order_relaxed);
+  m.degraded_model_reads =
+      degraded_model_reads_.load(std::memory_order_relaxed);
   m.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   m.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   for (size_t t = 0; t < kRequestTypes; ++t) {

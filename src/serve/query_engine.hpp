@@ -61,6 +61,11 @@ struct Reply {
   PointId id = -1;           ///< insert: assigned id; lookup/remove: echo
   u64 epoch = 0;             ///< snapshot epoch that answered
   bool cache_hit = false;
+  /// The answering snapshot was built with DBSCAN++ core subsampling (the
+  /// streaming ladder's degraded rung): eps-boundary points may misreport
+  /// as noise. Callers that need exact answers should retry after the
+  /// ladder recovers (the flag clears on the next exact publish).
+  bool degraded_model = false;
 };
 
 struct MetricsSnapshot {
@@ -70,6 +75,7 @@ struct MetricsSnapshot {
   u64 completed = 0;
   u64 invalid = 0;
   u64 degraded = 0;   ///< mutations refused while the registry writer stalled
+  u64 degraded_model_reads = 0;  ///< reads answered from a subsampled snapshot
   u64 cache_hits = 0;
   u64 cache_misses = 0;
   std::array<u64, kRequestTypes> by_type{};
@@ -140,6 +146,7 @@ class QueryEngine {
   std::atomic<u64> completed_{0};
   std::atomic<u64> invalid_{0};
   std::atomic<u64> degraded_{0};
+  std::atomic<u64> degraded_model_reads_{0};
   std::atomic<u64> cache_hits_{0};
   std::atomic<u64> cache_misses_{0};
   std::array<std::atomic<u64>, kRequestTypes> by_type_{};

@@ -1,0 +1,500 @@
+// Streaming chaos-equivalence grid: seeded fault plans over the three
+// stream fault sites (stream.queue.stall / stream.batch.drop /
+// stream.publish.delay) x ingest scenarios, asserting that once the plan
+// lifts every faulted run CONVERGES to the fault-free run's clustering
+// digest with ZERO lost acknowledged writes.
+//
+// Two digests, two claims:
+//   * state digest — the acked op stream, replayed micro-epoch by
+//     micro-epoch through a control IncrementalDbscan, must reproduce the
+//     registry's data plane bit-exactly (no acknowledged write lost,
+//     duplicated, or reordered, whatever the plan did);
+//   * convergence digest — an order-invariant structural digest (sorted
+//     live coordinates with their deterministic core/member flags plus the
+//     cluster count) that faulted runs must share with the fault-free
+//     baseline of the same scenario. Border-point *assignment* is DBSCAN's
+//     usual ambiguity, so the digest covers the deterministic structure,
+//     not the ambiguous labels.
+//
+// The driver resubmits ops NACKed by stream.batch.drop (the at-least-once
+// contract: a drop is visible, an ack is forever) and retries shed submits
+// with backpressure sleeps, so every logical op of the scenario eventually
+// applies exactly once. Every cell logs its FaultPlan spec for repro.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "stream/ingest_pipeline.hpp"
+#include "util/rng.hpp"
+
+namespace sdb::stream {
+namespace {
+
+using dbscan::IncrementalDbscan;
+using BatchOp = IncrementalDbscan::BatchOp;
+
+struct LogicalOp {
+  bool is_insert = true;
+  std::vector<double> coords;  ///< insert payload
+  size_t target = 0;           ///< remove: logical index of the doomed insert
+};
+
+/// Deterministic scenario schedule in three phases (removes only target
+/// inserts from already-settled phases): [0, p0) inserts, [p0, p1) mixed
+/// under faults, [p1, end) mixed after the plan lifts.
+struct Schedule {
+  std::vector<LogicalOp> ops;
+  size_t p0 = 0;
+  size_t p1 = 0;
+};
+
+std::vector<double> scenario_point(Rng& rng, bool hot_cell, size_t index) {
+  if (hot_cell && rng.chance(0.8)) {
+    // One eps-cell absorbs most of the firehose: maximal re-cluster churn.
+    return {2.0 + rng.uniform(0.0, 0.2), 2.0 + rng.uniform(0.0, 0.2)};
+  }
+  // Drifting hotspot plus background.
+  const double drift = static_cast<double>(index) * 0.002;
+  if (rng.chance(0.7)) {
+    return {1.0 + drift + rng.normal(0.0, 0.25),
+            1.0 + drift * 0.5 + rng.normal(0.0, 0.25)};
+  }
+  return {rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+}
+
+Schedule make_schedule(u64 seed, bool hot_cell) {
+  Schedule s;
+  Rng rng(seed);
+  std::vector<size_t> removable;  // applied-phase inserts not yet targeted
+  const auto add_insert = [&](std::vector<size_t>* pool) {
+    LogicalOp op;
+    op.coords = scenario_point(rng, hot_cell, s.ops.size());
+    if (pool != nullptr) pool->push_back(s.ops.size());
+    s.ops.push_back(std::move(op));
+  };
+  std::vector<size_t> phase_inserts;
+  for (int i = 0; i < 250; ++i) add_insert(&phase_inserts);
+  s.p0 = s.ops.size();
+  removable = phase_inserts;
+  std::vector<size_t> p1_inserts;
+  for (int i = 0; i < 150; ++i) {
+    if (!removable.empty() && rng.chance(0.4)) {
+      LogicalOp op;
+      op.is_insert = false;
+      const size_t pick = rng.uniform_index(removable.size());
+      op.target = removable[pick];
+      removable.erase(removable.begin() + static_cast<i64>(pick));
+      s.ops.push_back(std::move(op));
+    } else {
+      add_insert(&p1_inserts);
+    }
+  }
+  s.p1 = s.ops.size();
+  removable.insert(removable.end(), p1_inserts.begin(), p1_inserts.end());
+  for (int i = 0; i < 100; ++i) {
+    if (!removable.empty() && rng.chance(0.3)) {
+      LogicalOp op;
+      op.is_insert = false;
+      const size_t pick = rng.uniform_index(removable.size());
+      op.target = removable[pick];
+      removable.erase(removable.begin() + static_cast<i64>(pick));
+      s.ops.push_back(std::move(op));
+    } else {
+      add_insert(nullptr);
+    }
+  }
+  return s;
+}
+
+/// Order-invariant structural digest: sorted live coordinates with their
+/// deterministic core/member flags, plus the cluster count. Border labels
+/// (DBSCAN's ambiguity) are deliberately excluded.
+u64 convergence_digest(const IncrementalDbscan& inc) {
+  struct Row {
+    std::vector<double> coords;
+    bool core = false;
+    bool member = false;
+  };
+  const dbscan::Clustering snap = inc.clustering();
+  std::vector<Row> rows;
+  rows.reserve(inc.active_size());
+  for (PointId id = 0; id < static_cast<PointId>(inc.size()); ++id) {
+    if (inc.is_removed(id)) continue;
+    Row row;
+    const auto c = inc.coords_of(id);
+    row.coords.assign(c.begin(), c.end());
+    row.core = inc.is_core(id);
+    row.member = snap.labels[static_cast<size_t>(id)] != kNoise;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.coords < b.coords; });
+  u64 h = 14695981039346656037ull;
+  const auto mix = [&h](u64 v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(snap.num_clusters);
+  mix(rows.size());
+  for (const Row& row : rows) {
+    for (const double c : row.coords) {
+      u64 bits = 0;
+      std::memcpy(&bits, &c, sizeof(bits));
+      mix(bits);
+    }
+    mix(row.core ? 1u : 0u);
+    mix(row.member ? 2u : 0u);
+  }
+  return h;
+}
+
+/// Submits a schedule through a pipeline, resubmitting dropped micro-epochs
+/// and retrying shed submits, and records the ack stream for replay.
+class ChaosDriver {
+ public:
+  explicit ChaosDriver(const Schedule& schedule)
+      : schedule_(schedule),
+        applied_(schedule.ops.size(), 0),
+        id_of_(schedule.ops.size(), -1) {}
+
+  IngestPipeline::Config attach(IngestPipeline::Config cfg) {
+    cfg.on_ack = [this](const Ack& ack) { on_ack(ack); };
+    return cfg;
+  }
+  /// Acks cannot fire before the first submit, so binding the pipeline
+  /// after its construction (which needs the hook from attach()) is safe.
+  void bind(IngestPipeline& pipeline) { pipeline_ = &pipeline; }
+
+  /// Submit logical ops [from, to), then block until every op in [0, to)
+  /// has applied exactly once (resubmitting drops as they surface).
+  void run_phase(size_t from, size_t to) {
+    for (size_t logical = from; logical < to; ++logical) {
+      submit_logical(logical);
+    }
+    settle(to);
+  }
+
+  [[nodiscard]] std::vector<Ack> acks() {
+    const std::scoped_lock lock(mu_);
+    return acks_;
+  }
+  [[nodiscard]] std::vector<int> applied_counts() {
+    const std::scoped_lock lock(mu_);
+    return applied_;
+  }
+
+ private:
+  void on_ack(const Ack& ack) {
+    const std::scoped_lock lock(mu_);
+    acks_.push_back(ack);
+    const auto it = logical_of_ticket_.find(ack.ticket);
+    if (it == logical_of_ticket_.end()) {
+      unmatched_.push_back(ack);  // mapping races the batcher; see below
+    } else {
+      handle_locked(ack, it->second);
+    }
+    cv_.notify_all();
+  }
+
+  void handle_locked(const Ack& ack, size_t logical) {
+    if (ack.dropped) {
+      retry_.push_back(logical);
+      return;
+    }
+    if (ack.applied) {
+      ++applied_[logical];
+      if (schedule_.ops[logical].is_insert) id_of_[logical] = ack.id;
+    } else {
+      ++invalid_[logical];
+    }
+  }
+
+  void submit_logical(size_t logical) {
+    const LogicalOp& op = schedule_.ops[logical];
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    for (;;) {
+      SubmitResult result;
+      if (op.is_insert) {
+        result = pipeline_->submit_insert(op.coords);
+      } else {
+        PointId id = -1;
+        {
+          const std::scoped_lock lock(mu_);
+          id = id_of_[op.target];
+        }
+        ASSERT_GE(id, 0) << "remove scheduled before its insert settled";
+        result = pipeline_->submit_remove(id);
+      }
+      if (result.accepted) {
+        const std::scoped_lock lock(mu_);
+        logical_of_ticket_[result.ticket] = logical;
+        // Drain any ack that beat the mapping (batcher can ack a ticket
+        // before this thread records it).
+        for (auto it = unmatched_.begin(); it != unmatched_.end();) {
+          if (it->ticket == result.ticket) {
+            handle_locked(*it, logical);
+            it = unmatched_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        return;
+      }
+      // Shed: honor the backpressure hint (scaled down to keep tests fast).
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "shed retries did not converge";
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  void settle(size_t prefix) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    for (;;) {
+      size_t next_retry = SIZE_MAX;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (!retry_.empty()) {
+          next_retry = retry_.front();
+          retry_.pop_front();
+        } else {
+          bool done = true;
+          for (size_t l = 0; l < prefix; ++l) {
+            if (applied_[l] != 1) {
+              done = false;
+              break;
+            }
+          }
+          if (done) return;
+          cv_.wait_for(lock, std::chrono::milliseconds(1));
+        }
+      }
+      if (next_retry != SIZE_MAX) submit_logical(next_retry);
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "settle did not converge";
+    }
+  }
+
+  IngestPipeline* pipeline_ = nullptr;
+  const Schedule& schedule_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Ack> acks_;
+  std::vector<int> applied_;
+  std::unordered_map<size_t, int> invalid_;
+  std::vector<PointId> id_of_;
+  std::unordered_map<u64, size_t> logical_of_ticket_;
+  std::vector<Ack> unmatched_;
+  std::deque<size_t> retry_;
+};
+
+struct RunResult {
+  u64 convergence = 0;
+  StreamMetrics metrics;
+};
+
+constexpr double kEps = 0.35;
+constexpr i64 kMinPts = 4;
+
+RunResult run_scenario(const std::string& plan_spec, u64 scenario_seed,
+                       bool hot_cell) {
+  SCOPED_TRACE("fault plan: " +
+               (plan_spec.empty() ? std::string("<none>") : plan_spec));
+  RunResult result;
+  const Schedule schedule = make_schedule(scenario_seed, hot_cell);
+
+  serve::ModelRegistry::Config rcfg;
+  rcfg.params = dbscan::DbscanParams{kEps, kMinPts};
+  rcfg.rebuild_threshold = 32;
+  rcfg.publish_every = 0;
+  serve::ModelRegistry registry(rcfg, 2);
+
+  IngestPipeline::Config cfg;
+  cfg.queue_capacity = 128;
+  cfg.batch_max = 8;
+  cfg.batch_deadline_us = 300;
+  cfg.lag_capacity = 64;  // publish skips drive the lag watermark visibly
+  cfg.stall_micros = 300;
+  cfg.retry_after_ms = 0.2;
+
+  ChaosDriver driver(schedule);
+  IngestPipeline pipeline(registry, driver.attach(cfg));
+  driver.bind(pipeline);
+
+  {
+    std::optional<fault::ScopedFaultPlan> chaos;
+    if (!plan_spec.empty()) chaos.emplace(plan_spec);
+    driver.run_phase(0, schedule.p0);
+    driver.run_phase(schedule.p0, schedule.p1);
+    // Quiesce the batcher before the plan lifts at scope exit: the plan
+    // must outlive every in-flight SDB_INJECT (ScopedFaultPlan installs a
+    // raw pointer), and the batcher only stops injecting once it parks
+    // (empty queue, zero lag, healthy rung). Everything NACKed under the
+    // plan has already been resubmitted and settled by run_phase.
+    pipeline.drain();
+  }
+  driver.run_phase(schedule.p1, schedule.ops.size());
+  pipeline.drain();
+  pipeline.stop();
+  result.metrics = pipeline.metrics();
+
+  // Every logical op applied exactly once (at-least-once submission,
+  // exactly-once application).
+  for (const int count : driver.applied_counts()) EXPECT_EQ(count, 1);
+
+  // Zero lost acknowledged writes: replay the acked micro-epochs through a
+  // control instance; it must reproduce the registry's state bit-exactly.
+  IncrementalDbscan::Config inc_cfg;
+  inc_cfg.params = rcfg.params;
+  inc_cfg.rebuild_threshold = 48;  // digest is rebuild-timing independent
+  IncrementalDbscan control(inc_cfg, 2);
+  std::vector<BatchOp> epoch_ops;
+  u64 epoch_seq = 0;
+  const auto flush = [&] {
+    if (!epoch_ops.empty()) {
+      control.apply_batch(epoch_ops);
+      epoch_ops.clear();
+    }
+  };
+  for (const Ack& ack : driver.acks()) {
+    if (!ack.applied) continue;  // drops/invalids never reached the state
+    if (ack.batch_seq != epoch_seq) {
+      flush();
+      epoch_seq = ack.batch_seq;
+    }
+    epoch_ops.push_back(ack.op);
+  }
+  flush();
+  EXPECT_EQ(control.digest(), registry.state_digest())
+      << "acked op replay diverged from the registry data plane";
+  EXPECT_EQ(control.active_size(), registry.active_points());
+  // The drain-time publish exposed the final state to readers.
+  EXPECT_EQ(registry.model()->summary().total_points, control.size());
+
+  result.convergence = convergence_digest(control);
+  return result;
+}
+
+struct PlanCell {
+  const char* name;
+  const char* spec;  ///< seed substituted per cell
+};
+
+constexpr PlanCell kPlans[] = {
+    {"stall", "seed=%SEED%;stream.queue.stall:p=0.6"},
+    {"drop", "seed=%SEED%;stream.batch.drop:p=0.25,budget=12"},
+    {"pubdelay", "seed=%SEED%;stream.publish.delay:p=0.5,budget=25"},
+    {"all",
+     "seed=%SEED%;stream.queue.stall:p=0.4;stream.batch.drop:p=0.15,budget=8;"
+     "stream.publish.delay:p=0.4,budget=15"},
+};
+
+std::string cell_spec(const PlanCell& cell, u64 seed) {
+  std::string spec = cell.spec;
+  const std::string token = "%SEED%";
+  spec.replace(spec.find(token), token.size(), std::to_string(seed));
+  return spec;
+}
+
+class StreamChaosGrid : public ::testing::TestWithParam<bool> {};
+
+TEST_P(StreamChaosGrid, FaultedRunsConvergeToFaultFreeDigest) {
+  const bool hot_cell = GetParam();
+  const u64 scenario_seed = hot_cell ? 71 : 43;
+  const RunResult baseline = run_scenario("", scenario_seed, hot_cell);
+  ASSERT_NE(baseline.convergence, 0u);
+  EXPECT_EQ(baseline.metrics.dropped_batches, 0u);
+  EXPECT_EQ(baseline.metrics.stalls, 0u);
+
+  for (const PlanCell& cell : kPlans) {
+    for (const u64 plan_seed : {1ull, 2ull}) {
+      const std::string spec = cell_spec(cell, plan_seed);
+      SCOPED_TRACE(std::string(cell.name) + " seed " +
+                   std::to_string(plan_seed));
+      const RunResult faulted = run_scenario(spec, scenario_seed, hot_cell);
+      // Convergence: identical structural clustering once the plan lifts.
+      EXPECT_EQ(faulted.convergence, baseline.convergence) << spec;
+      // The plan actually bit (per-site evidence in the metrics).
+      const StreamMetrics& m = faulted.metrics;
+      if (std::strstr(cell.spec, "queue.stall") != nullptr) {
+        EXPECT_GT(m.stalls, 0u) << spec;
+      }
+      if (std::strstr(cell.spec, "batch.drop") != nullptr) {
+        EXPECT_GT(m.dropped_batches, 0u) << spec;
+        // Drops forced resubmission: more submits accepted than logical ops.
+        EXPECT_GT(m.accepted, baseline.metrics.accepted) << spec;
+      }
+      if (std::strstr(cell.spec, "publish.delay") != nullptr) {
+        EXPECT_GT(m.publish_skips, 0u) << spec;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, StreamChaosGrid,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? std::string("HotCell")
+                                             : std::string("Drifting");
+                         });
+
+// The ladder engages under chaos and recovers once the plan lifts: a
+// combined plan must leave behind nonzero transition counters and an
+// end-state of healthy (counters are the "every transition is a counter +
+// structured event" contract under real faults, not synthetic overload).
+TEST(StreamChaos, LadderEngagesAndRecoversUnderCombinedPlan) {
+  const Schedule schedule = make_schedule(99, /*hot_cell=*/true);
+  serve::ModelRegistry::Config rcfg;
+  rcfg.params = dbscan::DbscanParams{kEps, kMinPts};
+  rcfg.publish_every = 0;
+  serve::ModelRegistry registry(rcfg, 2);
+
+  IngestPipeline::Config cfg;
+  cfg.queue_capacity = 48;
+  cfg.batch_max = 4;
+  cfg.batch_deadline_us = 200;
+  cfg.lag_capacity = 32;
+  cfg.stall_micros = 2000;
+  cfg.retry_after_ms = 0.2;
+  ChaosDriver driver(schedule);
+  IngestPipeline pipeline(registry, driver.attach(cfg));
+  driver.bind(pipeline);
+
+  {
+    fault::ScopedFaultPlan chaos(
+        "seed=4;stream.queue.stall:p=0.8;"
+        "stream.publish.delay:p=0.6,budget=40");
+    driver.run_phase(0, schedule.p0);
+    driver.run_phase(schedule.p0, schedule.p1);
+    pipeline.drain();  // quiesce injection before the plan lifts (see above)
+  }
+  driver.run_phase(schedule.p1, schedule.ops.size());
+  pipeline.drain();
+  const StreamMetrics m = pipeline.metrics();
+  EXPECT_EQ(m.rung, LadderRung::kHealthy);  // recovered after the plan lifted
+  EXPECT_GT(m.transitions_up, 0u);
+  EXPECT_EQ(m.transitions_up, m.transitions_down);  // every rung exited
+  EXPECT_GT(m.rung_entries[static_cast<size_t>(LadderRung::kPressured)], 0u);
+  EXPECT_GT(m.stalls, 0u);
+  EXPECT_EQ(m.lag, 0u);
+  const auto events = pipeline.transitions();
+  EXPECT_EQ(events.size(), m.transitions_up + m.transitions_down);
+  pipeline.stop();
+}
+
+}  // namespace
+}  // namespace sdb::stream
