@@ -8,6 +8,7 @@
 //   ./sdbscan_cli data.txt --estimate_eps            # 4-dist heuristic
 //   ./sdbscan_cli data.txt --engine seq|spark|mr
 //   ./sdbscan_cli --demo                             # no file needed
+//   ./sdbscan_cli --preset e10k64 --backend knn      # d=64 KNN-DBSCAN demo
 //   ./sdbscan_cli data.txt --serve                   # then query via stdin
 //
 // --serve keeps the process alive after clustering and answers queries from
@@ -38,6 +39,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <thread>
 
@@ -46,12 +48,14 @@
 #include "core/quality.hpp"
 #include "core/spark_dbscan.hpp"
 #include "geom/distance.hpp"
+#include "knn/knn_backend.hpp"
 #include "replica/sharded_cluster.hpp"
 #include "serve/query_engine.hpp"
 #include "spatial/kd_tree.hpp"
 #include "stream/ingest_pipeline.hpp"
 #include "synth/generators.hpp"
 #include "synth/io.hpp"
+#include "synth/presets.hpp"
 #include "util/flags.hpp"
 #include "util/stopwatch.hpp"
 
@@ -453,7 +457,18 @@ int main(int argc, char** argv) {
                 "engines); 0 = hardware concurrency, labels are identical "
                 "for any value");
   flags.add_string("engine", "spark", "seq | spark | mr");
+  flags.add_string("backend", "exact",
+                   "neighborhood backend (seq/spark engines): exact | knn "
+                   "(approximate kNN graph; the high-dimensional mode)");
+  flags.add_i64("knn-k", 16,
+                "with --backend knn: graph neighbors per point (must be >= "
+                "minpts - 1)");
   flags.add_bool("demo", false, "cluster a built-in demo dataset");
+  flags.add_string("preset", "",
+                   "generate a built-in synthetic dataset instead of reading "
+                   "a file: c10k c100k r10k r100k r1m e10k64 e10k128 (the "
+                   "e-presets are d=64/d=128 embedding workloads for "
+                   "--backend knn); eps/minpts come from the preset");
   flags.add_bool("quiet", false, "suppress the stderr summary");
   flags.add_bool("serve", false,
                  "after clustering, answer queries from stdin (see header)");
@@ -484,7 +499,16 @@ int main(int argc, char** argv) {
 
   // --- load points ---
   PointSet points;
-  if (flags.boolean("demo")) {
+  std::optional<synth::DatasetSpec> preset;
+  if (!flags.string("preset").empty()) {
+    preset = synth::find_preset(flags.string("preset"));
+    if (!preset) {
+      std::fprintf(stderr, "unknown --preset '%s'\n",
+                   flags.string("preset").c_str());
+      return 2;
+    }
+    points = synth::generate(*preset, 42);
+  } else if (flags.boolean("demo")) {
     Rng rng(7);
     points = synth::two_moons(500, 0.05, rng);
   } else {
@@ -508,24 +532,44 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const double eps = flags.boolean("estimate_eps")
-                         ? estimate_eps(points, 4)
-                         : flags.f64("eps");
-  const dbscan::DbscanParams params{eps, flags.i64_flag("minpts")};
+  const double eps = flags.boolean("estimate_eps") ? estimate_eps(points, 4)
+                     : preset                      ? preset->eps
+                                                   : flags.f64("eps");
+  const dbscan::DbscanParams params{
+      eps, preset ? preset->minpts : flags.i64_flag("minpts")};
   const auto partitions = static_cast<u32>(flags.i64_flag("partitions"));
+
+  const std::string& backend = flags.string("backend");
+  const bool use_knn = backend == "knn";
+  if (!use_knn && backend != "exact") {
+    std::fprintf(stderr, "unknown --backend '%s' (exact | knn)\n",
+                 backend.c_str());
+    return 2;
+  }
+  knn::KnnGraphConfig knn_cfg;
+  knn_cfg.k = static_cast<u32>(flags.i64_flag("knn-k"));
 
   // --- cluster with the chosen engine ---
   dbscan::Clustering clustering;
   const std::string& engine = flags.string("engine");
   if (engine == "seq") {
-    const KdTree tree(points);
-    clustering = dbscan::dbscan_sequential(points, tree, params).clustering;
+    if (use_knn) {
+      const knn::KnnGraph graph = knn::build_knn_graph(points, knn_cfg);
+      clustering = knn::knn_dbscan(knn::KnnEpsGraph::build(graph, params));
+    } else {
+      const KdTree tree(points);
+      clustering = dbscan::dbscan_sequential(points, tree, params).clustering;
+    }
   } else if (engine == "spark") {
     minispark::ClusterConfig cluster;
     cluster.executors = partitions;
     minispark::SparkContext ctx(cluster);
     dbscan::SparkDbscanConfig cfg;
     cfg.params = params;
+    if (use_knn) {
+      cfg.backend = dbscan::DbscanBackend::kKnn;
+      cfg.knn = knn_cfg;
+    }
     cfg.partitions = partitions;
     cfg.checkpoint_dir = flags.string("checkpoint-dir");
     cfg.resume = flags.boolean("resume");
@@ -542,6 +586,10 @@ int main(int argc, char** argv) {
     }
     clustering = report.clustering;
   } else if (engine == "mr") {
+    if (use_knn) {
+      std::fprintf(stderr, "--backend knn supports seq and spark engines\n");
+      return 2;
+    }
     dbscan::MRDbscanConfig cfg;
     cfg.params = params;
     cfg.partitions = partitions;

@@ -54,7 +54,8 @@ inline u64 job_fingerprint(std::string_view engine, u64 dataset,
                            const DbscanParams& params,
                            PartitionerKind partitioner, u32 partitions,
                            u64 seed, SeedStrategy seed_strategy,
-                           MergeStrategy merge_strategy, Codec codec) {
+                           MergeStrategy merge_strategy, Codec codec,
+                           u64 backend_salt = 0) {
   u64 h = dataset;
   h = detail::fnv1a_append(h, engine.data(), engine.size());
   h = detail::fnv1a_value(h, params.eps);
@@ -65,6 +66,11 @@ inline u64 job_fingerprint(std::string_view engine, u64 dataset,
   h = detail::fnv1a_value(h, seed_strategy);
   h = detail::fnv1a_value(h, merge_strategy);
   h = detail::fnv1a_value(h, codec);
+  // Non-default neighborhood backends (KNN-DBSCAN) fold their parameters in
+  // as a salt: a knn checkpoint must never resume into an exact job or into
+  // a knn job with different graph parameters. Zero (the exact backend)
+  // folds nothing, so every pre-existing exact fingerprint is unchanged.
+  if (backend_salt != 0) h = detail::fnv1a_value(h, backend_salt);
   return h;
 }
 

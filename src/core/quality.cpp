@@ -135,6 +135,51 @@ double rand_index(const Clustering& a, const Clustering& b) {
   return agreements / total;
 }
 
+double adjusted_rand_index(const Clustering& a, const Clustering& b) {
+  SDB_CHECK(a.labels.size() == b.labels.size(), "clustering size mismatch");
+  const size_t n = a.labels.size();
+  if (n < 2) return 1.0;
+
+  // Same contingency machinery as rand_index (noise -> unique singletons).
+  auto effective = [n](const Clustering& c, size_t i) -> i64 {
+    const ClusterId l = c.labels[i];
+    return l >= 0 ? l : static_cast<i64>(n + i);
+  };
+  std::unordered_map<u64, u64> cell;
+  std::unordered_map<i64, u64> row;
+  std::unordered_map<i64, u64> col;
+  for (size_t i = 0; i < n; ++i) {
+    const i64 la = effective(a, i);
+    const i64 lb = effective(b, i);
+    ++cell[(static_cast<u64>(static_cast<u32>(la)) << 32) |
+           static_cast<u64>(static_cast<u32>(lb))];
+    ++row[la];
+    ++col[lb];
+  }
+  auto choose2 = [](u64 k) { return static_cast<double>(k) * (k - 1) / 2.0; };
+  double sum_cells = 0.0;
+  for (const auto& [k, v] : cell) {
+    (void)k;
+    sum_cells += choose2(v);
+  }
+  double sum_rows = 0.0;
+  for (const auto& [k, v] : row) {
+    (void)k;
+    sum_rows += choose2(v);
+  }
+  double sum_cols = 0.0;
+  for (const auto& [k, v] : col) {
+    (void)k;
+    sum_cols += choose2(v);
+  }
+  const double total = choose2(n);
+  // ARI = (Index - ExpectedIndex) / (MaxIndex - ExpectedIndex).
+  const double expected = sum_rows * sum_cols / total;
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  if (max_index == expected) return 1.0;  // both partitions all-singletons
+  return (sum_cells - expected) / (max_index - expected);
+}
+
 ClusteringStats summarize(const Clustering& c) {
   ClusteringStats stats;
   stats.clusters = c.num_clusters;

@@ -38,6 +38,15 @@ EquivalenceReport check_equivalence(const PointSet& points,
 /// contingency, O(n + #distinct label pairs).
 double rand_index(const Clustering& a, const Clustering& b);
 
+/// Adjusted Rand index (Hubert & Arabie): the Rand index corrected for
+/// chance agreement, so 1.0 = identical partitions, ~0 = what random
+/// labelings score, negative = worse than chance. Noise treated as
+/// singleton clusters, same as rand_index. This is the headline metric of
+/// the KNN-DBSCAN disagreement-bound harness (knn/disagreement.hpp) — the
+/// plain Rand index saturates near 1 for many-cluster partitions and would
+/// hide real disagreement.
+double adjusted_rand_index(const Clustering& a, const Clustering& b);
+
 /// Summary statistics used by bench output.
 struct ClusteringStats {
   u64 clusters = 0;

@@ -1,6 +1,7 @@
 #include "core/spark_dbscan.hpp"
 
 #include "core/job_identity.hpp"
+#include "knn/knn_backend.hpp"
 #include "minispark/job_checkpoint.hpp"
 #include "spatial/brute_force.hpp"
 #include "spatial/kd_tree.hpp"
@@ -19,6 +20,14 @@ const char* index_kind_name(IndexKind kind) {
   return "?";
 }
 
+const char* backend_name(DbscanBackend backend) {
+  switch (backend) {
+    case DbscanBackend::kExact: return "exact";
+    case DbscanBackend::kKnn: return "knn";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Everything the driver broadcasts: the spatial index over all points, the
@@ -26,6 +35,9 @@ namespace {
 struct BroadcastState {
   const PointSet* points = nullptr;
   std::unique_ptr<SpatialIndex> tree;
+  /// KNN backend: the in-eps graph + global core mask replaces the spatial
+  /// index as the neighborhood machinery (non-null iff backend == kKnn).
+  std::unique_ptr<knn::KnnEpsGraph> eps_graph;
   Partitioning partitioning;
   LocalDbscanConfig local_config;
 };
@@ -90,10 +102,21 @@ SparkDbscanReport SparkDbscan::run_impl(const PointSet& points,
   std::unique_ptr<minispark::JobCheckpoint> ckpt;
   std::vector<u32> recovered_parts;
   if (!config_.checkpoint_dir.empty()) {
+    u64 backend_salt = 0;
+    if (config_.backend == DbscanBackend::kKnn) {
+      backend_salt = detail::fnv1a_append(1469598103934665603ull, "knn", 3);
+      backend_salt = detail::fnv1a_value(backend_salt, config_.knn.k);
+      backend_salt = detail::fnv1a_value(backend_salt, config_.knn.build);
+      backend_salt = detail::fnv1a_value(backend_salt, config_.knn.max_rounds);
+      backend_salt = detail::fnv1a_value(backend_salt, config_.knn.sample);
+      backend_salt =
+          detail::fnv1a_value(backend_salt, config_.knn.termination_frac);
+      backend_salt = detail::fnv1a_value(backend_salt, config_.knn.seed);
+    }
     report.job_fingerprint = job_fingerprint(
         "spark", dataset_digest(points), config_.params, config_.partitioner,
         partitions, config_.seed, config_.seed_strategy,
-        config_.merge_strategy, config_.codec);
+        config_.merge_strategy, config_.codec, backend_salt);
     ckpt = std::make_unique<minispark::JobCheckpoint>(
         config_.checkpoint_dir, report.job_fingerprint, config_.resume);
     recovered_parts = ckpt->completed();
@@ -106,10 +129,25 @@ SparkDbscanReport SparkDbscan::run_impl(const PointSet& points,
   report.resumed_partitions = recovered_parts.size();
   report.executed_partitions = pending.size();
 
-  // --- Driver: build kd-tree (priced from its measured work). ---
+  // --- Driver: build the neighborhood machinery (priced from its measured
+  // work): the spatial index for the exact backend, the kNN graph + in-eps
+  // graph for the KNN backend. ---
   auto state = std::make_shared<BroadcastState>();
   state->points = &points;
-  {
+  if (config_.backend == DbscanBackend::kKnn) {
+    WorkCounters graph_wc;
+    ScopedCounters scope(&graph_wc);
+    knn::KnnGraphBuildStats graph_stats;
+    const knn::KnnGraph graph =
+        knn::build_knn_graph(points, config_.knn, &graph_stats);
+    state->eps_graph = std::make_unique<knn::KnnEpsGraph>(
+        knn::KnnEpsGraph::build(graph, config_.params));
+    report.knn_graph_rounds = graph_stats.rounds;
+    report.knn_graph_evals = graph_stats.distance_evals;
+    report.knn_eps_edges = state->eps_graph->num_edges();
+    report.knn_core_points = state->eps_graph->num_core();
+    report.sim_tree_s = ctx_.config().cost.compute_seconds(graph_wc);
+  } else {
     WorkCounters tree_wc;
     ScopedCounters scope(&tree_wc);
     state->tree = build_index(config_.index, points,
@@ -130,9 +168,13 @@ SparkDbscanReport SparkDbscan::run_impl(const PointSet& points,
   state->local_config.seed_strategy = config_.seed_strategy;
   state->local_config.budget = config_.budget;
 
-  // --- Broadcast: tree + points + partition map (Section IV.B). ---
+  // --- Broadcast: neighborhood machinery + partition map (Section IV.B).
+  // The KNN backend ships the eps-graph + core mask (the kNN graph itself
+  // stays on the driver; executors only ever need the derived view). ---
   const u64 broadcast_bytes =
-      state->tree->byte_size() + state->partitioning.byte_size() + 64;
+      (state->tree != nullptr ? state->tree->byte_size()
+                              : state->eps_graph->byte_size()) +
+      state->partitioning.byte_size() + 64;
   auto broadcast = ctx_.broadcast(std::move(state), broadcast_bytes);
   report.broadcast_bytes = broadcast_bytes;
 
@@ -164,8 +206,14 @@ SparkDbscanReport SparkDbscan::run_impl(const PointSet& points,
           const u32 p = data.at(0);
           const BroadcastState& st = *broadcast.value();
           LocalClusterResult local =
-              local_dbscan(*st.points, *st.tree, st.partitioning,
-                           static_cast<PartitionId>(p), st.local_config);
+              st.eps_graph != nullptr
+                  ? knn::local_knn_dbscan(
+                        *st.eps_graph, st.partitioning,
+                        static_cast<PartitionId>(p),
+                        knn::LocalKnnDbscanConfig{
+                            st.local_config.seed_strategy})
+                  : local_dbscan(*st.points, *st.tree, st.partitioning,
+                                 static_cast<PartitionId>(p), st.local_config);
           std::string blob = encode(local, codec);
           const u64 bytes = blob.size();
           std::vector<std::string> delta;

@@ -22,6 +22,7 @@
 #include "core/merge.hpp"
 #include "core/partitioners.hpp"
 #include "dfs/mini_dfs.hpp"
+#include "knn/knn_graph.hpp"
 #include "minispark/spark_context.hpp"
 
 namespace sdb::dbscan {
@@ -33,8 +34,27 @@ enum class IndexKind { kKdTree, kRTree, kBruteForce };
 
 const char* index_kind_name(IndexKind kind);
 
+/// Which neighborhood machinery the pipeline runs on.
+enum class DbscanBackend {
+  /// Exact eps-range queries over a broadcast spatial index — the paper's
+  /// design, and exact at any dimension it can afford.
+  kExact,
+  /// KNN-DBSCAN (knn/knn_backend.hpp): the driver builds an approximate kNN
+  /// graph, derives the in-eps graph + global core mask, and broadcasts
+  /// THAT; executors run the same partitioned BFS over graph rows. The
+  /// high-dimensional backend — build cost is dimension-independent where
+  /// exact tree queries degenerate to linear scans past d~20.
+  kKnn,
+};
+
+const char* backend_name(DbscanBackend backend);
+
 struct SparkDbscanConfig {
   DbscanParams params;
+  DbscanBackend backend = DbscanBackend::kExact;
+  /// kNN graph build parameters (backend == kKnn only). knn.k must be
+  /// >= params.minpts - 1.
+  knn::KnnGraphConfig knn;
   IndexKind index = IndexKind::kKdTree;
   /// Number of data partitions (the paper runs partitions == cores).
   /// 0 = the context's default parallelism.
@@ -93,6 +113,12 @@ struct SparkDbscanReport {
   u64 partial_clusters = 0;      ///< m (the Figure 6 right-axis series)
   u64 broadcast_bytes = 0;
   u64 accumulator_bytes = 0;
+
+  // --- KNN backend (backend == kKnn) ---
+  u64 knn_graph_rounds = 0;  ///< NN-descent rounds (0 for the exact build)
+  u64 knn_graph_evals = 0;   ///< distance evals spent building the graph
+  u64 knn_eps_edges = 0;     ///< in-eps edges in the broadcast eps-graph
+  u64 knn_core_points = 0;   ///< global core count under the graph mask
 
   // --- durability (checkpoint_dir set) ---
   u64 job_fingerprint = 0;       ///< deterministic job identity

@@ -110,6 +110,27 @@ inline StripKernelFn strip_kernel() {
 
 }  // namespace detail
 
+namespace detail {
+
+/// Abandonment probe schedule shared by every vector kernel: probe after
+/// dimension `d` iff this returns true. Dense early (every 2nd dim through
+/// d=7, where low-d adversarial scans become decidable within a few dims),
+/// then geometric (d = 15, 31, 63, ... — after each probe the kernel walks
+/// at most as many dims again before the next one). The old fixed every-2nd
+/// schedule paid ~d/2 horizontal min-tree reductions per strip at d >= 64 —
+/// pure overhead on high-d strips whose partial sums cross eps^2 late or
+/// not at all — while the geometric tail keeps the dims walked after the
+/// scan becomes decidable bounded by 2x. Probing is always mask-safe at ANY
+/// schedule: abandonment fires only when every lane's partial sum already
+/// exceeds eps^2, which decides the final test exactly (monotonicity), so
+/// the schedule changes bytes read and probe arithmetic, never mask bits —
+/// pinned by the d=128 bit-identity fixtures in test_distance_kernels.
+constexpr bool abandon_probe_due(size_t d, size_t dim) {
+  return (d & 1) != 0 && (d < 8 || (d & (d + 1)) == 0) && d + 1 < dim;
+}
+
+}  // namespace detail
+
 /// Which kernel the dispatcher currently selects.
 KernelVariant active_variant();
 const char* variant_name(KernelVariant v);

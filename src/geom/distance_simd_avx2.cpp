@@ -27,9 +27,10 @@ namespace sdb::simd::detail {
 namespace {
 
 /// Full 32-lane block: eight 4-wide accumulators, fully unrolled so they
-/// live in registers. The abandonment probe runs every second dimension —
-/// a 7-min tree + one compare + movemask, cheap against the 8 loads the
-/// skipped dimensions would have cost.
+/// live in registers. The abandonment probe (a 7-min tree + one compare +
+/// movemask, cheap against the 8 loads the skipped dimensions would have
+/// cost) runs on the shared dense-early/geometric-tail schedule —
+/// abandon_probe_due in distance_simd.hpp.
 inline std::uint32_t strip_avx2_full(const double* q, size_t dim, double eps2,
                                      const double* lanes) {
   __m256d a0 = _mm256_setzero_pd(), a1 = _mm256_setzero_pd();
@@ -56,7 +57,7 @@ inline std::uint32_t strip_avx2_full(const double* q, size_t dim, double eps2,
     a5 = _mm256_add_pd(a5, _mm256_mul_pd(d5, d5));
     a6 = _mm256_add_pd(a6, _mm256_mul_pd(d6, d6));
     a7 = _mm256_add_pd(a7, _mm256_mul_pd(d7, d7));
-    if ((d & 1) != 0 && d + 1 < dim) {
+    if (abandon_probe_due(d, dim)) {
       const __m256d m01 = _mm256_min_pd(a0, a1);
       const __m256d m23 = _mm256_min_pd(a2, a3);
       const __m256d m45 = _mm256_min_pd(a4, a5);
@@ -123,7 +124,7 @@ inline std::uint32_t strip_avx2_partial(const double* q, size_t dim,
       const __m256d diff = _mm256_sub_pd(vq, p);
       acc[full] = _mm256_add_pd(acc[full], _mm256_mul_pd(diff, diff));
     }
-    if ((d & 1) != 0 && d + 1 < dim) {
+    if (abandon_probe_due(d, dim)) {
       __m256d m = acc[0];
       for (size_t g = 1; g < groups; ++g) m = _mm256_min_pd(m, acc[g]);
       if (_mm256_movemask_pd(_mm256_cmp_pd(m, veps, _CMP_LE_OQ)) == 0) {

@@ -42,7 +42,7 @@ inline std::uint32_t strip_avx512_full(const double* q, size_t dim,
     a1 = _mm512_add_pd(a1, _mm512_mul_pd(d1, d1));
     a2 = _mm512_add_pd(a2, _mm512_mul_pd(d2, d2));
     a3 = _mm512_add_pd(a3, _mm512_mul_pd(d3, d3));
-    if ((d & 1) != 0 && d + 1 < dim) {
+    if (abandon_probe_due(d, dim)) {
       const __m512d m =
           _mm512_min_pd(_mm512_min_pd(a0, a1), _mm512_min_pd(a2, a3));
       if (_mm512_cmp_pd_mask(m, veps, _CMP_LE_OQ) == 0) {
@@ -99,7 +99,7 @@ inline std::uint32_t strip_avx512_partial(const double* q, size_t dim,
       const __m512d diff = _mm512_sub_pd(vq, p);
       acc[full] = _mm512_add_pd(acc[full], _mm512_mul_pd(diff, diff));
     }
-    if ((d & 1) != 0 && d + 1 < dim) {
+    if (abandon_probe_due(d, dim)) {
       __m512d m = acc[0];
       for (size_t g = 1; g < groups; ++g) m = _mm512_min_pd(m, acc[g]);
       if (_mm512_cmp_pd_mask(m, veps, _CMP_LE_OQ) == 0) {

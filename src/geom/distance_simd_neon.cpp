@@ -27,7 +27,7 @@ std::uint32_t strip_neon(const double* q, size_t dim, double eps2,
       const float64x2_t p = vld1q_f64(col + d * kDistanceStrip);
       const float64x2_t diff = vsubq_f64(vq, p);
       acc = vaddq_f64(acc, vmulq_f64(diff, diff));
-      if ((d & 1) != 0 && d + 1 < dim &&
+      if (abandon_probe_due(d, dim) &&
           vgetq_lane_f64(acc, 0) > eps2 && vgetq_lane_f64(acc, 1) > eps2) {
         abandoned = true;
         break;

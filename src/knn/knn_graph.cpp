@@ -1,0 +1,458 @@
+#include "knn/knn_graph.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <queue>
+#include <thread>
+
+#include "fault/injection.hpp"
+#include "geom/distance.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sdb::knn {
+
+double KnnGraph::kth_distance2(PointId i) const {
+  const u32 m = row_size(i);
+  if (m < k_) return std::numeric_limits<double>::infinity();
+  return row_d2(i)[k_ - 1];
+}
+
+u64 KnnGraph::digest() const {
+  u64 h = 1469598103934665603ull;
+  auto fold = [&h](const void* data, size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t b = 0; b < size; ++b) {
+      h ^= bytes[b];
+      h *= 1099511628211ull;
+    }
+  };
+  fold(&n_, sizeof(n_));
+  fold(&k_, sizeof(k_));
+  fold(ids_.data(), ids_.size() * sizeof(PointId));
+  fold(d2_.data(), d2_.size() * sizeof(double));
+  return h;
+}
+
+namespace {
+
+/// Bounded max-heap over lexicographic (d2, id) pairs backing one graph row
+/// during construction — the same smaller-id tie-break at the k-th distance
+/// as SpatialIndex::knn_query, so exact rows are unique and build-order
+/// independent.
+struct RowHeap {
+  using Entry = std::pair<double, PointId>;
+  std::priority_queue<Entry> heap;
+  size_t cap = 0;
+
+  void offer(double d2, PointId id) {
+    const Entry cand{d2, id};
+    if (heap.size() < cap) {
+      heap.push(cand);
+    } else if (cand < heap.top()) {
+      heap.pop();
+      heap.push(cand);
+    }
+  }
+  [[nodiscard]] bool full() const { return heap.size() == cap; }
+  [[nodiscard]] double worst() const { return heap.top().first; }
+
+  /// Drain ascending into a graph row (padding already in place).
+  void drain(std::span<PointId> ids, std::span<double> d2s) {
+    for (size_t i = heap.size(); i-- > 0;) {
+      ids[i] = heap.top().second;
+      d2s[i] = heap.top().first;
+      heap.pop();
+    }
+  }
+};
+
+unsigned resolve_threads(unsigned requested, size_t n) {
+  if (requested == 1) return 1;
+  unsigned t = requested != 0 ? requested
+                              : std::max(1u, std::thread::hardware_concurrency());
+  // Below ~4k points the task-spawn overhead beats the parallelism.
+  if (n < 4096) return 1;
+  return std::min<unsigned>(t, 16);
+}
+
+/// Run fn(begin, end, chunk_index) over [0, n) in contiguous chunks —
+/// sequential inline when threads == 1, else on a pool with a barrier.
+/// Chunk boundaries are identical either way, so per-chunk tallies are too.
+template <typename Fn>
+void parallel_chunks(size_t n, unsigned threads, Fn&& fn) {
+  if (threads <= 1 || n == 0) {
+    fn(size_t{0}, n, size_t{0});
+    return;
+  }
+  const size_t chunks = std::min<size_t>(threads * 4, (n + 255) / 256);
+  const size_t per = (n + chunks - 1) / chunks;
+  ThreadPool pool(threads);
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = c * per;
+    const size_t end = std::min(n, begin + per);
+    if (begin >= end) break;
+    pool.submit([&fn, begin, end, c] { fn(begin, end, c); });
+  }
+  pool.wait_idle();
+}
+
+/// Exact rows: brute-force strip scan per point with the kNN heap-cutoff
+/// kernel filter (the kd-tree leaf idiom — see KdTree::knn_query). One
+/// distance_eval per candidate row examined (n-1 per point: self excluded).
+void build_exact(const PointSet& points, const KnnGraphConfig& cfg,
+                 KnnGraph& graph, KnnGraphBuildStats& stats) {
+  const size_t n = points.size();
+  const size_t dim = static_cast<size_t>(points.dim());
+  std::vector<double> strips(strip_padded_len(n, dim), 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    strip_store_row(strips.data(), i, points[static_cast<PointId>(i)]);
+  }
+  const simd::StripKernelFn kernel = simd::detail::strip_kernel();
+  const unsigned threads = resolve_threads(cfg.threads, n);
+
+  parallel_chunks(n, threads, [&](size_t begin, size_t end, size_t) {
+    RowHeap row;
+    for (size_t p = begin; p < end; ++p) {
+      const std::span<const double> q = points[static_cast<PointId>(p)];
+      row.cap = cfg.k;
+      for (size_t i = 0; i < n;) {
+        const size_t m = std::min(kDistanceStrip, n - i);
+        if (row.full() && std::isfinite(row.worst())) {
+          const double cutoff = row.worst();
+          u32 mask = kernel(q.data(), dim, cutoff,
+                            strips.data() + (i / kDistanceStrip) *
+                                (kDistanceStrip * dim),
+                            m);
+          while (mask != 0) {
+            const u32 j = static_cast<u32>(std::countr_zero(mask));
+            const auto id = static_cast<PointId>(i + j);
+            if (id != static_cast<PointId>(p)) {
+              row.offer(squared_distance_uncounted(q, points[id]), id);
+            }
+            mask &= mask - 1;
+          }
+        } else {
+          for (size_t j = 0; j < m; ++j) {
+            const auto id = static_cast<PointId>(i + j);
+            if (id == static_cast<PointId>(p)) continue;
+            row.offer(squared_distance_uncounted(q, points[id]), id);
+          }
+        }
+        i += m;
+      }
+      row.drain(graph.mutable_row_ids(static_cast<PointId>(p)),
+                graph.mutable_row_d2(static_cast<PointId>(p)));
+    }
+  });
+  stats.distance_evals += n * (n - 1);
+}
+
+/// Cutoff-abandoned candidate distance for the descent join: returns the
+/// exact squared distance when it is <= cutoff, or any partial sum already
+/// > cutoff once that is provable (the caller must then reject WITHOUT
+/// storing the value — the true distance is >= the partial, so the
+/// candidate is strictly worse than the cutoff slot either way). When the
+/// full sum is computed it is the same ascending unfused mul+add sequence
+/// as squared_distance_uncounted (project-wide -ffp-contract=off), so
+/// stored row values are bit-identical to the unabandoned build.
+double squared_distance_abandoned(std::span<const double> a,
+                                  std::span<const double> b, double cutoff) {
+  double s = 0.0;
+  size_t i = 0;
+  const size_t dim = a.size();
+  while (i + 8 <= dim) {
+    for (size_t j = 0; j < 8; ++j) {
+      const double d = a[i + j] - b[i + j];
+      s += d * d;
+    }
+    i += 8;
+    if (s > cutoff) return s;
+  }
+  for (; i < dim; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+/// Sorted-row insertion for descent: keep row ascending (d2, id), return
+/// whether the candidate displaced a slot. Skips ids already present.
+/// `flags` is the row's per-slot new/old bits for the incremental local
+/// join — it shifts in lockstep with the slots and an inserted entry is
+/// always marked new.
+bool row_insert(std::span<PointId> ids, std::span<double> d2s,
+                std::span<unsigned char> flags, u32 k, double d2,
+                PointId id) {
+  // Fast reject before the O(k) dedup scan: a full row turns away any
+  // candidate that does not beat the worst (d2, id) slot — including a
+  // candidate already present at that exact slot, which the scan below
+  // would also reject.
+  if (ids[k - 1] != kNoNeighbor &&
+      std::pair{d2, id} >= std::pair{d2s[k - 1], ids[k - 1]}) {
+    return false;
+  }
+  u32 m = 0;
+  while (m < k && ids[m] != kNoNeighbor) {
+    if (ids[m] == id) return false;
+    ++m;
+  }
+  if (m == k) {
+    // Full: must beat the worst (d2, id) pair.
+    if (std::pair{d2, id} >= std::pair{d2s[k - 1], ids[k - 1]}) return false;
+    --m;  // the worst slot is overwritten by the shift below
+  }
+  // Shift the tail up and insert in (d2, id) order.
+  u32 pos = m;
+  while (pos > 0 &&
+         std::pair{d2s[pos - 1], ids[pos - 1]} > std::pair{d2, id}) {
+    d2s[pos] = d2s[pos - 1];
+    ids[pos] = ids[pos - 1];
+    flags[pos] = flags[pos - 1];
+    --pos;
+  }
+  d2s[pos] = d2;
+  ids[pos] = id;
+  flags[pos] = 1;
+  return true;
+}
+
+/// NN-descent refinement (Dong et al., incremental local join): every
+/// round, each point t gathers candidates from its sampled forward +
+/// reverse neighborhood's neighborhoods (read from the PREVIOUS round's
+/// rows — the double buffer is what makes the build bit-deterministic for
+/// any thread count), evaluates the ones reachable through at least one
+/// new edge, and improves its own row in place.
+void build_descent(const PointSet& points, const KnnGraphConfig& cfg,
+                   KnnGraph& graph, KnnGraphBuildStats& stats) {
+  const size_t n = points.size();
+  const u32 k = cfg.k;
+  const unsigned threads = resolve_threads(cfg.threads, n);
+  const u64 init_seed = derive_seed(cfg.seed, "knn.init");
+
+  // Per-slot new/old bits for the incremental local join (Dong et al.): a
+  // slot is "new" until the round that exploits it as a join pivot, and a
+  // candidate pair is evaluated only when at least one of its two
+  // connecting edges is new. Without this, late rounds re-propose (and
+  // re-evaluate) almost exactly the candidate sets of earlier rounds —
+  // the rows barely change, so neither do their neighbors-of-neighbors.
+  std::vector<unsigned char> new_flag(n * k, 0);
+  const auto row_flags = [&](size_t p) {
+    return std::span<unsigned char>(new_flag.data() + p * k, k);
+  };
+
+  // --- Seeded random initial rows (exact when n - 1 <= k). ---
+  std::vector<u64> chunk_evals(threads * 4 + 1, 0);
+  parallel_chunks(n, threads, [&](size_t begin, size_t end, size_t chunk) {
+    std::vector<PointId> picks;
+    u64 evals = 0;
+    for (size_t p = begin; p < end; ++p) {
+      const auto pid = static_cast<PointId>(p);
+      picks.clear();
+      if (n - 1 <= k) {
+        for (size_t j = 0; j < n; ++j) {
+          if (j != p) picks.push_back(static_cast<PointId>(j));
+        }
+      } else {
+        // Per-point independent stream: identical rows for any threading.
+        Rng rng(init_seed ^ (0x9e3779b97f4a7c15ull * (p + 1)));
+        while (picks.size() < k) {
+          const auto c = static_cast<PointId>(rng.uniform_index(n));
+          if (c == pid) continue;
+          if (std::find(picks.begin(), picks.end(), c) != picks.end()) {
+            continue;
+          }
+          picks.push_back(c);
+        }
+      }
+      auto ids = graph.mutable_row_ids(pid);
+      auto d2s = graph.mutable_row_d2(pid);
+      for (const PointId c : picks) {
+        ++evals;
+        row_insert(ids, d2s, row_flags(p), k,
+                   squared_distance_uncounted(points[pid], points[c]), c);
+      }
+    }
+    chunk_evals[chunk] += evals;
+  });
+  for (const u64 e : chunk_evals) stats.distance_evals += e;
+
+  if (n - 1 <= k) return;  // rows are already exact
+
+  // --- Refinement rounds. ---
+  std::vector<PointId> prev_ids;
+  std::vector<unsigned char> prev_flag;
+  std::vector<std::vector<std::pair<PointId, unsigned char>>> rev(n);
+  const u64 target_slots = static_cast<u64>(n) * k;
+  for (u32 round = 0; round < cfg.max_rounds; ++round) {
+    ++stats.rounds;
+    // Snapshot the rows + new/old bits: candidate generation reads prev,
+    // updates land in the live graph (each row written only by its owner
+    // chunk).
+    prev_ids.assign(n * k, kNoNeighbor);
+    for (size_t p = 0; p < n; ++p) {
+      const auto row = graph.row_ids(static_cast<PointId>(p));
+      std::copy(row.begin(), row.end(), prev_ids.begin() + p * k);
+    }
+    prev_flag = new_flag;
+    // Reverse adjacency from the snapshot, capped at `sample` per point
+    // (sources arrive in ascending id order — deterministic cap). Each rev
+    // entry carries its edge's new bit. Slots that participate in this
+    // round's join — the sampled forward prefix of every row plus every
+    // edge accepted into a rev list — are marked old in the live bits:
+    // they have now been fully exploited as pivots, and only a future
+    // insertion may make them new again. Capped-out rev edges keep their
+    // bit and retry in a later round.
+    for (auto& r : rev) r.clear();
+    const u32 fwd_sample = std::min(k, cfg.sample);
+    for (size_t p = 0; p < n; ++p) {
+      for (u32 s = 0; s < k; ++s) {
+        const PointId j = prev_ids[p * k + s];
+        if (j == kNoNeighbor) break;
+        auto& r = rev[static_cast<size_t>(j)];
+        if (r.size() < cfg.sample) {
+          r.emplace_back(static_cast<PointId>(p), prev_flag[p * k + s]);
+          new_flag[p * k + s] = 0;
+        }
+        if (s < fwd_sample) new_flag[p * k + s] = 0;
+      }
+    }
+
+    std::vector<u64> chunk_updates(threads * 4 + 1, 0);
+    std::vector<u64> chunk_evals2(threads * 4 + 1, 0);
+    std::vector<u64> chunk_drops(threads * 4 + 1, 0);
+    parallel_chunks(n, threads, [&](size_t begin, size_t end, size_t chunk) {
+      // B(t): sampled fwd + rev neighbors, each with its edge's new bit.
+      std::vector<std::pair<PointId, unsigned char>> bucket;
+      std::vector<std::pair<PointId, unsigned char>> candidates;
+      u64 updates = 0;
+      u64 evals = 0;
+      u64 drops = 0;
+      for (size_t t = begin; t < end; ++t) {
+        const auto tid = static_cast<PointId>(t);
+        bucket.clear();
+        for (u32 s = 0; s < fwd_sample; ++s) {
+          const PointId j = prev_ids[t * k + s];
+          if (j == kNoNeighbor) break;
+          bucket.emplace_back(j, prev_flag[t * k + s]);
+        }
+        for (const auto& [j, f] : rev[t]) bucket.emplace_back(j, f);
+
+        // A candidate (t, c) reached through pivot edges (t~j, j~c) is
+        // evaluated only if at least one of the two edges is new — an
+        // old/old pair was already proposed the round both edges turned
+        // old. Duplicates keep the OR of their path bits.
+        candidates.clear();
+        for (const auto& [j, fj] : bucket) {
+          candidates.emplace_back(j, fj);  // rev members may beat the row
+          const size_t jb = static_cast<size_t>(j) * k;
+          for (u32 s = 0; s < fwd_sample; ++s) {
+            const PointId c = prev_ids[jb + s];
+            if (c == kNoNeighbor) break;
+            candidates.emplace_back(
+                c, static_cast<unsigned char>(fj | prev_flag[jb + s]));
+          }
+          for (const auto& [c, fc] : rev[static_cast<size_t>(j)]) {
+            candidates.emplace_back(c,
+                                    static_cast<unsigned char>(fj | fc));
+          }
+        }
+        std::sort(candidates.begin(), candidates.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.first != b.first ? a.first < b.first
+                                              : a.second > b.second;
+                  });
+        candidates.erase(
+            std::unique(candidates.begin(), candidates.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.first == b.first;
+                        }),
+            candidates.end());
+
+        auto ids = graph.mutable_row_ids(tid);
+        auto d2s = graph.mutable_row_d2(tid);
+        const auto flags = row_flags(t);
+        for (const auto& [c, fresh] : candidates) {
+          if (c == tid) continue;
+          if (!fresh) continue;  // old/old pair: already proposed before
+          // Fault site: drop this candidate edge on the floor. NN-descent
+          // is self-healing — later rounds re-propose surviving paths — so
+          // a faulted build still converges to a usable graph (pinned by
+          // the knn chaos cells).
+          if (SDB_INJECT("knn.graph.drop_edge")) {
+            ++drops;
+            continue;
+          }
+          ++evals;
+          // A full row's worst slot bounds what can still matter: abandon
+          // the distance once the partial sum exceeds it, and reject
+          // without touching the row (strictly worse than the worst slot
+          // no matter the tie-break id). One eval is charged per candidate
+          // examined regardless — the unified counter contract.
+          const double cutoff = ids[k - 1] != kNoNeighbor
+                                    ? d2s[k - 1]
+                                    : std::numeric_limits<double>::infinity();
+          const double d2 = squared_distance_abandoned(points[tid],
+                                                       points[c], cutoff);
+          if (d2 > cutoff) continue;
+          if (row_insert(ids, d2s, flags, k, d2, c)) {
+            ++updates;
+          }
+        }
+      }
+      chunk_updates[chunk] += updates;
+      chunk_evals2[chunk] += evals;
+      chunk_drops[chunk] += drops;
+    });
+    u64 round_updates = 0;
+    for (const u64 u : chunk_updates) round_updates += u;
+    for (const u64 e : chunk_evals2) stats.distance_evals += e;
+    for (const u64 d : chunk_drops) stats.dropped_edges += d;
+    stats.updates += round_updates;
+    if (static_cast<double>(round_updates) <
+        cfg.termination_frac * static_cast<double>(target_slots)) {
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+KnnGraph build_knn_graph(const PointSet& points, const KnnGraphConfig& cfg,
+                         KnnGraphBuildStats* stats_out) {
+  SDB_CHECK(cfg.k > 0, "kNN graph needs k > 0");
+  const size_t n = points.size();
+  KnnGraph graph(n, cfg.k);
+  KnnGraphBuildStats stats;
+  if (n > 1) {
+    if (cfg.build == KnnGraphConfig::Build::kExact || n - 1 <= cfg.k) {
+      build_exact(points, cfg, graph, stats);
+    } else {
+      build_descent(points, cfg, graph, stats);
+    }
+  }
+  // One flush on the calling thread (worker tasks tally into plain chunk
+  // slots, not thread-local sinks, so totals are exact and deterministic).
+  counters::distance_evals(stats.distance_evals);
+  if (stats_out != nullptr) *stats_out = stats;
+  return graph;
+}
+
+double graph_recall(const KnnGraph& exact, const KnnGraph& approx) {
+  SDB_CHECK(exact.size() == approx.size(), "graph size mismatch");
+  if (exact.size() == 0) return 1.0;
+  u64 total = 0;
+  u64 hit = 0;
+  for (size_t p = 0; p < exact.size(); ++p) {
+    const auto pid = static_cast<PointId>(p);
+    for (const PointId j : exact.row_ids(pid)) {
+      if (j == kNoNeighbor) break;
+      ++total;
+      if (approx.has_edge(pid, j)) ++hit;
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(hit) / static_cast<double>(total);
+}
+
+}  // namespace sdb::knn

@@ -29,6 +29,14 @@ class BruteForceIndex final : public SpatialIndex {
                             const QueryBudget& budget,
                             std::vector<PointId>& out) const override;
 
+  /// Unified kNN (see SpatialIndex::knn_query). Always exact: brute force
+  /// has no nodes for max_nodes to bound. Scans every row (n distance_evals,
+  /// zero tree_nodes) with the strip kernel as a cutoff filter once the
+  /// heap is full — the same idiom as the kd-tree leaf scan.
+  void knn_query(std::span<const double> q, size_t k,
+                 const QueryBudget& budget,
+                 std::vector<KnnHit>& out) const override;
+
   [[nodiscard]] size_t size() const override { return points_.size(); }
   [[nodiscard]] u64 byte_size() const override {
     return points_.byte_size() + strips_.size() * sizeof(double);

@@ -1,7 +1,9 @@
 #include "spatial/grid_index.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
+#include <queue>
 
 #include "geom/distance.hpp"
 
@@ -20,6 +22,15 @@ GridIndex::GridIndex(const PointSet& points, double cell)
   std::vector<i64> coords(dim);
   for (PointId i = 0; i < static_cast<PointId>(n); ++i) {
     cell_coords(points_[i], coords);
+    if (cell_lo_.empty()) {
+      cell_lo_ = coords;
+      cell_hi_ = coords;
+    } else {
+      for (size_t d = 0; d < dim; ++d) {
+        cell_lo_[d] = std::min(cell_lo_[d], coords[d]);
+        cell_hi_[d] = std::max(cell_hi_[d], coords[d]);
+      }
+    }
     auto [it, inserted] = buckets.try_emplace(coords_key(coords));
     if (inserted) cell_order.push_back(it->first);
     it->second.push_back(i);
@@ -141,6 +152,153 @@ void GridIndex::range_query_budgeted(std::span<const double> q, double eps,
   // One thread-local flush per query (exact totals — see counters::add).
   counters::tree_nodes(visited_cells);
   counters::distance_evals(evals);
+}
+
+void GridIndex::knn_query(std::span<const double> q, size_t k,
+                          const QueryBudget& budget,
+                          std::vector<KnnHit>& out) const {
+  // Max-heap of lexicographic (d2, id) pairs — smaller-id tie-break at the
+  // k-th distance (see the contract in spatial_index.hpp).
+  using Entry = std::pair<double, PointId>;
+  std::priority_queue<Entry> heap;
+  if (k == 0 || points_.empty()) return;
+  const size_t dim = static_cast<size_t>(points_.dim());
+  std::vector<i64> base(dim);
+  cell_coords(q, base);
+
+  u64 cells_probed = 0;
+  u64 evals = 0;
+  bool budget_hit = false;
+  std::vector<i64> coords(dim);
+  auto probe_cell = [&]() {
+    if (budget.max_nodes != 0 && cells_probed >= budget.max_nodes) {
+      budget_hit = true;
+      return;
+    }
+    ++cells_probed;
+    const auto it = cells_.find(coords_key(coords));
+    if (it == cells_.end()) return;
+    const CellRange range = it->second;
+    // One eval per row in the cell — every member is examined.
+    evals += range.end - range.begin;
+    for (u32 i = range.begin; i < range.end; ++i) {
+      const Entry cand{
+          squared_distance_uncounted(q, points_[packed_ids_[i]]),
+          packed_ids_[i]};
+      if (heap.size() < k) {
+        heap.push(cand);
+      } else if (cand < heap.top()) {
+        heap.pop();
+        heap.push(cand);
+      }
+    }
+  };
+
+  // High-dimensional fallback. The ring odometer below iterates the full
+  // (2r+1)^dim offset box per ring, which dwarfs the occupied-cell count
+  // long before dim reaches embedding sizes (3^64 offsets at d=64, r=1) —
+  // geometric enumeration can never pay off once the occupied bounding box
+  // holds more cells than the index has points. In that regime probe every
+  // occupied cell once, in packed (build-deterministic) order; the unified
+  // counter contract is unchanged: one tree_node per cell probed, one
+  // distance_eval per row examined, budget.max_nodes caps the probes.
+  double box_cells = 1.0;
+  for (size_t d = 0; d < dim; ++d) {
+    box_cells *= static_cast<double>(cell_hi_[d] - cell_lo_[d] + 1);
+    if (box_cells > 1e18) break;
+  }
+  if (box_cells > std::max<double>(1024.0,
+                                   4.0 * static_cast<double>(cells_.size()))) {
+    // Sort by packed range start: the deterministic build order of the
+    // cells, independent of the hash map's iteration order.
+    std::vector<const CellRange*> occupied;
+    occupied.reserve(cells_.size());
+    for (const auto& [key, range] : cells_) occupied.push_back(&range);
+    std::sort(occupied.begin(), occupied.end(),
+              [](const CellRange* a, const CellRange* b) {
+                return a->begin < b->begin;
+              });
+    for (const CellRange* range : occupied) {
+      if (budget.max_nodes != 0 && cells_probed >= budget.max_nodes) break;
+      ++cells_probed;
+      evals += range->end - range->begin;
+      for (u32 i = range->begin; i < range->end; ++i) {
+        const Entry cand{
+            squared_distance_uncounted(q, points_[packed_ids_[i]]),
+            packed_ids_[i]};
+        if (heap.size() < k) {
+          heap.push(cand);
+        } else if (cand < heap.top()) {
+          heap.pop();
+          heap.push(cand);
+        }
+      }
+    }
+    counters::tree_nodes(cells_probed);
+    counters::distance_evals(evals);
+    const size_t base_out = out.size();
+    out.resize(base_out + heap.size());
+    for (size_t i = heap.size(); i-- > 0;) {
+      out[base_out + i] = KnnHit{heap.top().first, heap.top().second};
+      heap.pop();
+    }
+    return;
+  }
+
+  // Expand Chebyshev rings r = 0, 1, 2, ... around the query's cell.
+  for (i64 r = 0;; ++r) {
+    if (budget_hit) break;
+    if (r > 0) {
+      // Prune: any point in a ring-r cell is at least (r-1)*cell away from
+      // q in some coordinate (q lies inside its own cell). Strict > keeps
+      // the tie-break exact — an equal-distance point with a smaller id
+      // may still displace the heap top.
+      if (heap.size() == k) {
+        const double lb = static_cast<double>(r - 1) * cell_;
+        if (lb * lb > heap.top().first) break;
+      }
+      // Termination: once the PREVIOUS ring box covers every occupied
+      // cell, ring r and beyond hold nothing.
+      bool covered = true;
+      for (size_t d = 0; d < dim; ++d) {
+        if (base[d] - (r - 1) > cell_lo_[d] ||
+            base[d] + (r - 1) < cell_hi_[d]) {
+          covered = false;
+          break;
+        }
+      }
+      if (covered) break;
+    }
+    // Odometer over offsets in [-r, r]^dim, probing only the shell
+    // (Chebyshev norm == r) — deterministic cell order within the ring.
+    std::vector<i64> off(dim, -r);
+    for (;;) {
+      bool on_shell = r == 0;
+      for (size_t d = 0; d < dim && !on_shell; ++d) {
+        on_shell = off[d] == -r || off[d] == r;
+      }
+      if (on_shell) {
+        for (size_t d = 0; d < dim; ++d) coords[d] = base[d] + off[d];
+        probe_cell();
+        if (budget_hit) break;
+      }
+      size_t d = 0;
+      for (; d < dim; ++d) {
+        if (++off[d] <= r) break;
+        off[d] = -r;
+      }
+      if (d == dim) break;
+    }
+  }
+  counters::tree_nodes(cells_probed);
+  counters::distance_evals(evals);
+
+  const size_t base_out = out.size();
+  out.resize(base_out + heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[base_out + i] = KnnHit{heap.top().first, heap.top().second};
+    heap.pop();
+  }
 }
 
 u64 GridIndex::byte_size() const {

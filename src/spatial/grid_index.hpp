@@ -34,6 +34,16 @@ class GridIndex final : public SpatialIndex {
                             const QueryBudget& budget,
                             std::vector<PointId>& out) const override;
 
+  /// Unified kNN (see SpatialIndex::knn_query): expanding Chebyshev-ring
+  /// cell search from the query's cell, pruned once the ring's distance
+  /// lower bound strictly exceeds the current k-th (d2, id) heap top, and
+  /// terminated when the ring box covers every occupied cell. Cells are
+  /// probed in odometer order within a ring (deterministic); max_nodes
+  /// bounds the cells probed.
+  void knn_query(std::span<const double> q, size_t k,
+                 const QueryBudget& budget,
+                 std::vector<KnnHit>& out) const override;
+
   [[nodiscard]] size_t size() const override { return points_.size(); }
   [[nodiscard]] u64 byte_size() const override;
   [[nodiscard]] const char* name() const override { return "grid"; }
@@ -54,6 +64,10 @@ class GridIndex final : public SpatialIndex {
   const PointSet& points_;
   double cell_;
   std::unordered_map<u64, CellRange> cells_;
+  // Per-dimension [min, max] occupied cell coordinates — the ring search's
+  // termination bound (empty when the index holds no points).
+  std::vector<i64> cell_lo_;
+  std::vector<i64> cell_hi_;
   std::vector<PointId> packed_ids_;    // cell-contiguous, id order per cell
   std::vector<double> packed_coords_;  // strip-transposed coords in
                                        // packed_ids_ order, padded to whole

@@ -456,20 +456,36 @@ void KdTree::run_query(std::span<const double> q, QueryState& st) const {
   }
 }
 
-std::vector<PointId> KdTree::knn(std::span<const double> q, size_t k) const {
-  // Max-heap of (distance2, id); bounded to k entries.
+void KdTree::knn_query(std::span<const double> q, size_t k,
+                       const QueryBudget& budget,
+                       std::vector<KnnHit>& out) const {
+  // Max-heap of (distance2, id), bounded to k entries. The PAIR compares —
+  // lexicographic (d2, id) — so the retained set is the k smallest (d2, id)
+  // pairs: ties at exactly the k-th distance are broken toward the smaller
+  // id, deterministically, regardless of tree layout or traversal order.
+  // (Comparing d2 alone kept whichever tied point the traversal reached
+  // first — a function of leaf packing, not of the data.)
   using Entry = std::pair<double, PointId>;
   std::priority_queue<Entry> heap;
-  if (root_ < 0 || k == 0) return {};
+  if (root_ < 0 || k == 0) return;
 
+  u64 nodes_visited = 0;
+  u64 evals = 0;
   // Iterative best-first would be faster; recursive depth-first with heap
-  // pruning is simpler and the call sites (examples, tests) are small.
+  // pruning is simpler and the call sites (examples, tests, the exact kNN
+  // graph builder's oracle) are small.
   const double* strips = leaf_coords_.get();
   const simd::StripKernelFn kernel =
       strips != nullptr ? simd::detail::strip_kernel() : nullptr;
   auto visit = [&](auto&& self, i32 node_id) -> void {
+    // Node budget: stop descending once the cap is reached (max_neighbors
+    // is ignored for kNN — see the contract in spatial_index.hpp).
+    if (budget.max_nodes != 0 && nodes_visited >= budget.max_nodes) return;
+    ++nodes_visited;
     const Node& node = nodes_[static_cast<size_t>(node_id)];
-    counters::tree_nodes(1);
+    // Strict > keeps the tie-break exact: a subtree at box distance equal
+    // to the current k-th distance may still hold an equal-distance point
+    // with a smaller id.
     if (heap.size() == k &&
         box_distance2(node, q, heap.top().first) > heap.top().first) {
       return;
@@ -481,15 +497,16 @@ std::vector<PointId> KdTree::knn(std::span<const double> q, size_t k) const {
       if (strips != nullptr && heap.size() == k &&
           std::isfinite(heap.top().first)) {
         // Kernel-filtered leaf scan: with the heap full, a row can only
-        // matter if d2 < heap.top(), and heap.top() never increases — so
-        // the mask at cutoff = heap.top()-at-leaf-entry is a superset of
-        // every row the scalar loop below would insert (its <= keeps the
-        // d2 == cutoff rows the scalar < then rejects). Survivors get the
-        // exact distance from the same unfused scalar accumulation, so the
-        // heap evolves identically; rows the filter drops satisfy
-        // d2 > cutoff >= heap.top()-current and were no-ops anyway. Charged
-        // one eval per row, exactly like the scalar loop.
-        counters::distance_evals(node.end - node.begin);
+        // matter if (d2, id) < heap.top(), which requires d2 <= top.d2 —
+        // and top.d2 never increases — so the kernel mask at cutoff =
+        // top.d2-at-leaf-entry (its <= keeps the d2 == cutoff rows the
+        // id tie-break may still admit) is a superset of every row the
+        // scalar loop below would insert. Survivors get the exact distance
+        // from the same unfused scalar accumulation, so the heap evolves
+        // identically; rows the filter drops satisfy d2 > cutoff >=
+        // top.d2-current and were no-ops anyway. Charged one eval per row,
+        // exactly like the scalar loop.
+        evals += node.end - node.begin;
         const double cutoff = heap.top().first;
         for (u32 i = node.begin; i < node.end;) {
           const u32 lane = i % static_cast<u32>(kDistanceStrip);
@@ -502,10 +519,11 @@ std::vector<PointId> KdTree::knn(std::span<const double> q, size_t k) const {
                             m);
           while (mask != 0) {
             const u32 j = static_cast<u32>(std::countr_zero(mask));
-            const double d2 = squared_distance_uncounted(q, row(i + j));
-            if (d2 < heap.top().first) {
+            const Entry cand{squared_distance_uncounted(q, row(i + j)),
+                             ids_[i + j]};
+            if (cand < heap.top()) {
               heap.pop();
-              heap.emplace(d2, ids_[i + j]);
+              heap.push(cand);
             }
             mask &= mask - 1;
           }
@@ -516,12 +534,13 @@ std::vector<PointId> KdTree::knn(std::span<const double> q, size_t k) const {
       // Scalar leaf scan — always while the heap is filling (the first
       // leaves), and the whole query on legacy (reorder=false) trees.
       for (u32 i = node.begin; i < node.end; ++i) {
-        const double d2 = squared_distance(q, row(i));
+        ++evals;
+        const Entry cand{squared_distance_uncounted(q, row(i)), ids_[i]};
         if (heap.size() < k) {
-          heap.emplace(d2, ids_[i]);
-        } else if (d2 < heap.top().first) {
+          heap.push(cand);
+        } else if (cand < heap.top()) {
           heap.pop();
-          heap.emplace(d2, ids_[i]);
+          heap.push(cand);
         }
       }
       return;
@@ -531,12 +550,24 @@ std::vector<PointId> KdTree::knn(std::span<const double> q, size_t k) const {
     self(self, left_first ? node.right : node.left);
   };
   visit(visit, root_);
+  // One thread-local flush per query (see the counter contract).
+  counters::tree_nodes(nodes_visited);
+  counters::distance_evals(evals);
 
-  std::vector<PointId> out(heap.size());
+  const size_t base = out.size();
+  out.resize(base + heap.size());
   for (size_t i = heap.size(); i-- > 0;) {
-    out[i] = heap.top().second;
+    out[base + i] = KnnHit{heap.top().first, heap.top().second};
     heap.pop();
   }
+}
+
+std::vector<PointId> KdTree::knn(std::span<const double> q, size_t k) const {
+  std::vector<KnnHit> hits;
+  knn_query(q, k, QueryBudget{}, hits);
+  std::vector<PointId> out;
+  out.reserve(hits.size());
+  for (const KnnHit& h : hits) out.push_back(h.id);
   return out;
 }
 

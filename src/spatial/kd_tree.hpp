@@ -73,9 +73,18 @@ class KdTree final : public SpatialIndex {
                             const QueryBudget& budget,
                             std::vector<PointId>& out) const override;
 
+  /// Unified kNN query (see the contract on SpatialIndex::knn_query):
+  /// ascending (d2, id) with deterministic smaller-id tie-break at the k-th
+  /// distance, one distance_eval per row examined, max_nodes-budgeted
+  /// descent.
+  void knn_query(std::span<const double> q, size_t k,
+                 const QueryBudget& budget,
+                 std::vector<KnnHit>& out) const override;
+
   /// Ids of the k nearest neighbors of `q` (including `q` itself when it is
-  /// an indexed point), ordered nearest-first. Used by the eps-estimation
-  /// example (the original DBSCAN paper's 4-dist heuristic).
+  /// an indexed point), ordered nearest-first (ties: smaller id). Used by
+  /// the eps-estimation example (the original DBSCAN paper's 4-dist
+  /// heuristic). Convenience wrapper over knn_query.
   [[nodiscard]] std::vector<PointId> knn(std::span<const double> q,
                                          size_t k) const;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <queue>
 
 #include "geom/distance.hpp"
 
@@ -297,17 +298,20 @@ void RTree::range_query_budgeted(std::span<const double> q, double eps,
                                  std::vector<PointId>& out) const {
   if (root_ < 0) return;
   u64 visited = 0;
+  u64 evals = 0;
   u64 found = 0;
   bool stopped = false;
-  query_node(root_, q, eps * eps, budget, visited, found, stopped, out);
+  query_node(root_, q, eps * eps, budget, visited, evals, found, stopped, out);
+  counters::tree_nodes(visited);
+  counters::distance_evals(evals);
 }
 
 void RTree::query_node(i32 node_id, std::span<const double> q, double eps2,
-                       const QueryBudget& budget, u64& visited, u64& found,
-                       bool& stopped, std::vector<PointId>& out) const {
+                       const QueryBudget& budget, u64& visited, u64& evals,
+                       u64& found, bool& stopped,
+                       std::vector<PointId>& out) const {
   if (stopped) return;
   ++visited;
-  counters::tree_nodes(1);
   if (budget.max_nodes != 0 && visited > budget.max_nodes) {
     stopped = true;
     return;
@@ -315,8 +319,13 @@ void RTree::query_node(i32 node_id, std::span<const double> q, double eps2,
   const Node& node = nodes_[static_cast<size_t>(node_id)];
   if (rect_distance2(node.rect, q) > eps2) return;
   if (node.leaf) {
+    // One eval per leaf entry examined, tallied locally and flushed once
+    // per query by the caller — the same charging rule and granularity as
+    // the kd-tree and grid paths (this used to go through the counted
+    // squared_distance wrapper per row and counters::tree_nodes per node).
     for (const i32 id : node.children) {
-      if (squared_distance(q, points_[id]) <= eps2) {
+      ++evals;
+      if (squared_distance_uncounted(q, points_[id]) <= eps2) {
         out.push_back(id);
         ++found;
         if (budget.max_neighbors != 0 && found >= budget.max_neighbors) {
@@ -328,8 +337,72 @@ void RTree::query_node(i32 node_id, std::span<const double> q, double eps2,
     return;
   }
   for (const i32 child : node.children) {
-    query_node(child, q, eps2, budget, visited, found, stopped, out);
+    query_node(child, q, eps2, budget, visited, evals, found, stopped, out);
     if (stopped) return;
+  }
+}
+
+void RTree::knn_query(std::span<const double> q, size_t k,
+                      const QueryBudget& budget,
+                      std::vector<KnnHit>& out) const {
+  // Max-heap of lexicographic (d2, id) pairs — smaller-id tie-break at the
+  // k-th distance (see the contract in spatial_index.hpp).
+  using Entry = std::pair<double, PointId>;
+  std::priority_queue<Entry> heap;
+  if (root_ < 0 || k == 0) return;
+
+  u64 nodes_visited = 0;
+  u64 evals = 0;
+  auto visit = [&](auto&& self, i32 node_id) -> void {
+    if (budget.max_nodes != 0 && nodes_visited >= budget.max_nodes) return;
+    ++nodes_visited;
+    const Node& node = nodes_[static_cast<size_t>(node_id)];
+    // Strict > keeps the tie-break exact: a subtree at rectangle distance
+    // equal to the current k-th distance may still hold an equal-distance
+    // point with a smaller id.
+    if (heap.size() == k &&
+        rect_distance2(node.rect, q) > heap.top().first) {
+      return;
+    }
+    if (node.leaf) {
+      for (const i32 id : node.children) {
+        ++evals;
+        const Entry cand{squared_distance_uncounted(q, points_[id]),
+                         static_cast<PointId>(id)};
+        if (heap.size() < k) {
+          heap.push(cand);
+        } else if (cand < heap.top()) {
+          heap.pop();
+          heap.push(cand);
+        }
+      }
+      return;
+    }
+    // Descend children nearest-rectangle-first (ties: child order) — the
+    // deterministic analogue of the kd-tree's near-child-first descent,
+    // and what makes the heap-top pruning above effective.
+    std::vector<std::pair<double, size_t>> order;
+    order.reserve(node.children.size());
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      order.emplace_back(
+          rect_distance2(nodes_[static_cast<size_t>(node.children[i])].rect,
+                         q),
+          i);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [dist, i] : order) {
+      self(self, node.children[i]);
+    }
+  };
+  visit(visit, root_);
+  counters::tree_nodes(nodes_visited);
+  counters::distance_evals(evals);
+
+  const size_t base = out.size();
+  out.resize(base + heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    out[base + i] = KnnHit{heap.top().first, heap.top().second};
+    heap.pop();
   }
 }
 

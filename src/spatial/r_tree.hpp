@@ -30,6 +30,16 @@ class RTree final : public SpatialIndex {
                             const QueryBudget& budget,
                             std::vector<PointId>& out) const override;
 
+  /// Unified kNN (see SpatialIndex::knn_query): depth-first descent with
+  /// children visited in ascending (rect distance, child index) order and
+  /// subtrees pruned when their rectangle's distance strictly exceeds the
+  /// current k-th (d2, id) heap top. Same charging rule as kd/grid: one
+  /// distance_eval per leaf entry examined, one tree_node per node visited,
+  /// flushed once per query.
+  void knn_query(std::span<const double> q, size_t k,
+                 const QueryBudget& budget,
+                 std::vector<KnnHit>& out) const override;
+
   [[nodiscard]] size_t size() const override { return points_.size(); }
   [[nodiscard]] u64 byte_size() const override;
   [[nodiscard]] const char* name() const override { return "r-tree"; }
@@ -77,8 +87,8 @@ class RTree final : public SpatialIndex {
   void recompute_rect(i32 node_id);
 
   void query_node(i32 node_id, std::span<const double> q, double eps2,
-                  const QueryBudget& budget, u64& visited, u64& found,
-                  bool& stopped, std::vector<PointId>& out) const;
+                  const QueryBudget& budget, u64& visited, u64& evals,
+                  u64& found, bool& stopped, std::vector<PointId>& out) const;
 
   void check_node(i32 node_id, int depth, int leaf_depth) const;
 

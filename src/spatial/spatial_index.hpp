@@ -55,6 +55,14 @@ struct QueryBudget {
   }
 };
 
+/// One kNN result row: squared distance + point id. knn_query returns hits
+/// in ascending (d2, id) order.
+struct KnnHit {
+  double d2 = 0.0;
+  PointId id = 0;
+  friend bool operator==(const KnnHit&, const KnnHit&) = default;
+};
+
 class SpatialIndex {
  public:
   virtual ~SpatialIndex() = default;
@@ -69,6 +77,48 @@ class SpatialIndex {
   virtual void range_query_budgeted(std::span<const double> q, double eps,
                                     const QueryBudget& budget,
                                     std::vector<PointId>& out) const = 0;
+
+  /// k-nearest-neighbor query: append the k nearest indexed points to `out`
+  /// (including the query point itself when it is indexed), ascending by
+  /// (d2, id).
+  ///
+  /// DETERMINISTIC TIE-BREAK. Ties at exactly the k-th distance are broken
+  /// toward the SMALLER point id: the result is the k smallest (d2, id)
+  /// pairs under lexicographic order. That makes the exact result unique —
+  /// independent of index structure, leaf size, build thread count, and
+  /// SIMD variant — so every index returns byte-identical hit lists for the
+  /// same dataset (regression-tested across all four in test_knn_queries).
+  ///
+  /// COUNTER CONTRACT (unified across kd-tree / grid / R-tree / brute
+  /// force; the R-tree previously had no kNN path at all and the kd-tree
+  /// charged per node rather than per query):
+  ///   * distance_evals: exactly ONE per candidate row the traversal
+  ///     examines, charged whether or not the row enters the heap, and
+  ///     regardless of SIMD partial-distance abandonment or kernel cutoff
+  ///     filtering (both are implementation details of the evaluation, as
+  ///     in range queries). A traversal forced to examine every row (k >=
+  ///     n, or a single-leaf/single-cell layout) charges exactly n on every
+  ///     index.
+  ///   * tree_nodes: one per tree node / grid cell the traversal visits
+  ///     (zero for brute force, which has no nodes).
+  ///   * All tallies are accumulated locally and flushed once per query
+  ///     (counters::add), like range_query.
+  ///
+  /// BUDGET SEMANTICS for kNN (previously undocumented):
+  ///   * budget.max_nodes bounds the nodes/cells visited, exactly as in
+  ///     range queries: the traversal stops descending once the cap is
+  ///     reached, and the result is the EXACT kNN (with the same tie-break)
+  ///     of the rows actually examined — deterministic, because traversal
+  ///     order is fixed (see the approximation contract above), but NOT
+  ///     necessarily a subset of the unbudgeted result's ids beyond the
+  ///     prefix property of the traversal. Indexes without nodes (brute
+  ///     force) ignore it and are always exact.
+  ///   * budget.max_neighbors is IGNORED: k itself is the result-size
+  ///     bound, and truncating below k would silently change kNN semantics
+  ///     (regression-tested: results are identical for any max_neighbors).
+  virtual void knn_query(std::span<const double> q, size_t k,
+                         const QueryBudget& budget,
+                         std::vector<KnnHit>& out) const = 0;
 
   /// Number of indexed points.
   [[nodiscard]] virtual size_t size() const = 0;

@@ -81,6 +81,99 @@ PointSet gaussian_clusters(const GaussianMixtureConfig& cfg, Rng& rng,
   return points;
 }
 
+double embedding_suggested_eps(const EmbeddingConfig& cfg) {
+  const double intra2 =
+      2.0 * cfg.intrinsic_dim * cfg.spread * cfg.spread +
+      2.0 * cfg.dim * cfg.jitter * cfg.jitter;
+  return 1.5 * std::sqrt(intra2);
+}
+
+PointSet embedding_clusters(const EmbeddingConfig& cfg, Rng& rng,
+                            std::vector<i32>* true_labels) {
+  SDB_CHECK(cfg.n > 0 && cfg.dim > 0 && cfg.clusters > 0 &&
+                cfg.intrinsic_dim > 0 && cfg.intrinsic_dim <= cfg.dim,
+            "bad EmbeddingConfig");
+  const auto dim = static_cast<size_t>(cfg.dim);
+  const auto intrinsic = static_cast<size_t>(cfg.intrinsic_dim);
+
+  // Centers: rejection-sampled in a cube sized to hold `clusters` balls of
+  // the required separation (bounded retries, best effort like
+  // gaussian_clusters).
+  const double min_sep =
+      cfg.center_separation * embedding_suggested_eps(cfg) / 1.5;
+  const double side =
+      min_sep * std::cbrt(static_cast<double>(cfg.clusters)) * 2.0;
+  std::vector<std::vector<double>> centers;
+  centers.reserve(static_cast<size_t>(cfg.clusters));
+  for (int c = 0; c < cfg.clusters; ++c) {
+    std::vector<double> best(dim);
+    for (int attempt = 0; attempt < 256; ++attempt) {
+      std::vector<double> cand(dim);
+      for (auto& x : cand) x = rng.uniform(0.0, side);
+      bool ok = true;
+      for (const auto& existing : centers) {
+        double d2 = 0.0;
+        for (size_t d = 0; d < dim; ++d) {
+          const double diff = cand[d] - existing[d];
+          d2 += diff * diff;
+        }
+        if (d2 < min_sep * min_sep) {
+          ok = false;
+          break;
+        }
+      }
+      best = cand;
+      if (ok) break;
+    }
+    centers.push_back(std::move(best));
+  }
+
+  // Per-cluster manifold basis: `intrinsic` random unit vectors in R^dim
+  // (near-orthogonal at high dim without explicit orthogonalization).
+  std::vector<std::vector<double>> bases(centers.size());
+  for (auto& basis : bases) {
+    basis.resize(intrinsic * dim);
+    for (size_t t = 0; t < intrinsic; ++t) {
+      double norm2 = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        const double x = rng.normal(0.0, 1.0);
+        basis[t * dim + d] = x;
+        norm2 += x * x;
+      }
+      const double inv = 1.0 / std::sqrt(std::max(norm2, 1e-30));
+      for (size_t d = 0; d < dim; ++d) basis[t * dim + d] *= inv;
+    }
+  }
+
+  PointSet points(cfg.dim);
+  points.reserve(static_cast<size_t>(cfg.n));
+  if (true_labels != nullptr) {
+    true_labels->clear();
+    true_labels->reserve(static_cast<size_t>(cfg.n));
+  }
+  const i64 noise_count =
+      static_cast<i64>(std::llround(cfg.noise_fraction * cfg.n));
+  std::vector<double> p(dim);
+  for (i64 i = 0; i < cfg.n; ++i) {
+    if (i < noise_count) {
+      for (auto& x : p) x = rng.uniform(0.0, side);
+      points.add(p);
+      if (true_labels != nullptr) true_labels->push_back(-1);
+      continue;
+    }
+    const auto c = static_cast<size_t>(rng.uniform_index(centers.size()));
+    p = centers[c];
+    for (size_t t = 0; t < intrinsic; ++t) {
+      const double a = rng.normal(0.0, cfg.spread);
+      for (size_t d = 0; d < dim; ++d) p[d] += a * bases[c][t * dim + d];
+    }
+    for (size_t d = 0; d < dim; ++d) p[d] += rng.normal(0.0, cfg.jitter);
+    points.add(p);
+    if (true_labels != nullptr) true_labels->push_back(static_cast<i32>(c));
+  }
+  return points;
+}
+
 PointSet uniform_points(const UniformConfig& cfg, Rng& rng) {
   SDB_CHECK(cfg.n > 0 && cfg.dim > 0, "bad UniformConfig");
   const double side =

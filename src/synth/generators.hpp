@@ -64,6 +64,41 @@ struct UniformConfig {
 /// Uniform random dataset (r-series surrogate).
 PointSet uniform_points(const UniformConfig& cfg, Rng& rng);
 
+/// Synthetic embedding workload: the high-dimensional regime the KNN-DBSCAN
+/// backend exists for. Real embedding vectors live near low-dimensional
+/// manifolds inside a high-dimensional ambient space; each cluster here is a
+/// random `intrinsic_dim`-dimensional affine patch in R^dim — points are
+/// center + sum_t a_t * u_t (a_t ~ N(0, spread^2), u_t random unit vectors)
+/// plus N(0, jitter^2) ambient noise per coordinate. Distances concentrate
+/// (exact kd-tree pruning degenerates to a linear scan) while cluster
+/// structure stays recoverable — exactly the workload of PAPERS.md's
+/// KNN-DBSCAN evaluation.
+struct EmbeddingConfig {
+  i64 n = 10'000;
+  int dim = 64;            ///< ambient dimensionality (64 / 128 presets)
+  int intrinsic_dim = 8;   ///< manifold dimension per cluster
+  int clusters = 10;
+  double spread = 1.0;     ///< on-manifold coefficient sigma
+  double jitter = 0.02;    ///< full-ambient per-coordinate noise sigma
+  /// Minimum center separation in units of the RMS intra-cluster pair
+  /// distance (see embedding_suggested_eps).
+  double center_separation = 4.0;
+  /// Fraction of points drawn uniformly over the center bounding box
+  /// (outliers that exact DBSCAN and the KNN backend must both call noise).
+  double noise_fraction = 0.02;
+};
+
+/// The eps that makes DBSCAN recover EmbeddingConfig's clusters: 1.5x the
+/// RMS intra-cluster pair distance sqrt(2*intrinsic*spread^2 +
+/// 2*dim*jitter^2) — comfortably above typical intra-cluster gaps, well
+/// below the center separation.
+double embedding_suggested_eps(const EmbeddingConfig& cfg);
+
+/// Generate the embedding workload. If `true_labels` is non-null it receives
+/// the generating component of each point (-1 for the uniform outliers).
+PointSet embedding_clusters(const EmbeddingConfig& cfg, Rng& rng,
+                            std::vector<i32>* true_labels = nullptr);
+
 /// Reorder points into recursive-median (kd) order: global indices become
 /// spatially coherent, so contiguous index blocks cover compact regions.
 /// The paper's Quest-generated inputs behave this way — its partial-cluster

@@ -16,8 +16,38 @@ const std::vector<DatasetSpec>& table1_presets() {
   return presets;
 }
 
+namespace {
+
+EmbeddingConfig embedding_config_for(const DatasetSpec& spec) {
+  EmbeddingConfig cfg;
+  cfg.n = spec.points;
+  cfg.dim = spec.dim;
+  return cfg;  // intrinsic/spread/jitter stay at the struct defaults
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& embedding_presets() {
+  static const std::vector<DatasetSpec> presets = [] {
+    std::vector<DatasetSpec> out = {
+        {"e10k64", 10'000, 64, 0.0, 5, DatasetKind::kEmbedding},
+        {"e10k128", 10'000, 128, 0.0, 5, DatasetKind::kEmbedding},
+    };
+    // eps is a property of the generator's geometry, not a free parameter:
+    // derive it so the preset clusters under its own spec.
+    for (auto& spec : out) {
+      spec.eps = embedding_suggested_eps(embedding_config_for(spec));
+    }
+    return out;
+  }();
+  return presets;
+}
+
 std::optional<DatasetSpec> find_preset(const std::string& name) {
   for (const auto& p : table1_presets()) {
+    if (p.name == name) return p;
+  }
+  for (const auto& p : embedding_presets()) {
     if (p.name == name) return p;
   }
   return std::nullopt;
@@ -28,6 +58,11 @@ PointSet generate(const DatasetSpec& spec, u64 seed, double scale) {
   const i64 n = std::max<i64>(
       64, static_cast<i64>(std::llround(static_cast<double>(spec.points) * scale)));
   Rng rng(derive_seed(seed, spec.name));
+  if (spec.kind == DatasetKind::kEmbedding) {
+    EmbeddingConfig cfg = embedding_config_for(spec);
+    cfg.n = n;
+    return embedding_clusters(cfg, rng);
+  }
   if (spec.kind == DatasetKind::kCluster) {
     GaussianMixtureConfig cfg;
     cfg.n = n;

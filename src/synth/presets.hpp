@@ -19,7 +19,7 @@
 
 namespace sdb::synth {
 
-enum class DatasetKind { kCluster, kUniform };
+enum class DatasetKind { kCluster, kUniform, kEmbedding };
 
 struct DatasetSpec {
   std::string name;
@@ -33,7 +33,15 @@ struct DatasetSpec {
 /// All five Table I presets, in the paper's order.
 const std::vector<DatasetSpec>& table1_presets();
 
-/// Look up a preset by name ("c10k", "c100k", "r10k", "r100k", "r1m").
+/// High-dimensional embedding presets for the KNN-DBSCAN backend (not part
+/// of the paper's Table I): e10k64 / e10k128 — 10,000 synthetic embedding
+/// vectors at d=64 / d=128 (synth::embedding_clusters), eps from
+/// embedding_suggested_eps. The regime where exact kd-tree range queries
+/// degenerate to linear scans.
+const std::vector<DatasetSpec>& embedding_presets();
+
+/// Look up a preset by name ("c10k", "c100k", "r10k", "r100k", "r1m",
+/// "e10k64", "e10k128").
 std::optional<DatasetSpec> find_preset(const std::string& name);
 
 /// Generate the dataset for a preset, deterministically from `seed`.

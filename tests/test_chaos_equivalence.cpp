@@ -23,6 +23,7 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <tuple>
 
@@ -316,6 +317,80 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(2u, 7u),
         ::testing::Values(Engine::kSpark, Engine::kMapReduce)),
     chaos_case_name);
+
+// KNN-backend column of the chaos surface: the spark pipeline with
+// backend = kKnn runs the NN-descent graph build on the driver, where the
+// knn.graph.drop_edge site skips candidate evaluations. A faulted build
+// must still CONVERGE — NN-descent is self-healing (a dropped candidate
+// can resurface through a later round's local join), so the clustering may
+// shift only within the disagreement bound — and replaying the same spec
+// must reproduce a byte-identical fault sequence and labels.
+class ChaosKnnBackend : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ChaosKnnBackend, FaultedGraphBuildConvergesAndReplays) {
+  const u64 fault_seed = GetParam();
+  const std::string spec = "seed=" + std::to_string(fault_seed) +
+                           ";knn.graph.drop_edge:p=0.02,budget=400"
+                           ";spark.task.fail:p=0.3,budget=2"
+                           ";spark.acc.lost:p=0.25,budget=2";
+  SCOPED_TRACE("fault spec: " + spec);
+
+  Rng rng(404);
+  synth::EmbeddingConfig gen_cfg;
+  gen_cfg.n = 800;
+  gen_cfg.dim = 64;
+  gen_cfg.clusters = 4;
+  const PointSet ps = synth::embedding_clusters(gen_cfg, rng);
+
+  auto run_knn = [&](const std::string* plan_spec) {
+    std::optional<fault::ScopedFaultPlan> chaos;
+    if (plan_spec != nullptr) chaos.emplace(*plan_spec);
+    minispark::ClusterConfig ccfg;
+    ccfg.executors = 3;
+    ccfg.straggler.fraction = 0.0;
+    minispark::SparkContext ctx(ccfg);
+    SparkDbscanConfig cfg;
+    cfg.params = {synth::embedding_suggested_eps(gen_cfg), 5};
+    cfg.partitions = 3;
+    cfg.backend = DbscanBackend::kKnn;
+    cfg.knn.k = 16;
+    SparkDbscan job(ctx, cfg);
+    auto report = job.run(ps);
+    ChaosRun out;
+    out.clustering = std::move(report.clustering);
+    if (chaos.has_value()) {
+      out.digest = chaos->plan().log_digest();
+      out.hits = chaos->plan().hits();
+      out.fires = chaos->plan().fires();
+    }
+    return out;
+  };
+
+  const ChaosRun clean = run_knn(nullptr);
+  const ChaosRun faulted = run_knn(&spec);
+  const ChaosRun replay = run_knn(&spec);
+
+#ifdef SDB_FAULT_INJECTION
+  EXPECT_GT(faulted.hits, 0u);
+  EXPECT_GT(faulted.fires, 0u);
+#endif
+
+  // 1. Convergence: the faulted graph clusters within the disagreement
+  //    bound of the fault-free run (and exactly equals it when the descent
+  //    healed every drop).
+  EXPECT_GT(rand_index(clean.clustering, faulted.clustering), 0.98);
+  EXPECT_GT(adjusted_rand_index(clean.clustering, faulted.clustering), 0.95);
+
+  // 2. Replay: same spec, same seed -> byte-identical fault sequence,
+  //    byte-identical labels.
+  EXPECT_EQ(faulted.digest, replay.digest);
+  EXPECT_EQ(faulted.hits, replay.hits);
+  EXPECT_EQ(faulted.fires, replay.fires);
+  EXPECT_EQ(faulted.clustering.labels, replay.clustering.labels);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ChaosKnnBackend,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
 
 // Sanity anchor for the grid: with no plan installed the same pipelines run
 // fault-free (hits stay 0), so the grid above is genuinely exercising the

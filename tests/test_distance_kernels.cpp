@@ -164,7 +164,78 @@ TEST_P(StripKernelBitExact, EveryLaneOffsetAndCount) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Dims, StripKernelBitExact,
-                         ::testing::Values<size_t>(1, 2, 3, 10, 64));
+                         ::testing::Values<size_t>(1, 2, 3, 10, 64, 96, 128));
+
+// ---------------------------------------------------------------------------
+// Partial-distance abandonment at high dimension. The probe schedule
+// (abandon_probe_due) checks the accumulated partial sum at fixed depths;
+// the d >= 64 regression was a stride that skipped the late probes, so
+// far-away rows burned the whole row before abandoning — and one variant's
+// probe placement disagreed with another's mask on boundary eps2 values.
+// These fixtures make abandonment THE common case and require bit-identical
+// masks against both the scalar reference and the full-sum oracle.
+// ---------------------------------------------------------------------------
+
+class AbandonmentHighDim : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AbandonmentHighDim, AllFarRowsMatchScalarBitExactly) {
+  const size_t dim = GetParam();
+  Rng rng(5150 + static_cast<u64>(dim));
+  std::vector<double> q(dim);
+  for (auto& x : q) x = rng.uniform(-1.0, 1.0);
+
+  // Rows engineered to cross eps2 at a controlled depth: the first
+  // `cross_at` coordinates equal q's (contributing 0), the rest differ by
+  // 10 each. Sweeping cross_at over the probe depths (1, 3, 7, 15, 31, 63,
+  // 127) exercises every abandonment point of the schedule; the remaining
+  // lanes are near-duplicates that must survive to the end.
+  const size_t n = 2 * kDistanceStrip + 5;
+  std::vector<std::vector<double>> rows;
+  const size_t depths[] = {0, 1, 3, 7, 15, 31, 47, 63, 95, 127};
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> p(q.begin(), q.end());
+    if (i % 3 == 0) {
+      // near row: tiny perturbation in the LAST coordinate only — the
+      // decision is made at the very end of the accumulation.
+      p[dim - 1] += 0.5;
+    } else {
+      const size_t cross = std::min(depths[i % 10], dim - 1);
+      for (size_t d = cross; d < dim; ++d) p[d] += 10.0;
+    }
+    rows.push_back(std::move(p));
+  }
+  std::vector<double> strips(strip_padded_len(n, dim), 0.0);
+  for (size_t i = 0; i < n; ++i) strip_store_row(strips.data(), i, rows[i]);
+
+  // eps2 ladder: thresholds between the per-depth crossing sums, so each
+  // value abandons a different subset of rows at a different probe.
+  std::vector<double> eps2s = {0.24, 0.26, 1.0, 100.0 - 1e-9, 100.0,
+                               100.0 + 1e-9, 1600.0, 1e4, 1e6};
+  for (size_t i = 0; i < n; i += 7) {
+    eps2s.push_back(squared_distance_uncounted(q, rows[i]));
+  }
+
+  const simd::StripKernelFn dispatched = simd::detail::strip_kernel();
+  for (const double eps2 : eps2s) {
+    for (size_t pos = 0; pos < n;) {
+      const size_t count = std::min(kDistanceStrip - pos % kDistanceStrip,
+                                    n - pos);
+      const double* lanes = strip_lane(strips.data(), pos, dim);
+      const u32 got = dispatched(q.data(), dim, eps2, lanes, count);
+      const u32 ref = simd::detail::strip_scalar(q.data(), dim, eps2, lanes,
+                                                 count);
+      const u32 want = oracle_mask(q, rows, pos, count, eps2);
+      EXPECT_EQ(got, ref) << "dim=" << dim << " pos=" << pos
+                          << " eps2=" << eps2;
+      EXPECT_EQ(got, want) << "dim=" << dim << " pos=" << pos
+                           << " eps2=" << eps2;
+      pos += count;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, AbandonmentHighDim,
+                         ::testing::Values<size_t>(64, 65, 96, 128));
 
 // ---------------------------------------------------------------------------
 // Index-level regression: partial final strips / strip-boundary counts.
@@ -325,6 +396,65 @@ TEST(KnnKernelFilter, BitIdenticalScalarVsSimdAndLegacyLayout) {
       simd::force_scalar(false);
       EXPECT_EQ(dispatched, scalar) << "k=" << k << " q=" << q;
       EXPECT_EQ(dispatched, legacy.knn(ps[q], k)) << "k=" << k << " q=" << q;
+    }
+  }
+}
+
+TEST(KnnKernelFilter, HighDimAndTiesMatchScalarAndBruteOracle) {
+  // The two fixed bugs this pins:
+  //  * d=128 and k > leaf occupancy: the heap-cutoff filter masked leaf
+  //    candidates with the entry-time k-th distance; with an unfilled heap
+  //    (k larger than any single leaf) or late-probing dims the filter
+  //    must pass EVERYTHING through to the exact refinement, never drop a
+  //    true neighbor.
+  //  * ties at exactly the k-th distance: duplicated points and partners at
+  //    identical d2 must resolve by point id, identically on every variant
+  //    and layout.
+  Rng rng(8128);
+  PointSet ps(128);
+  std::vector<double> p(128);
+  for (int i = 0; i < 500; ++i) {
+    for (auto& x : p) x = rng.uniform(-5.0, 5.0);
+    ps.add(p);
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.25) {
+      ps.add(p);  // exact duplicate: d2 tie at every query
+    } else if (roll < 0.5) {
+      // Two partners at the same d2 from p, different ids: a tie exactly
+      // at the k-th slot whenever the heap boundary lands on them.
+      std::vector<double> partner = p;
+      partner[0] += 2.0;
+      ps.add(partner);
+      partner = p;
+      partner[0] -= 2.0;
+      ps.add(partner);
+    }
+  }
+  // Small leaves so k=64 exceeds any single leaf's occupancy.
+  const KdTree legacy(ps, KdTreeOptions{.leaf_size = 8,
+                                        .build_threads = 1,
+                                        .reorder = false});
+  const KdTree blocked(ps, KdTreeOptions{.leaf_size = 8,
+                                         .build_threads = 1,
+                                         .reorder = true});
+  const BruteForceIndex brute(ps);
+  const QueryBudget exact;
+
+  for (const size_t k : {size_t{1}, size_t{9}, size_t{64}, size_t{200}}) {
+    for (PointId q = 0; q < 50; ++q) {
+      std::vector<KnnHit> oracle;
+      brute.knn_query(ps[q], k, exact, oracle);
+      std::vector<KnnHit> hits;
+      blocked.knn_query(ps[q], k, exact, hits);
+      EXPECT_EQ(hits, oracle) << "blocked k=" << k << " q=" << q;
+      hits.clear();
+      legacy.knn_query(ps[q], k, exact, hits);
+      EXPECT_EQ(hits, oracle) << "legacy k=" << k << " q=" << q;
+      hits.clear();
+      simd::force_scalar(true);
+      blocked.knn_query(ps[q], k, exact, hits);
+      simd::force_scalar(false);
+      EXPECT_EQ(hits, oracle) << "scalar k=" << k << " q=" << q;
     }
   }
 }
